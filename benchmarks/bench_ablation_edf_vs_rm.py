@@ -1,0 +1,77 @@
+"""Ablation: scheduler choice (EDF vs RM) on the feasible region (abl-sched).
+
+Figure 4 shows the EDF region strictly containing the RM region for the
+paper's task set; this ablation quantifies the gap there and across random
+mixed workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FeasibleRegion
+from repro.experiments.ablations import edf_vs_rm_regions
+from repro.generators import generate_mixed_taskset
+from repro.partition import PartitionError, partition_by_modes
+from repro.viz import format_table
+
+from bench_util import report
+
+
+def test_edf_vs_rm_on_paper_set(benchmark):
+    rows = benchmark(edf_vs_rm_regions)
+
+    edf, rm = rows
+    table = format_table(
+        ["algorithm", "max P (Otot=0)", "max admissible Otot"],
+        [
+            [edf.algorithm, edf.max_period_zero_overhead, edf.max_admissible_overhead],
+            [rm.algorithm, rm.max_period_zero_overhead, rm.max_admissible_overhead],
+        ],
+    )
+    table += (
+        f"\nEDF/RM max-period ratio: "
+        f"{edf.max_period_zero_overhead / rm.max_period_zero_overhead:.3f} "
+        f"(paper: 3.176/2.381 = 1.334)"
+    )
+    report("ABLATION — EDF vs RM feasible regions (paper set)", table)
+
+    assert edf.max_period_zero_overhead > rm.max_period_zero_overhead
+    ratio = edf.max_period_zero_overhead / rm.max_period_zero_overhead
+    assert ratio == pytest.approx(3.176 / 2.381, abs=0.01)
+    benchmark.extra_info["edf_rm_ratio"] = round(ratio, 3)
+
+
+def test_edf_vs_rm_synthetic_sweep(benchmark):
+    """Average region advantage of EDF over random mixed workloads."""
+
+    def sweep():
+        ratios = []
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            ts = generate_mixed_taskset(
+                9, 1.1, rng, period_low=10, period_high=60,
+                period_granularity=5.0,
+            )
+            try:
+                part = partition_by_modes(ts, admission="utilization")
+            except PartitionError:
+                continue
+            try:
+                edf = FeasibleRegion(part, "EDF").max_feasible_period(0.0)
+                rm = FeasibleRegion(part, "RM").max_feasible_period(0.0)
+            except (ValueError, RuntimeError):
+                continue
+            ratios.append(edf / rm)
+        return ratios
+
+    ratios = benchmark(sweep)
+    assert ratios, "no feasible synthetic workloads"
+    body = (
+        f"workloads analysed : {len(ratios)}\n"
+        f"EDF/RM max-period ratio: mean {np.mean(ratios):.3f}, "
+        f"min {np.min(ratios):.3f}, max {np.max(ratios):.3f}"
+    )
+    report("ABLATION — EDF vs RM across random workloads", body)
+    # EDF never loses (optimality) and typically wins.
+    assert min(ratios) >= 1.0 - 1e-9
+    benchmark.extra_info["mean_ratio"] = round(float(np.mean(ratios)), 3)

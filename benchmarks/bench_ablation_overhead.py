@@ -1,0 +1,42 @@
+"""Ablation: sensitivity to the mode-switch overhead (exp id: abl-overhead).
+
+Sweeps the total switching overhead ``O_tot`` and reports the maximum
+feasible period — shrinking from the Figure 4 zero-overhead apex down to
+infeasibility past the 0.201 maximum.
+"""
+
+import pytest
+
+from repro.experiments.ablations import overhead_sensitivity
+from repro.viz import format_table
+
+from bench_util import report
+
+OTOTS = (0.0, 0.025, 0.05, 0.1, 0.15, 0.2, 0.201, 0.25)
+
+
+def test_overhead_sensitivity(benchmark, paper_part):
+    points = benchmark(
+        lambda: overhead_sensitivity(paper_part, otots=OTOTS)
+    )
+
+    table = format_table(
+        ["O_tot", "max feasible P", "overhead bandwidth O/P"],
+        [
+            [
+                p.otot,
+                p.max_period if p.max_period is not None else "infeasible",
+                (p.otot / p.max_period) if p.max_period else "-",
+            ]
+            for p in points
+        ],
+    )
+    report("ABLATION — max feasible period vs switching overhead", table)
+
+    feasible = [p for p in points if p.max_period is not None]
+    periods = [p.max_period for p in feasible]
+    # Monotone: more overhead, shorter max period; infeasible past 0.201.
+    assert periods == sorted(periods, reverse=True)
+    assert points[0].max_period == pytest.approx(3.176, abs=2e-3)
+    assert points[-1].max_period is None
+    benchmark.extra_info["levels"] = len(OTOTS)

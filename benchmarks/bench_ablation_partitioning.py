@@ -1,0 +1,56 @@
+"""Ablation: manual vs automatic partitioning (exp id: abl-partition).
+
+The paper assigns tasks to processors manually and cites bin-packing for
+automation. This ablation runs the cited piece: how close do first/best/
+worst-fit come to the paper's manual split, measured on the resulting
+feasible region?
+"""
+
+import pytest
+
+from repro.experiments.ablations import partitioning_comparison
+from repro.viz import format_table
+
+from bench_util import report
+
+
+def test_partition_heuristics_vs_manual(benchmark):
+    rows = benchmark(
+        lambda: partitioning_comparison(
+            heuristics=("worst-fit", "first-fit", "best-fit")
+        )
+    )
+
+    table = format_table(
+        ["strategy", "max P (Otot=0)", "max Otot", "maxU NF", "maxU FS"],
+        [
+            [
+                r.strategy,
+                r.max_period_zero_overhead if r.feasible else "infeasible",
+                r.max_admissible_overhead,
+                r.max_bin_utilization["NF"],
+                r.max_bin_utilization["FS"],
+            ]
+            for r in rows
+        ],
+    )
+    table += (
+        "\nNote: greedy packers (first/best-fit) concentrate load until the\n"
+        "summed per-mode demand ratios exceed 1 — no period is feasible.\n"
+        "This is the quantitative case for load-balancing (worst-fit) here."
+    )
+    report("ABLATION — partitioning strategies vs the manual Section 4 split", table)
+
+    manual = rows[0]
+    wf = next(r for r in rows if r.strategy == "worst-fit")
+    # Worst-fit decreasing balances at least as well as the manual split on
+    # the binding NF mode (tau5's 0.25 bin cannot be improved).
+    assert wf.max_bin_utilization["NF"] <= manual.max_bin_utilization["NF"] + 1e-9
+    # The balanced strategies must admit a region; greedy ones may not.
+    assert manual.feasible and wf.feasible
+    benchmark.extra_info["best_strategy"] = max(
+        rows, key=lambda r: r.max_admissible_overhead
+    ).strategy
+    benchmark.extra_info["infeasible_strategies"] = [
+        r.strategy for r in rows if not r.feasible
+    ]

@@ -1,0 +1,47 @@
+"""Ablation: multi-quantum slots (the paper's future-work item).
+
+"...the possibility of providing the same fault-tolerance service during
+more than one time quantum per period" (Section 5). Splitting a mode's
+budget into k evenly spread slots divides the worst-case supply delay by k,
+which directly enlarges the set of schedulable short-deadline tasks.
+"""
+
+import pytest
+
+from repro.analysis import edf_schedulable_supply
+from repro.experiments.ablations import slot_splitting_gain
+from repro.model import Task, TaskSet
+from repro.supply.slots import evenly_split_slots
+from repro.viz import format_table
+
+from bench_util import report
+
+
+def test_slot_splitting_shrinks_delay(benchmark):
+    rows = benchmark(
+        lambda: slot_splitting_gain(period=3.0, budget=1.0, pieces_list=(1, 2, 3, 4))
+    )
+
+    table = format_table(
+        ["quanta per period", "supply delay Δ", "Z(P/2)"],
+        [[r.pieces, r.delay, r.supply_at_half_period] for r in rows],
+    )
+
+    # A short-deadline task that only the split layouts can host:
+    tight = TaskSet([Task("tight", wcet=0.2, period=3.0, deadline=1.2)])
+    verdicts = []
+    for k in (1, 2, 3, 4):
+        supply = evenly_split_slots(3.0, 1.0, k)
+        verdicts.append(
+            (k, edf_schedulable_supply(tight, supply).schedulable)
+        )
+    table += "\n\nshort-deadline task (C=0.2, D=1.2) schedulable?\n"
+    table += format_table(["pieces", "schedulable"], [[k, v] for k, v in verdicts])
+    report("ABLATION — future work: several quanta per period", table)
+
+    delays = [r.delay for r in rows]
+    assert delays == sorted(delays, reverse=True)
+    assert not verdicts[0][1]  # single slot: Δ = 2.0 > D − C
+    assert verdicts[-1][1]     # four slots: Δ = 0.5, fits easily
+    benchmark.extra_info["delay_1"] = delays[0]
+    benchmark.extra_info["delay_4"] = delays[-1]

@@ -1,0 +1,84 @@
+"""Fault-injection campaign (exp id: sim-faults).
+
+Quantifies the Section 2.2 mode contracts on the Table 2(b) design: faults
+in FT slots are masked, FS faults are detected and silenced (no wrong output
+escapes), NF faults corrupt silently, slot-switch/idle faults are harmless.
+Benchmarks the campaign driver.
+"""
+
+import pytest
+
+from repro.faults import FaultCampaign, FaultOutcome
+from repro.model import Mode
+from repro.viz import format_table
+
+from bench_util import report
+
+
+def test_fault_campaign_mode_contracts(benchmark, paper_part, config_b):
+    camp = FaultCampaign(paper_part, config_b, rate=0.1)
+
+    result = benchmark(lambda: camp.run(horizon=config_b.period * 81, seed=7))
+
+    rows = []
+    for mode, hist in sorted(
+        result.outcomes_by_mode.items(), key=lambda kv: str(kv[0])
+    ):
+        rows.append(
+            [
+                str(mode) if mode else "overhead/idle",
+                hist[FaultOutcome.MASKED],
+                hist[FaultOutcome.SILENCED],
+                hist[FaultOutcome.CORRUPTED],
+                hist[FaultOutcome.HARMLESS],
+            ]
+        )
+    body = format_table(
+        ["slot hit", "masked", "silenced", "corrupted", "harmless"], rows
+    )
+    body += "\n\n" + result.summary()
+    report("FAULT INJECTION — per-mode outcome contracts", body)
+
+    by_mode = result.outcomes_by_mode
+    if Mode.FT in by_mode:
+        assert by_mode[Mode.FT][FaultOutcome.CORRUPTED] == 0
+        assert by_mode[Mode.FT][FaultOutcome.SILENCED] == 0
+    if Mode.FS in by_mode:
+        assert by_mode[Mode.FS][FaultOutcome.CORRUPTED] == 0
+    assert result.ft_misses == 0
+    benchmark.extra_info["injected"] = result.injected
+    benchmark.extra_info["masked"] = result.outcomes[FaultOutcome.MASKED]
+
+
+def test_fault_rate_sweep(benchmark, paper_part, config_b):
+    """Corruption exposure grows with fault rate only through NF slots."""
+
+    def sweep():
+        out = []
+        for rate in (0.02, 0.05, 0.1, 0.2):
+            camp = FaultCampaign(paper_part, config_b, rate=rate)
+            res = camp.run(horizon=config_b.period * 41, seed=3)
+            out.append((rate, res))
+        return out
+
+    results = benchmark(sweep)
+
+    rows = [
+        [
+            rate,
+            res.injected,
+            res.rate(FaultOutcome.MASKED),
+            res.rate(FaultOutcome.SILENCED),
+            res.rate(FaultOutcome.CORRUPTED),
+            res.ft_misses,
+        ]
+        for rate, res in results
+    ]
+    report(
+        "FAULT RATE SWEEP — outcome shares vs Poisson rate",
+        format_table(
+            ["rate", "injected", "masked%", "silenced%", "corrupt%", "FT misses"],
+            rows,
+        ),
+    )
+    assert all(res.ft_misses == 0 for _rate, res in results)

@@ -1,0 +1,46 @@
+"""Figure 2 — the mode-switch timeline of one major cycle.
+
+Figure 2 is the paper's notation diagram (slots ``Q_k`` with trailing
+overheads ``O_k`` inside one period ``P``). We regenerate it from a designed
+configuration as the simulator's segment timeline, check the accounting
+identities the figure encodes, and benchmark segment expansion.
+"""
+
+import pytest
+
+from repro.model import MODE_ORDER, Mode
+from repro.platform import ModeSwitchController, SegmentKind
+from repro.viz import format_table
+
+from bench_util import report
+
+
+def test_figure2_slot_timeline(benchmark, config_b):
+    ctrl = ModeSwitchController(config_b.schedule)
+    segments = benchmark(lambda: list(ctrl.segments(config_b.period * 50)))
+
+    one_cycle = [s for s in segments if s.cycle == 0]
+    rows = [
+        [f"[{s.start:.3f}, {s.end:.3f})", str(s.kind), str(s.mode or "-"),
+         s.duration]
+        for s in one_cycle
+    ]
+    body = format_table(["window", "kind", "mode", "length"], rows)
+    body += (
+        f"\nP = {config_b.period:.3f}; "
+        f"Q̃_k + O_k sums + idle = period (Figure 2 identity)"
+    )
+    report("FIGURE 2 — switching between modes (one major cycle)", body)
+
+    # Identities: segments tile the cycle exactly; FT -> FS -> NF order.
+    assert sum(s.duration for s in one_cycle) == pytest.approx(config_b.period)
+    usable_modes = [s.mode for s in one_cycle if s.kind is SegmentKind.USABLE]
+    assert usable_modes == list(MODE_ORDER)
+    for mode in Mode:
+        usable = sum(
+            s.duration
+            for s in one_cycle
+            if s.kind is SegmentKind.USABLE and s.mode is mode
+        )
+        assert usable == pytest.approx(config_b.schedule.usable(mode))
+    benchmark.extra_info["segments_per_cycle"] = len(one_cycle)

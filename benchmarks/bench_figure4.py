@@ -1,0 +1,67 @@
+"""Figure 4 — the feasible-period region for EDF and RM.
+
+Regenerates the plotted curves (Eq. 15 LHS vs ``P``) and the five annotated
+points, renders the figure in ASCII, asserts the points at the paper's
+3-decimal precision, and benchmarks the vectorised region sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import compute_figure4_points, figure4_series, paper_reference
+from repro.viz import render_region
+
+from bench_util import report
+
+
+def test_figure4_region_sweep(benchmark):
+    series = benchmark(figure4_series, p_max=3.5, n=701)
+
+    points = compute_figure4_points()
+    ref = paper_reference()
+
+    plot = render_region(
+        series["P"],
+        {"EDF": series["EDF"], "RM": series["RM"]},
+        otot=0.05,
+        width=90,
+        height=24,
+    )
+    notes = "\n".join(
+        [
+            f"point 1  max P, EDF, Otot=0    : {points.point1_max_period_edf:.3f}  (paper 3.176)",
+            f"point 2  max P, RM,  Otot=0    : {points.point2_max_period_rm:.3f}  (paper 2.381)",
+            f"point 3  max Otot, EDF         : {points.point3_max_overhead_edf:.3f}  (paper 0.201)",
+            f"point 4  max Otot, RM          : {points.point4_max_overhead_rm:.3f}  (paper 0.129)",
+            f"point 5  max P, EDF, Otot=0.05 : {points.point5_max_period_edf_otot:.3f}  (paper 2.966)",
+        ]
+    )
+    report("FIGURE 4 — determining the feasible periods", plot + "\n\n" + notes)
+
+    assert points.point1_max_period_edf == pytest.approx(
+        ref.max_period_edf_zero_overhead, abs=1.5e-3
+    )
+    assert points.point2_max_period_rm == pytest.approx(
+        ref.max_period_rm_zero_overhead, abs=1.5e-3
+    )
+    assert points.point3_max_overhead_edf == pytest.approx(
+        ref.max_overhead_edf, abs=1.5e-3
+    )
+    assert points.point4_max_overhead_rm == pytest.approx(
+        ref.max_overhead_rm, abs=1.5e-3
+    )
+    assert points.point5_max_period_edf_otot == pytest.approx(
+        ref.max_period_edf_otot, abs=1.5e-3
+    )
+    # Shape guard: EDF dominates RM across the whole sweep.
+    assert np.all(series["EDF"] >= series["RM"] - 1e-9)
+
+    benchmark.extra_info.update(
+        {
+            "p1_edf(3.176)": round(points.point1_max_period_edf, 4),
+            "p2_rm(2.381)": round(points.point2_max_period_rm, 4),
+            "p3_edf(0.201)": round(points.point3_max_overhead_edf, 4),
+            "p4_rm(0.129)": round(points.point4_max_overhead_rm, 4),
+            "p5_edf(2.966)": round(points.point5_max_period_edf_otot, 4),
+        }
+    )

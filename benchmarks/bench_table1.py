@@ -1,0 +1,48 @@
+"""Table 1 — the task-set data and Section 4 manual partition.
+
+Regenerates the paper's input table (modes, C_i, T_i) together with the
+derived per-bin utilizations the paper's sanity check relies on, and
+benchmarks the model layer (task-set + partition construction).
+"""
+
+import pytest
+
+from repro.experiments import paper_partition, paper_taskset
+from repro.model import MODE_ORDER
+from repro.viz import format_table
+
+from bench_util import report
+
+
+def _build():
+    ts = paper_taskset()
+    part = paper_partition()
+    return ts, part
+
+
+def test_table1_taskset(benchmark):
+    ts, part = benchmark(_build)
+
+    assert len(ts) == 13
+    rows = [
+        [t.mode, t.name, int(t.wcet), int(t.period), round(t.utilization, 4)]
+        for t in ts
+    ]
+    body = format_table(["mode", "task", "C_i", "T_i", "U_i"], rows)
+    bin_rows = []
+    for mode in MODE_ORDER:
+        for i, b in enumerate(part.bins(mode)):
+            if len(b):
+                bin_rows.append(
+                    [f"{mode}[{i}]", ", ".join(b.names), b.utilization]
+                )
+    body += "\n\nmanual partition (Section 4):\n"
+    body += format_table(["processor", "tasks", "U"], bin_rows)
+    report("TABLE 1 — task set data + manual partition", body)
+
+    benchmark.extra_info["n_tasks"] = len(ts)
+    benchmark.extra_info["U_total"] = round(ts.utilization, 4)
+    # Reproduction guard: the utilizations behind Table 2 row (a).
+    assert part.max_bin_utilization(MODE_ORDER[0]) == pytest.approx(0.267, abs=5e-4)
+    assert part.max_bin_utilization(MODE_ORDER[1]) == pytest.approx(0.267, abs=5e-4)
+    assert part.max_bin_utilization(MODE_ORDER[2]) == pytest.approx(0.250, abs=5e-4)

@@ -1,0 +1,44 @@
+"""Table 2 — the two design solutions (rows a, b, c).
+
+Regenerates the paper's design table for the Table 1 task set at
+``O_tot = 0.05`` under EDF and asserts every printed value at the paper's
+3-decimal precision. The benchmark times the full design pipeline (region
+sweep + both goals).
+"""
+
+import pytest
+
+from repro.experiments import compute_table2, paper_reference
+
+from bench_util import report
+
+
+def test_table2_designs(benchmark):
+    table = benchmark(compute_table2)
+
+    report("TABLE 2 — possible design solutions (EDF, O_tot = 0.05)", table.render())
+
+    ref = paper_reference()
+    b, c = table.row_b, table.row_c
+
+    # row (a)
+    assert table.req_util_ft == pytest.approx(ref.req_util_ft, abs=5e-4)
+    assert table.req_util_fs == pytest.approx(ref.req_util_fs, abs=5e-4)
+    assert table.req_util_nf == pytest.approx(ref.req_util_nf, abs=5e-4)
+    # row (b): min overhead bandwidth
+    assert b.period == pytest.approx(ref.b_period, abs=1.5e-3)
+    assert b.q_ft == pytest.approx(ref.b_q_ft, abs=1.5e-3)
+    assert b.q_fs == pytest.approx(ref.b_q_fs, abs=1.5e-3)
+    assert b.q_nf == pytest.approx(ref.b_q_nf, abs=1.5e-3)
+    assert b.slack == pytest.approx(0.0, abs=1e-4)
+    # row (c): max slack
+    assert c.period == pytest.approx(ref.c_period, abs=2e-3)
+    assert c.slack_ratio == pytest.approx(ref.c_slack_ratio, abs=2e-3)
+
+    benchmark.extra_info.update(
+        {
+            "P_b(paper 2.966)": round(b.period, 4),
+            "P_c(paper 0.855)": round(c.period, 4),
+            "slack_ratio_c(paper 0.121)": round(c.slack_ratio, 4),
+        }
+    )

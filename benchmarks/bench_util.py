@@ -1,0 +1,42 @@
+"""Reporting helper shared by the benchmark modules.
+
+pytest captures stdout at the file-descriptor level, so artifacts printed
+during a test would vanish from ``pytest ... | tee bench_output.txt``.
+Benchmarks therefore *register* their regenerated paper artifacts here, and
+the conftest hook :func:`emit_reports` flushes them into the terminal
+summary — after capture has ended — so every table/figure lands in the teed
+output file.
+"""
+
+from __future__ import annotations
+
+#: (title, body) pairs registered by benchmarks during the session.
+REPORTS: list[tuple[str, str]] = []
+
+
+def report(title: str, body: str) -> None:
+    """Register a regenerated artifact for the end-of-session summary."""
+    # A benchmark test body runs once, but guard against re-registration
+    # (e.g. --benchmark-compare reruns) by title.
+    for existing_title, _ in REPORTS:
+        if existing_title == title:
+            return
+    REPORTS.append((title, body))
+
+
+def emit_reports(write_line) -> None:
+    """Write all registered artifacts through ``write_line`` (conftest hook)."""
+    if not REPORTS:
+        return
+    bar = "=" * 78
+    write_line("")
+    write_line(bar)
+    write_line("REGENERATED PAPER ARTIFACTS (tables, figures, ablations)")
+    write_line(bar)
+    for title, body in REPORTS:
+        write_line("")
+        write_line(bar)
+        write_line(title)
+        write_line(bar)
+        for line in body.splitlines():
+            write_line(line)

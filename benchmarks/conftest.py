@@ -1,0 +1,62 @@
+"""Shared fixtures and reporting for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts (tables,
+figures) or an ablation indexed in DESIGN.md. Regenerated numbers are
+
+* asserted against the paper's published values (reproduction guard),
+* attached to the benchmark record via ``benchmark.extra_info``,
+* printed through :func:`report` — which writes to the *real* stdout so the
+  paper-style tables survive pytest's capture and land in
+  ``bench_output.txt`` when run as
+  ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FeasibleRegion, Overheads, design_platform
+from repro.experiments import paper_partition, paper_taskset
+
+from bench_util import emit_reports
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Flush the regenerated paper artifacts after capture has ended."""
+    emit_reports(terminalreporter.write_line)
+
+
+@pytest.fixture(scope="session")
+def paper_ts():
+    return paper_taskset()
+
+
+@pytest.fixture(scope="session")
+def paper_part():
+    return paper_partition()
+
+
+@pytest.fixture(scope="session")
+def region_edf(paper_part):
+    return FeasibleRegion(paper_part, "EDF")
+
+
+@pytest.fixture(scope="session")
+def region_rm(paper_part):
+    return FeasibleRegion(paper_part, "RM")
+
+
+@pytest.fixture(scope="session")
+def config_b(paper_part, region_edf):
+    return design_platform(
+        paper_part, "EDF", Overheads.uniform(0.05),
+        "min-overhead-bandwidth", region=region_edf,
+    )
+
+
+@pytest.fixture(scope="session")
+def config_c(paper_part, region_edf):
+    return design_platform(
+        paper_part, "EDF", Overheads.uniform(0.05),
+        "max-slack", region=region_edf,
+    )

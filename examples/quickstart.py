@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: design a flexible fault-tolerant platform in ~20 lines.
+
+Builds a small mixed-criticality task set, partitions it onto the 4-core
+platform's logical processors, derives the slot schedule (period + FT/FS/NF
+quanta) with the paper's design method, and double-checks the design by
+simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Mode, Overheads, Task, TaskSet, design_platform
+from repro.partition import partition_by_modes
+from repro.sim import MulticoreSim
+
+# 1. A mixed application: one critical control loop (FT), a pair of
+#    monitoring tasks (FS), and best-effort workload (NF).
+taskset = TaskSet(
+    [
+        Task("control", wcet=1.0, period=10.0, mode=Mode.FT),
+        Task("watchdog", wcet=0.5, period=8.0, mode=Mode.FS),
+        Task("logger", wcet=1.0, period=20.0, mode=Mode.FS),
+        Task("ui", wcet=2.0, period=16.0, mode=Mode.NF),
+        Task("stats", wcet=1.5, period=12.0, mode=Mode.NF),
+    ]
+)
+print(taskset.summary(), "\n")
+
+# 2. Partition each mode's tasks onto its logical processors
+#    (FT: 1, FS: 2, NF: 4) — worst-fit keeps the bins balanced.
+partition = partition_by_modes(taskset)
+print(partition.summary(), "\n")
+
+# 3. Design the platform: choose the major period P and the three slot
+#    lengths so every deadline is guaranteed (Eqs. 6/11 + 12-15 of the
+#    paper), while minimising the bandwidth lost to mode switches.
+config = design_platform(partition, "EDF", Overheads.uniform(0.1))
+print(config.summary(), "\n")
+
+# 4. Trust, but verify: simulate two hyperperiods on the modelled hardware.
+result = MulticoreSim(partition, config).run()
+print(f"simulated {result.horizon:.1f} time units "
+      f"-> deadline misses: {result.miss_count}")
+assert result.miss_count == 0

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that environments
+whose setuptools lacks PEP 660 support (no `wheel` package installed) can
+still perform `pip install -e .` through the legacy editable path.
+"""
+
+from setuptools import setup
+
+setup()

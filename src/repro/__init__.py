@@ -1,0 +1,66 @@
+"""repro — reproduction of Cirinei, Bini, Lipari & Ferrari (IPPS 2007).
+
+*A Flexible Scheme for Scheduling Fault-Tolerant Real-Time Tasks on
+Multiprocessors.*
+
+The library covers the full pipeline of the paper:
+
+1. model sporadic tasks with FT / FS / NF fault-robustness modes
+   (:mod:`repro.model`);
+2. analyse schedulability inside periodic time partitions with hierarchical
+   scheduling theory (:mod:`repro.analysis`, :mod:`repro.supply`);
+3. invert the analysis into minimum quanta and the feasible-period region,
+   and design the platform for a goal (:mod:`repro.core`);
+4. validate designs on a discrete-event model of the 4-core lock-step
+   platform, with fault injection (:mod:`repro.platform`, :mod:`repro.sim`,
+   :mod:`repro.faults`);
+5. compare against static lock-step and primary/backup baselines
+   (:mod:`repro.baselines`).
+
+Quickstart
+----------
+>>> from repro import paper_partition, Overheads, design_platform
+>>> config = design_platform(paper_partition(), "EDF", Overheads.uniform(0.05))
+>>> round(config.period, 3)
+2.966
+"""
+
+from repro.core import (
+    AdmissionController,
+    FeasibleRegion,
+    FixedPeriodGoal,
+    MaxSlackGoal,
+    MinOverheadBandwidthGoal,
+    Overheads,
+    PlatformConfig,
+    SlotSchedule,
+    design_platform,
+    min_quantum,
+    min_quantum_exact,
+)
+from repro.experiments import paper_partition, paper_taskset
+from repro.model import Job, Mode, PartitionedTaskSet, Task, TaskSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "Mode",
+    "Job",
+    "PartitionedTaskSet",
+    "min_quantum",
+    "min_quantum_exact",
+    "FeasibleRegion",
+    "Overheads",
+    "SlotSchedule",
+    "PlatformConfig",
+    "design_platform",
+    "MinOverheadBandwidthGoal",
+    "MaxSlackGoal",
+    "FixedPeriodGoal",
+    "AdmissionController",
+    "paper_taskset",
+    "paper_partition",
+    "__version__",
+]

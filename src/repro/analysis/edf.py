@@ -1,0 +1,224 @@
+"""EDF schedulability: demand bound function, ``dlSet`` and Theorem 2.
+
+Implements Eq. 9 of the paper — the EDF demand
+
+.. math:: W(t) = \\sum_i \\max\\Big(\\Big\\lfloor \\frac{t + T_i - D_i}{T_i}
+          \\Big\\rfloor,\\ 0\\Big)\\, C_i
+
+(the classic processor demand bound function ``dbf``), the deadline set
+``dlSet`` over which Theorem 2 quantifies, the supply-aware EDF test, its
+dedicated-processor specialisation, and Zhang & Burns' Quick Processor-demand
+Analysis (QPA) as a faster dedicated test.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.analysis.results import EDFAnalysis
+from repro.model import TaskSet
+from repro.supply import DedicatedSupply, SupplyFunction
+from repro.util import EPS, approx_le, check_positive, fuzzy_floor
+
+
+def demand_bound_function(taskset: TaskSet, t: float) -> float:
+    """EDF demand ``W(t)`` of Eq. 9 at a single point ``t >= 0``."""
+    if t < 0:
+        raise ValueError(f"t must be >= 0: got {t}")
+    total = 0.0
+    for task in taskset:
+        jobs = fuzzy_floor((t + task.period - task.deadline) / task.period)
+        if jobs > 0:
+            total += jobs * task.wcet
+    return total
+
+
+def demand_bound_array(taskset: TaskSet, ts: Iterable[float]) -> np.ndarray:
+    """Vectorised ``W(t)`` over an array of points."""
+    t = np.asarray(list(ts), dtype=float)
+    total = np.zeros_like(t)
+    for task in taskset:
+        jobs = np.floor((t + task.period - task.deadline) / task.period + EPS)
+        total += np.maximum(jobs, 0.0) * task.wcet
+    return total
+
+
+def deadline_set(taskset: TaskSet, horizon: float | None = None) -> tuple[float, ...]:
+    """``dlSet(T)``: every absolute deadline in ``(0, horizon]``.
+
+    ``horizon`` defaults to the hyperperiod, matching Theorem 2. Deadlines
+    are generated from the synchronous pattern (``k T_i + D_i``), de-duplicated
+    and sorted.
+    """
+    if len(taskset) == 0:
+        return ()
+    if horizon is None:
+        horizon = taskset.hyperperiod()
+    check_positive("horizon", horizon)
+    points: set[float] = set()
+    for task in taskset:
+        d = task.deadline
+        k = 0
+        while True:
+            t = k * task.period + d
+            if t > horizon + EPS:
+                break
+            points.add(t)
+            k += 1
+    return tuple(sorted(points))
+
+
+def edf_demand_points(taskset: TaskSet, horizon: float | None = None) -> np.ndarray:
+    """``dlSet`` as a numpy array (convenience for vectorised sweeps)."""
+    return np.asarray(deadline_set(taskset, horizon), dtype=float)
+
+
+def edf_utilization_test(taskset: TaskSet, capacity: float = 1.0) -> bool:
+    """Necessary-and-sufficient EDF test for implicit deadlines: ``U <= cap``."""
+    if not taskset.all_implicit_deadline:
+        raise ValueError(
+            "the EDF utilization test is exact only for implicit deadlines; "
+            "use edf_schedulable_dedicated for constrained deadlines"
+        )
+    return approx_le(taskset.utilization, capacity)
+
+
+def _check_horizon(taskset: TaskSet, supply: SupplyFunction) -> float:
+    """Safe upper limit for demand points in the supply-aware EDF test.
+
+    Demand grows as ``W(t) <= U t + B`` with
+    ``B = sum_i C_i (T_i - D_i)/T_i >= 0``, while the linear supply bound
+    guarantees ``Z(t) >= α(t − Δ)``. For ``α > U`` every point beyond
+    ``t* = (B + αΔ)/(α − U)`` passes automatically, so checking deadlines up
+    to ``t*`` is exact. When ``α <= U`` (no analytic cut-off) we fall back to
+    the paper's hyperperiod bound.
+    """
+    alpha, delta = supply.alpha, supply.delta
+    u = taskset.utilization
+    if alpha > u + 1e-12 and np.isfinite(delta):
+        b = sum(t.wcet * (t.period - t.deadline) / t.period for t in taskset)
+        t_star = (b + alpha * delta) / (alpha - u)
+        return max(t_star, max(t.deadline for t in taskset))
+    return taskset.hyperperiod()
+
+
+def edf_schedulable_supply(
+    taskset: TaskSet,
+    supply: SupplyFunction,
+    *,
+    horizon: float | None = None,
+) -> EDFAnalysis:
+    """Theorem 2: EDF feasibility of ``taskset`` under a supply function.
+
+    Checks ``Z(t) >= W(t)`` at every absolute deadline up to ``horizon``
+    (default: the exact analytic cut-off when the supply rate exceeds the
+    utilization, else the hyperperiod — see :func:`_check_horizon`), after
+    the necessary rate condition ``U(T) <= α``.
+    """
+    if len(taskset) == 0:
+        return EDFAnalysis(True, points_checked=0)
+    if taskset.utilization > supply.alpha + 1e-9:
+        return EDFAnalysis(
+            False,
+            violation=float("inf"),
+            demand_at_violation=taskset.utilization,
+            supply_at_violation=supply.alpha,
+            points_checked=0,
+        )
+    if horizon is None:
+        horizon = _check_horizon(taskset, supply)
+    pts = edf_demand_points(taskset, horizon)
+    if pts.size == 0:
+        return EDFAnalysis(True, points_checked=0)
+    demand = demand_bound_array(taskset, pts)
+    z = supply.supply_array(pts)
+    bad = np.nonzero(z < demand - EPS)[0]
+    if bad.size:
+        i = int(bad[0])
+        return EDFAnalysis(
+            False,
+            violation=float(pts[i]),
+            demand_at_violation=float(demand[i]),
+            supply_at_violation=float(z[i]),
+            points_checked=int(pts.size),
+        )
+    return EDFAnalysis(True, points_checked=int(pts.size))
+
+
+def edf_schedulable_dedicated(
+    taskset: TaskSet, *, horizon: float | None = None
+) -> EDFAnalysis:
+    """Processor-demand criterion on a dedicated processor (``Z(t) = t``)."""
+    if len(taskset) and taskset.utilization > 1.0 + 1e-9:
+        return EDFAnalysis(
+            False,
+            violation=float("inf"),
+            demand_at_violation=taskset.utilization,
+            supply_at_violation=1.0,
+        )
+    return edf_schedulable_supply(taskset, DedicatedSupply(), horizon=horizon)
+
+
+# -- QPA ------------------------------------------------------------------------
+
+
+def synchronous_busy_period(taskset: TaskSet, *, max_iterations: int = 100_000) -> float:
+    """Length of the synchronous processor busy period.
+
+    Fixed point of ``w = sum_i ceil(w/T_i) C_i``; requires ``U <= 1``
+    (diverges otherwise, which raises).
+    """
+    if len(taskset) == 0:
+        return 0.0
+    if taskset.utilization > 1.0 + 1e-9:
+        raise ValueError("busy period diverges for U > 1")
+    w = sum(t.wcet for t in taskset)
+    for _ in range(max_iterations):
+        w_next = sum(np.ceil(w / t.period - EPS) * t.wcet for t in taskset)
+        if abs(w_next - w) <= EPS * max(1.0, w):
+            return float(w_next)
+        w = float(w_next)
+    raise RuntimeError("busy period iteration did not converge")
+
+
+def qpa_schedulable(taskset: TaskSet) -> bool:
+    """Zhang & Burns Quick Processor-demand Analysis (dedicated EDF test).
+
+    Equivalent to the full processor-demand criterion but typically examines
+    only a handful of points: starting just below the busy-period bound it
+    walks ``t ← h(t)`` (or the next lower deadline) until the demand drops
+    below the smallest deadline (schedulable) or exceeds ``t``
+    (unschedulable).
+    """
+    if len(taskset) == 0:
+        return True
+    if taskset.utilization > 1.0 + 1e-9:
+        return False
+    if taskset.utilization >= 1.0 - 1e-12:
+        limit = taskset.hyperperiod()
+    else:
+        limit = synchronous_busy_period(taskset)
+    d_min = min(t.deadline for t in taskset)
+    deadlines = [d for d in deadline_set(taskset, limit) if d < limit - EPS]
+    if not deadlines:
+        return True
+
+    def h(t: float) -> float:
+        return demand_bound_function(taskset, t)
+
+    t = deadlines[-1]
+    while True:
+        ht = h(t)
+        if ht > t + EPS:
+            return False
+        if ht <= d_min + EPS:
+            return h(d_min) <= d_min + EPS
+        if ht < t - EPS:
+            t = ht
+        else:
+            lower = [d for d in deadlines if d < t - EPS]
+            if not lower:
+                return True
+            t = lower[-1]

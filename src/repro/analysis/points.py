@@ -1,0 +1,59 @@
+"""Bini–Buttazzo scheduling points ``schedP_i``.
+
+The fixed-priority feasibility of task ``τ_i`` only needs to be checked at a
+small set of points — the scheduling points of Bini & Buttazzo (2004),
+defined recursively over the higher-priority tasks ``τ_1 … τ_{i-1}``:
+
+.. math::
+
+   \\mathcal{P}_0(t) = \\{t\\}, \\qquad
+   \\mathcal{P}_j(t) = \\mathcal{P}_{j-1}\\!\\big(\\lfloor t/T_j\\rfloor T_j\\big)
+                      \\cup \\mathcal{P}_{j-1}(t)
+
+with ``schedP_i = P_{i-1}(D_i)``. Theorem 1 of the paper quantifies
+feasibility over exactly this set.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.model import Task
+from repro.util import EPS, check_positive, fuzzy_floor
+
+
+def scheduling_points(task: Task, higher_priority: Sequence[Task]) -> tuple[float, ...]:
+    """The scheduling-point set ``schedP_i`` for ``task``.
+
+    Parameters
+    ----------
+    task:
+        The task under analysis (``τ_i``).
+    higher_priority:
+        The tasks with priority higher than ``τ_i`` (any order — the
+        generated set does not depend on the recursion order).
+
+    Returns
+    -------
+    Sorted tuple of strictly positive points ``t <= D_i``. Non-positive
+    points that the recursion can generate when ``D_i < T_j`` are discarded:
+    no positive workload can be accommodated by time 0, so they can never be
+    feasibility witnesses.
+    """
+    check_positive("task deadline", task.deadline)
+    points: set[float] = set()
+
+    def recurse(t: float, j: int) -> None:
+        if j == 0:
+            if t > EPS:
+                points.add(t)
+            return
+        tj = higher_priority[j - 1]
+        floored = fuzzy_floor(t / tj.period) * tj.period
+        recurse(t, j - 1)
+        if floored < t - EPS:
+            recurse(floored, j - 1)
+        # floored == t (t is a multiple of T_j): both branches coincide.
+
+    recurse(float(task.deadline), len(higher_priority))
+    return tuple(sorted(points))

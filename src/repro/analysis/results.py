@@ -1,0 +1,83 @@
+"""Result objects returned by the schedulability analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.model import Task
+
+
+@dataclass(frozen=True)
+class TaskVerdict:
+    """Outcome of a per-task fixed-priority feasibility check.
+
+    Attributes
+    ----------
+    task:
+        The task analysed.
+    schedulable:
+        Whether a feasibility witness was found.
+    witness:
+        A scheduling point ``t`` at which ``Z(t) >= W_i(t)`` held (None when
+        unschedulable).
+    response_time:
+        Worst-case response time when computed by RTA (None for point tests).
+    """
+
+    task: Task
+    schedulable: bool
+    witness: float | None = None
+    response_time: float | None = None
+
+
+@dataclass(frozen=True)
+class FPAnalysis:
+    """Outcome of a fixed-priority task-set analysis.
+
+    ``schedulable`` is the conjunction of the per-task verdicts; ``order``
+    records the priority order used (highest first).
+    """
+
+    schedulable: bool
+    verdicts: tuple[TaskVerdict, ...]
+    order: tuple[Task, ...]
+
+    def verdict_for(self, name: str) -> TaskVerdict:
+        """Verdict of the named task."""
+        for v in self.verdicts:
+            if v.task.name == name:
+                return v
+        raise KeyError(f"no verdict for task {name!r}")
+
+    @property
+    def first_failure(self) -> TaskVerdict | None:
+        """The highest-priority unschedulable task, if any."""
+        for v in self.verdicts:
+            if not v.schedulable:
+                return v
+        return None
+
+
+@dataclass(frozen=True)
+class EDFAnalysis:
+    """Outcome of an EDF task-set analysis.
+
+    Attributes
+    ----------
+    schedulable:
+        Overall verdict.
+    violation:
+        First absolute deadline ``t`` where demand exceeded supply (None when
+        schedulable).
+    demand_at_violation / supply_at_violation:
+        The two sides of the failed comparison, for diagnostics.
+    points_checked:
+        Number of demand points examined.
+    """
+
+    schedulable: bool
+    violation: float | None = None
+    demand_at_violation: float | None = None
+    supply_at_violation: float | None = None
+    points_checked: int = 0

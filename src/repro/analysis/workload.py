@@ -1,0 +1,43 @@
+"""Fixed-priority workload ``W_i(t)`` (Eq. 5 of the paper).
+
+``W_i(t) = C_i + sum_{j in hp(i)} ceil(t / T_j) * C_j`` is the worst-case
+cumulative processor demand of task ``i`` and its higher-priority
+interference in ``[0, t]`` under the synchronous (critical-instant) release
+pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.model import Task
+from repro.util import EPS, check_positive
+
+
+def fp_workload(task: Task, higher_priority: Sequence[Task], t: float) -> float:
+    """``W_i(t)`` at a single point ``t > 0`` (Eq. 5)."""
+    check_positive("t", t)
+    total = task.wcet
+    for tj in higher_priority:
+        total += float(np.ceil(t / tj.period - EPS)) * tj.wcet
+    return total
+
+
+def fp_workload_array(
+    task: Task, higher_priority: Sequence[Task], ts: Iterable[float]
+) -> np.ndarray:
+    """Vectorised ``W_i(t)`` over an array of points.
+
+    The ``ceil`` uses a small downward nudge so that points that are exact
+    multiples of a period (the usual case for scheduling points) are not
+    bumped to the next job by float noise.
+    """
+    t = np.asarray(list(ts), dtype=float)
+    if np.any(t <= 0):
+        raise ValueError("workload points must be > 0")
+    total = np.full_like(t, task.wcet)
+    for tj in higher_priority:
+        total += np.ceil(t / tj.period - EPS) * tj.wcet
+    return total

@@ -1,0 +1,39 @@
+"""Baselines the paper's flexible scheme is compared against.
+
+* :mod:`repro.baselines.static_platform` — the classical *inflexible*
+  configurations of Sections 1–2: the platform is permanently wired as one
+  redundant lock-step channel (ALL-FT), two fail-silent channels (ALL-FS) or
+  four parallel cores (ALL-NF). Each either wastes capacity or fails to
+  protect some tasks — quantifying the motivation for the flexible scheme;
+* :mod:`repro.baselines.primary_backup` — the software fault-tolerance
+  alternative from the related work [11, 17]: duplicate critical tasks into
+  primary + backup copies on disjoint processors of an always-parallel
+  platform. Cheaper in bandwidth than hardware replication but provides
+  *recovery* (late, detected) rather than *masking*.
+"""
+
+from repro.baselines.primary_backup import (
+    PBAnalysis,
+    pb_partition,
+    pb_schedulable,
+    replicate_for_pb,
+    simulate_pb_worst_case,
+)
+from repro.baselines.static_platform import (
+    StaticKind,
+    StaticReport,
+    compare_with_flexible,
+    evaluate_static,
+)
+
+__all__ = [
+    "StaticKind",
+    "StaticReport",
+    "evaluate_static",
+    "compare_with_flexible",
+    "replicate_for_pb",
+    "pb_partition",
+    "pb_schedulable",
+    "PBAnalysis",
+    "simulate_pb_worst_case",
+]

@@ -1,0 +1,182 @@
+"""Primary/backup software fault tolerance (related-work baseline [11, 17]).
+
+The classic alternative to hardware replication: every fault-critical task
+gets a *backup copy* placed on a different processor of an always-parallel
+(ALL-NF) platform. If a fault impairs the primary, the backup produces the
+result — late but before the deadline if the backup is schedulable.
+
+This module implements the admission side (replication, disjoint placement,
+schedulability) and a worst-case simulation (backups always execute — the
+load the admission test must guarantee). The qualitative comparison with the
+paper's scheme, exercised by ``benchmarks/bench_baseline_primary_backup.py``:
+
+* bandwidth: PB charges 2× the utilization of each protected task; the
+  lock-step scheme charges 2× (FS) or 4× (FT) of the *slot*;
+* semantics: PB provides detection+recovery (the primary's wrong output must
+  still be contained — which pure software cannot fully do for NF-level
+  corruption); lock-step FT masks faults with zero latency, which is why the
+  paper targets hardware replication for the highest-criticality tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model import Mode, Task, TaskSet
+from repro.partition.binpack import (
+    AdmissionTest,
+    PartitionError,
+    make_admission_test,
+)
+from repro.sim.scheduler import make_policy
+from repro.sim.uniproc import UniprocResult, simulate_uniproc
+from repro.util import check_positive
+
+#: Suffixes marking replica roles.
+PRIMARY_SUFFIX = ".pri"
+BACKUP_SUFFIX = ".bak"
+
+
+def replicate_for_pb(taskset: TaskSet) -> TaskSet:
+    """Duplicate every fault-critical (FT or FS) task into primary + backup.
+
+    Replicas keep the original timing parameters and are re-moded to NF —
+    the PB platform offers no hardware protection; criticality is handled
+    purely by the software copies. NF tasks stay single-copy.
+    """
+    tasks: list[Task] = []
+    for t in taskset:
+        if t.mode is Mode.NF:
+            tasks.append(t)
+        else:
+            tasks.append(t.replace(name=t.name + PRIMARY_SUFFIX, mode=Mode.NF))
+            tasks.append(t.replace(name=t.name + BACKUP_SUFFIX, mode=Mode.NF))
+    return TaskSet(tasks)
+
+
+def _partner(name: str) -> str | None:
+    """The replica partner of a task name (None for unreplicated tasks)."""
+    if name.endswith(PRIMARY_SUFFIX):
+        return name[: -len(PRIMARY_SUFFIX)] + BACKUP_SUFFIX
+    if name.endswith(BACKUP_SUFFIX):
+        return name[: -len(BACKUP_SUFFIX)] + PRIMARY_SUFFIX
+    return None
+
+
+def pb_partition(
+    replicated: TaskSet,
+    m: int = 4,
+    *,
+    admission: AdmissionTest | str = "edf",
+) -> list[TaskSet]:
+    """Place replicas on ``m`` processors with primary/backup disjointness.
+
+    Worst-fit decreasing with the extra constraint that a task never lands on
+    the processor hosting its replica partner. Raises
+    :class:`~repro.partition.binpack.PartitionError` when no admissible,
+    disjoint placement is found.
+    """
+    if m < 2:
+        raise ValueError("primary/backup placement needs at least 2 processors")
+    if isinstance(admission, str):
+        admission = make_admission_test(admission)
+    bins: list[TaskSet] = [TaskSet() for _ in range(m)]
+    where: dict[str, int] = {}
+    tasks = sorted(replicated, key=lambda t: (-t.utilization, t.name))
+    for task in tasks:
+        partner = _partner(task.name)
+        forbidden = {where[partner]} if partner in where else set()
+        order = sorted(range(m), key=lambda i: (bins[i].utilization, i))
+        placed = False
+        for idx in order:
+            if idx in forbidden:
+                continue
+            candidate = bins[idx].add(task)
+            if admission(candidate):
+                bins[idx] = candidate
+                where[task.name] = idx
+                placed = True
+                break
+        if not placed:
+            raise PartitionError(
+                f"replica {task.name} (U={task.utilization:.3f}) has no "
+                f"admissible processor disjoint from its partner"
+            )
+    return bins
+
+
+@dataclass(frozen=True)
+class PBAnalysis:
+    """Outcome of primary/backup admission for a mixed task set."""
+
+    schedulable: bool
+    replicated_utilization: float
+    original_utilization: float
+    partition: tuple[TaskSet, ...] | None
+    detail: str = ""
+
+    @property
+    def replication_overhead(self) -> float:
+        """Extra utilization paid for the software copies."""
+        return self.replicated_utilization - self.original_utilization
+
+
+def pb_schedulable(
+    taskset: TaskSet,
+    m: int = 4,
+    *,
+    admission: AdmissionTest | str = "edf",
+) -> PBAnalysis:
+    """Admission of the primary/backup scheme (backups counted in full).
+
+    Counting every backup as always executing is the safe worst case: a
+    design admitted here meets all deadlines even when every primary fails.
+    """
+    replicated = replicate_for_pb(taskset)
+    try:
+        bins = pb_partition(replicated, m, admission=admission)
+        return PBAnalysis(
+            schedulable=True,
+            replicated_utilization=replicated.utilization,
+            original_utilization=taskset.utilization,
+            partition=tuple(bins),
+        )
+    except PartitionError as exc:
+        return PBAnalysis(
+            schedulable=False,
+            replicated_utilization=replicated.utilization,
+            original_utilization=taskset.utilization,
+            partition=None,
+            detail=str(exc),
+        )
+
+
+def simulate_pb_worst_case(
+    analysis: PBAnalysis,
+    horizon: float,
+    *,
+    algorithm: str = "EDF",
+) -> list[UniprocResult]:
+    """Simulate the admitted PB placement with every backup executing.
+
+    Validates the admission test: an admitted design must show zero deadline
+    misses even under the all-backups-run load. Raises ``ValueError`` when
+    called on an unschedulable analysis.
+    """
+    check_positive("horizon", horizon)
+    if not analysis.schedulable or analysis.partition is None:
+        raise ValueError("cannot simulate an unschedulable PB analysis")
+    results = []
+    for idx, ts in enumerate(analysis.partition):
+        if len(ts) == 0:
+            continue
+        results.append(
+            simulate_uniproc(
+                ts,
+                make_policy(ts, algorithm),
+                [(0.0, horizon)],
+                horizon,
+                processor=f"PB[{idx}]",
+            )
+        )
+    return results

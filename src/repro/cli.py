@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``analyze <taskset.json>``
+    Per-mode utilizations and a dedicated-processor schedulability check of
+    each automatic partition bin.
+``design <taskset.json> [--otot X] [--alg EDF|RM] [--goal ...]``
+    Partition + slot-schedule design; prints the configuration (optionally
+    as JSON for machine consumption).
+``region <taskset.json> [--alg ...] [--p-max X]``
+    ASCII feasible-period region (the Figure 4 view) with its key points.
+``simulate <taskset.json> [--cycles N] [--fault-rate R] [--seed S]``
+    Design, then run the multicore simulation with optional Poisson fault
+    injection; prints miss/fault statistics.
+``paper``
+    Reproduce the paper's evaluation (Figure 4 points + Table 2) in one go.
+
+Task-set JSON is the :mod:`repro.model.serialization` format::
+
+    {"schema": 1, "tasks": [
+        {"name": "ctrl", "wcet": 1, "period": 10, "mode": "FT"},
+        ...
+    ]}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import edf_schedulable_dedicated, fp_schedulable_dedicated
+from repro.core import (
+    DesignError,
+    FeasibleRegion,
+    MaxSlackGoal,
+    MinOverheadBandwidthGoal,
+    Overheads,
+    design_platform,
+)
+from repro.faults import FaultCampaign
+from repro.model import MODE_ORDER, Mode, TaskSet, taskset_from_json
+from repro.partition import PartitionError, partition_by_modes
+from repro.sim import MulticoreSim
+from repro.viz import format_table, render_region
+
+
+def _load_taskset(path: str) -> TaskSet:
+    text = Path(path).read_text()
+    return taskset_from_json(text)
+
+
+def _partition(ts: TaskSet, heuristic: str):
+    return partition_by_modes(ts, heuristic=heuristic, admission="utilization")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    ts = _load_taskset(args.taskset)
+    print(ts.summary())
+    print()
+    try:
+        part = _partition(ts, args.heuristic)
+    except PartitionError as exc:
+        print(f"partitioning failed: {exc}")
+        return 1
+    rows = []
+    for mode in MODE_ORDER:
+        for i, b in enumerate(part.bins(mode)):
+            if not len(b):
+                continue
+            if args.alg.upper() == "EDF":
+                ok = edf_schedulable_dedicated(b).schedulable
+            else:
+                ok = fp_schedulable_dedicated(b, args.alg.upper()).schedulable
+            rows.append(
+                [f"{mode}[{i}]", ", ".join(b.names), b.utilization, ok]
+            )
+    print(format_table(["processor", "tasks", "U", "schedulable (dedicated)"], rows))
+    return 0
+
+
+def cmd_design(args: argparse.Namespace) -> int:
+    ts = _load_taskset(args.taskset)
+    goal = {
+        "min-overhead": MinOverheadBandwidthGoal(),
+        "max-slack": MaxSlackGoal(),
+    }[args.goal]
+    try:
+        part = _partition(ts, args.heuristic)
+        config = design_platform(
+            part, args.alg, Overheads.uniform(args.otot), goal
+        )
+    except (PartitionError, DesignError) as exc:
+        print(f"design failed: {exc}")
+        return 1
+    if args.json:
+        out = {
+            "period": config.period,
+            "algorithm": config.algorithm,
+            "goal": config.goal,
+            "slack": config.slack,
+            "quanta": {
+                str(m): config.schedule.quantum(m) for m in Mode
+            },
+            "usable": {
+                str(m): config.schedule.usable(m) for m in Mode
+            },
+            "overheads": {
+                str(m): config.schedule.overheads.of(m) for m in Mode
+            },
+        }
+        print(json.dumps(out, indent=2))
+    else:
+        print(config.summary())
+        print()
+        print(config.schedule.table())
+    return 0
+
+
+def cmd_region(args: argparse.Namespace) -> int:
+    ts = _load_taskset(args.taskset)
+    try:
+        part = _partition(ts, args.heuristic)
+    except PartitionError as exc:
+        print(f"partitioning failed: {exc}")
+        return 1
+    region = FeasibleRegion(part, args.alg, p_max=args.p_max)
+    ps, g = region.sweep(n=args.n)
+    print(render_region(ps, {args.alg.upper(): g}, otot=args.otot, width=args.width))
+    print()
+    try:
+        print(f"max feasible P (Otot=0)        : {region.max_feasible_period(0.0):.4f}")
+    except ValueError as exc:
+        print(f"no feasible period at Otot=0   : {exc}")
+        return 1
+    peak = region.max_admissible_overhead()
+    print(f"max admissible Otot            : {peak.lhs:.4f} (at P={peak.period:.4f})")
+    if args.otot:
+        try:
+            print(
+                f"max feasible P (Otot={args.otot:g})   : "
+                f"{region.max_feasible_period(args.otot):.4f}"
+            )
+        except ValueError:
+            print(f"infeasible at Otot={args.otot:g}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    ts = _load_taskset(args.taskset)
+    try:
+        part = _partition(ts, args.heuristic)
+        config = design_platform(
+            part, args.alg, Overheads.uniform(args.otot)
+        )
+    except (PartitionError, DesignError) as exc:
+        print(f"design failed: {exc}")
+        return 1
+    print(config.summary())
+    print()
+    horizon = config.period * args.cycles
+    if args.fault_rate > 0:
+        campaign = FaultCampaign(part, config, rate=args.fault_rate)
+        result = campaign.run(horizon=horizon, seed=args.seed)
+        print(result.summary())
+        return 0 if result.ft_misses == 0 else 1
+    result = MulticoreSim(part, config).run(horizon)
+    print(
+        f"simulated {result.horizon:.1f} time units ({args.cycles} cycles): "
+        f"{result.miss_count} deadline misses"
+    )
+    if result.miss_count:
+        print(f"misses by task: {result.misses_by_task()}")
+    return 0 if result.miss_count == 0 else 1
+
+
+def cmd_paper(args: argparse.Namespace) -> int:
+    from repro.experiments import compute_figure4_points, compute_table2
+
+    pts = compute_figure4_points()
+    print("Figure 4 points (paper values in brackets):")
+    print(f"  1. max P, EDF, Otot=0    : {pts.point1_max_period_edf:.3f}  [3.176]")
+    print(f"  2. max P, RM,  Otot=0    : {pts.point2_max_period_rm:.3f}  [2.381]")
+    print(f"  3. max Otot, EDF         : {pts.point3_max_overhead_edf:.3f}  [0.201]")
+    print(f"  4. max Otot, RM          : {pts.point4_max_overhead_rm:.3f}  [0.129]")
+    print(f"  5. max P, EDF, Otot=0.05 : {pts.point5_max_period_edf_otot:.3f}  [2.966]")
+    print()
+    print("Table 2:")
+    print(compute_table2().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Flexible fault-tolerant multiprocessor scheduling "
+            "(Cirinei et al., IPPS 2007)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, with_taskset: bool = True) -> None:
+        if with_taskset:
+            p.add_argument("taskset", help="task-set JSON file")
+        p.add_argument("--alg", default="EDF", choices=["EDF", "RM", "DM", "edf", "rm", "dm"])
+        p.add_argument(
+            "--heuristic", default="worst-fit",
+            choices=["worst-fit", "first-fit", "best-fit", "next-fit"],
+            help="automatic partitioning heuristic",
+        )
+
+    p = sub.add_parser("analyze", help="utilization + dedicated schedulability per bin")
+    common(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("design", help="derive P and the slot quanta")
+    common(p)
+    p.add_argument("--otot", type=float, default=0.0, help="total switch overhead")
+    p.add_argument("--goal", default="min-overhead", choices=["min-overhead", "max-slack"])
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=cmd_design)
+
+    p = sub.add_parser("region", help="feasible-period region (Figure 4 view)")
+    common(p)
+    p.add_argument("--otot", type=float, default=0.0)
+    p.add_argument("--p-max", type=float, default=None)
+    p.add_argument("--n", type=int, default=301)
+    p.add_argument("--width", type=int, default=78)
+    p.set_defaults(func=cmd_region)
+
+    p = sub.add_parser("simulate", help="design then simulate (optional faults)")
+    common(p)
+    p.add_argument("--otot", type=float, default=0.0)
+    p.add_argument("--cycles", type=int, default=100)
+    p.add_argument("--fault-rate", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("paper", help="reproduce the paper's evaluation")
+    p.set_defaults(func=cmd_paper)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (returns the process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

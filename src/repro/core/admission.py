@@ -1,0 +1,212 @@
+"""Run-time admission of dynamically arriving tasks via slack redistribution.
+
+Section 4 motivates the max-slack design with a dynamic scenario: tasks
+arrive and leave at run time, and the platform should be able to *shrink or
+enlarge the time quanta* without re-deriving the whole design. This module
+implements that controller:
+
+* the design slack (``P − sum Q_k``) is a bandwidth reserve;
+* admitting a task into mode ``k`` recomputes ``minQ_k`` for the candidate
+  processor bin at the fixed period ``P`` and grows ``Q_k`` by the required
+  amount, provided the reserve covers it;
+* removing a task shrinks its mode's quantum back to the new binding value
+  and returns the bandwidth to the reserve.
+
+The controller never changes ``P`` — changing the major period would require
+a platform-level resynchronisation, exactly what the paper's design avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PlatformConfig, SlotSchedule
+from repro.core.minq import QuantumCurve
+from repro.model import Mode, PartitionedTaskSet, Task, TaskSet
+from repro.util import EPS
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of an admission attempt.
+
+    Attributes
+    ----------
+    admitted:
+        Whether the task was accepted.
+    mode:
+        The task's mode.
+    processor:
+        Chosen processor bin index within the mode (None when rejected).
+    quantum_growth:
+        Extra usable-slot time the mode needed (0 when it fit in the current
+        quantum).
+    slack_left:
+        Reserve remaining after the decision.
+    reason:
+        Human-readable explanation for rejections.
+    """
+
+    admitted: bool
+    mode: Mode
+    processor: int | None
+    quantum_growth: float
+    slack_left: float
+    reason: str = ""
+
+
+class AdmissionController:
+    """Online task admission against a deployed :class:`PlatformConfig`.
+
+    Parameters
+    ----------
+    config:
+        The deployed design (typically from the max-slack goal).
+    partition:
+        The current task partition; the controller keeps its own evolving
+        copy.
+    algorithm:
+        Local scheduler, matching the design.
+    """
+
+    def __init__(
+        self,
+        config: PlatformConfig,
+        partition: PartitionedTaskSet,
+        algorithm: str | None = None,
+    ):
+        self._alg = (algorithm or config.algorithm).upper()
+        self._period = config.period
+        self._overheads = config.schedule.overheads
+        self._bins: dict[Mode, list[TaskSet]] = {
+            mode: list(partition.bins(mode)) for mode in Mode
+        }
+        self._usable: dict[Mode, float] = {
+            mode: config.schedule.usable(mode) for mode in Mode
+        }
+        self._slack = config.slack
+
+    # -- state views -------------------------------------------------------------
+
+    @property
+    def slack(self) -> float:
+        """Current bandwidth reserve per cycle."""
+        return self._slack
+
+    @property
+    def period(self) -> float:
+        """The (fixed) major period."""
+        return self._period
+
+    def usable_quantum(self, mode: Mode) -> float:
+        """Current usable slot length of a mode."""
+        return self._usable[mode]
+
+    def partition(self) -> PartitionedTaskSet:
+        """Snapshot of the current partition."""
+        return PartitionedTaskSet({m: tuple(b) for m, b in self._bins.items()})
+
+    def config(self) -> PlatformConfig:
+        """Snapshot of the current configuration as a :class:`PlatformConfig`."""
+        quanta = {}
+        for mode in Mode:
+            usable = self._usable[mode]
+            quanta[mode] = usable + (self._overheads.of(mode) if usable > EPS else 0.0)
+        schedule = SlotSchedule(self._period, quanta, self._overheads)
+        return PlatformConfig(
+            schedule=schedule,
+            algorithm=self._alg,
+            slack=self._slack,
+            goal="online",
+            min_quanta={m: self._mode_minq(m) for m in Mode},
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _bin_minq(self, taskset: TaskSet) -> float:
+        if len(taskset) == 0:
+            return 0.0
+        return float(QuantumCurve(taskset, self._alg).evaluate(self._period))
+
+    def _mode_minq(self, mode: Mode, bins: list[TaskSet] | None = None) -> float:
+        bins = self._bins[mode] if bins is None else bins
+        return max((self._bin_minq(ts) for ts in bins), default=0.0)
+
+    # -- operations -----------------------------------------------------------------
+
+    def try_admit(self, task: Task, processor: int | None = None) -> AdmissionDecision:
+        """Attempt to admit ``task`` into its required mode.
+
+        When ``processor`` is None every bin of the mode is tried and the one
+        needing the least quantum growth is selected (ties: lowest index).
+        The internal partition, quantum and slack are updated only on
+        acceptance.
+        """
+        mode = task.mode
+        bins = self._bins[mode]
+        for ts in bins:
+            if task.name in ts:
+                return AdmissionDecision(
+                    False, mode, None, 0.0, self._slack,
+                    reason=f"task {task.name!r} already present",
+                )
+        candidates = range(len(bins)) if processor is None else [processor]
+        best: tuple[float, int, float] | None = None  # (growth, idx, new_mode_minq)
+        for idx in candidates:
+            if not 0 <= idx < len(bins):
+                return AdmissionDecision(
+                    False, mode, None, 0.0, self._slack,
+                    reason=f"processor index {idx} out of range for {mode}",
+                )
+            trial = [ts if i != idx else ts.add(task) for i, ts in enumerate(bins)]
+            new_minq = self._mode_minq(mode, trial)
+            growth = max(new_minq - self._usable[mode], 0.0)
+            # Admitting into an empty mode starts paying the switch overhead.
+            extra_overhead = (
+                self._overheads.of(mode)
+                if self._usable[mode] <= EPS and new_minq > EPS
+                else 0.0
+            )
+            cost = growth + extra_overhead
+            if best is None or cost < best[0] - EPS:
+                best = (cost, idx, new_minq)
+        assert best is not None
+        cost, idx, new_minq = best
+        if cost > self._slack + 1e-9:
+            return AdmissionDecision(
+                False, mode, None, cost, self._slack,
+                reason=(
+                    f"needs {cost:.6f} extra bandwidth but only "
+                    f"{self._slack:.6f} slack is reserved"
+                ),
+            )
+        # Commit.
+        self._bins[mode][idx] = self._bins[mode][idx].add(task)
+        grown = max(new_minq - self._usable[mode], 0.0)
+        self._usable[mode] = max(self._usable[mode], new_minq)
+        self._slack -= cost
+        return AdmissionDecision(True, mode, idx, grown, self._slack)
+
+    def remove(self, task_name: str) -> float:
+        """Remove a task and reclaim quantum into the reserve.
+
+        Returns the amount of bandwidth returned to the slack pool. Raises
+        :class:`KeyError` when the task is unknown.
+        """
+        for mode in Mode:
+            for idx, ts in enumerate(self._bins[mode]):
+                if task_name in ts:
+                    self._bins[mode][idx] = ts.without([task_name])
+                    new_minq = self._mode_minq(mode)
+                    old_usable = self._usable[mode]
+                    new_usable = new_minq
+                    freed = max(old_usable - new_usable, 0.0)
+                    # Dropping the last task of a mode also stops paying its
+                    # switch overhead.
+                    if new_minq <= EPS and old_usable > EPS:
+                        freed += self._overheads.of(mode)
+                        new_usable = 0.0
+                    self._usable[mode] = new_usable
+                    self._slack += freed
+                    return freed
+        raise KeyError(f"task {task_name!r} not found in any mode")

@@ -1,0 +1,323 @@
+"""``minQ(T, alg, P)`` — the paper's inverted schedulability conditions.
+
+Substituting ``α = Q̃/P`` and ``Δ = P − Q̃`` (Eq. 2) into the feasibility
+conditions of Theorems 1 and 2 and solving the resulting quadratic for ``Q̃``
+yields, for a demand ``W`` that must be served by time ``t``:
+
+.. math::
+
+   Q̃ \\ \\ge\\ f_P(t, W) = \\frac{\\sqrt{(t-P)^2 + 4 P W} - (t - P)}{2}
+
+* **FP** (Eq. 6): ``minQ = max_i min_{t in schedP_i} f_P(t, W_i(t))``
+* **EDF** (Eq. 11): ``minQ = max_{t in dlSet} f_P(t, W(t))``
+
+Because the point sets and demands do not depend on ``P``, a
+:class:`QuantumCurve` precomputes them once and evaluates ``minQ`` for whole
+arrays of candidate periods with a single vectorised pass — this is what
+makes the Figure-4 region sweeps fast.
+
+:func:`min_quantum_exact` additionally solves the same inverse problem
+against the *exact* Lemma-1 supply (the analysis the paper calls "only
+tedious to develop"): it bisects on ``Q̃`` using the supply-aware
+feasibility tests. Its result is never larger than the linear-bound value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis import scheduling_points
+from repro.analysis.edf import edf_demand_points, demand_bound_array
+from repro.analysis.fp import fp_schedulable_supply
+from repro.analysis.edf import edf_schedulable_supply
+from repro.analysis.priorities import priority_order
+from repro.analysis.workload import fp_workload_array
+from repro.model import Task, TaskSet
+from repro.supply import PeriodicSlotSupply
+from repro.util import EPS, check_positive
+
+
+def _f_quantum(t: np.ndarray, w: np.ndarray, period: float) -> np.ndarray:
+    """The quadratic root ``f_P(t, W)`` common to Eqs. 6 and 11."""
+    tm = t - period
+    return 0.5 * (np.sqrt(tm * tm + 4.0 * period * w) - tm)
+
+
+@dataclass(frozen=True)
+class MinQResult:
+    """Detailed ``minQ`` outcome.
+
+    Attributes
+    ----------
+    value:
+        The minimum usable quantum ``Q̃`` (0 for an empty task set).
+    period:
+        The major period ``P`` the value was computed for.
+    algorithm:
+        "RM" / "DM" / "EDF".
+    binding_task:
+        For FP: the task whose constraint is binding (the arg-max of Eq. 6).
+        None for EDF or empty sets.
+    binding_point:
+        The time point realising the binding value (arg-min over the binding
+        task's scheduling points for FP; arg-max over dlSet for EDF).
+    """
+
+    value: float
+    period: float
+    algorithm: str
+    binding_task: str | None = None
+    binding_point: float | None = None
+
+
+class QuantumCurve:
+    """``minQ`` as a reusable function of the period ``P``.
+
+    Precomputes the (point, demand) pairs of a task set once, then evaluates
+    Eq. 6 / Eq. 11 for scalar or array ``P`` in vectorised form.
+
+    Parameters
+    ----------
+    taskset:
+        The tasks of one logical processor of one mode.
+    algorithm:
+        ``"EDF"`` or a fixed-priority policy (``"RM"`` / ``"DM"``); an
+        explicit priority order (sequence of tasks, highest first) is also
+        accepted.
+    """
+
+    def __init__(
+        self, taskset: TaskSet, algorithm: str | Sequence[Task] = "EDF"
+    ):
+        self._taskset = taskset
+        if isinstance(algorithm, str):
+            alg = algorithm.upper()
+            order: tuple[Task, ...] | None = None
+            if alg not in ("EDF", "RM", "DM"):
+                raise ValueError(f"unknown algorithm {algorithm!r} (EDF, RM or DM)")
+            if alg in ("RM", "DM"):
+                order = priority_order(taskset, alg)
+        else:
+            order = tuple(algorithm)
+            alg = "FP"
+            if set(t.name for t in order) != set(taskset.names):
+                raise ValueError("priority order must be a permutation of the task set")
+        self._alg = alg
+        # Precompute (t, W) pairs; they are independent of P.
+        self._groups: list[tuple[str, np.ndarray, np.ndarray]] = []
+        if len(taskset) == 0:
+            return
+        if alg == "EDF":
+            pts = edf_demand_points(taskset)  # dlSet up to the hyperperiod (Eq. 11)
+            demand = demand_bound_array(taskset, pts)
+            self._groups.append(("*", pts, demand))
+        else:
+            assert order is not None
+            for i, task in enumerate(order):
+                hp = order[:i]
+                pts = np.asarray(scheduling_points(task, hp), dtype=float)
+                w = fp_workload_array(task, hp, pts)
+                self._groups.append((task.name, pts, w))
+
+    @property
+    def algorithm(self) -> str:
+        """The algorithm label this curve was built for."""
+        return self._alg
+
+    @property
+    def taskset(self) -> TaskSet:
+        """The underlying task set."""
+        return self._taskset
+
+    def evaluate(self, periods: np.ndarray | float) -> np.ndarray | float:
+        """``minQ`` for each period in ``periods`` (scalar in, scalar out)."""
+        scalar = np.isscalar(periods)
+        ps = np.atleast_1d(np.asarray(periods, dtype=float))
+        if np.any(ps <= 0):
+            raise ValueError("periods must be > 0")
+        out = np.zeros_like(ps)
+        for _name, pts, w in self._groups:
+            # f has shape (n_points, n_periods)
+            f = _f_quantum(pts[:, None], w[:, None], ps[None, :])
+            if self._alg == "EDF":
+                out = np.maximum(out, f.max(axis=0))
+            else:
+                out = np.maximum(out, f.min(axis=0))
+        return float(out[0]) if scalar else out
+
+    def detailed(self, period: float) -> MinQResult:
+        """Full :class:`MinQResult` at a single period."""
+        check_positive("period", period)
+        if not self._groups:
+            return MinQResult(0.0, period, self._alg)
+        best_val = -np.inf
+        best_task: str | None = None
+        best_point: float | None = None
+        for name, pts, w in self._groups:
+            f = _f_quantum(pts, w, period)
+            if self._alg == "EDF":
+                idx = int(np.argmax(f))
+                val = float(f[idx])
+                point = float(pts[idx])
+                task = None
+            else:
+                idx = int(np.argmin(f))
+                val = float(f[idx])
+                point = float(pts[idx])
+                task = name
+            if val > best_val:
+                best_val, best_task, best_point = val, task, point
+        return MinQResult(best_val, period, self._alg, best_task, best_point)
+
+
+# -- functional API -------------------------------------------------------------
+
+
+def min_quantum_fp(
+    taskset: TaskSet,
+    period: float,
+    priorities: Sequence[Task] | str = "RM",
+) -> float:
+    """Eq. 6: minimum usable quantum for fixed-priority scheduling."""
+    check_positive("period", period)
+    alg = priorities if not isinstance(priorities, str) else priorities.upper()
+    return float(QuantumCurve(taskset, alg).evaluate(period))
+
+
+def min_quantum_edf(taskset: TaskSet, period: float) -> float:
+    """Eq. 11: minimum usable quantum for EDF scheduling."""
+    check_positive("period", period)
+    return float(QuantumCurve(taskset, "EDF").evaluate(period))
+
+
+def min_quantum(
+    taskset: TaskSet, algorithm: str, period: float
+) -> float:
+    """``minQ(T, alg, P)`` — dispatch on the algorithm name."""
+    alg = algorithm.upper()
+    if alg == "EDF":
+        return min_quantum_edf(taskset, period)
+    if alg in ("RM", "DM", "FP"):
+        return min_quantum_fp(taskset, period, "RM" if alg == "FP" else alg)
+    raise ValueError(f"unknown algorithm {algorithm!r} (EDF, RM or DM)")
+
+
+def min_quantum_detailed(
+    taskset: TaskSet, algorithm: str, period: float
+) -> MinQResult:
+    """Like :func:`min_quantum` but returns the binding task/point."""
+    return QuantumCurve(taskset, algorithm).detailed(period)
+
+
+def min_quantum_exact(
+    taskset: TaskSet,
+    algorithm: str,
+    period: float,
+    *,
+    tol: float = 1e-6,
+    horizon_hyperperiods: float = 2.0,
+) -> float:
+    """Inverse schedulability against the *exact* Lemma-1 supply.
+
+    Bisects the smallest ``Q̃ ∈ [0, P]`` for which the supply-aware
+    feasibility test (Theorem 1 / Theorem 2 evaluated with the exact
+    :class:`~repro.supply.PeriodicSlotSupply`) accepts the task set. Returns
+    ``inf`` if even a fully dedicated slot (``Q̃ = P``, i.e. a dedicated
+    processor) is insufficient.
+
+    The linear-bound :func:`min_quantum` value is always an upper bound,
+    which seeds the bisection bracket; the asymptotic rate condition
+    ``Q̃ >= U(T) * P`` seeds the lower end (a slot supplying less bandwidth
+    than the task set consumes can never be feasible).
+
+    For EDF the deadline check is truncated at ``horizon_hyperperiods``
+    task hyperperiods: constraints at later deadlines converge monotonically
+    to the rate condition, which is enforced exactly through the bracket
+    seed, so the truncation error is below the bisection tolerance for
+    practical parameters (near the rate boundary the analytic cut-off
+    ``t* = (B + αΔ)/(α − U)`` diverges; checking it literally would cost
+    millions of points for a vanishing refinement of the answer).
+    """
+    check_positive("period", period)
+    if len(taskset) == 0:
+        return 0.0
+    alg = algorithm.upper()
+    edf_horizon = max(
+        horizon_hyperperiods * taskset.hyperperiod(), 10.0 * period
+    )
+
+    def feasible(q: float) -> bool:
+        supply = PeriodicSlotSupply(period, q)
+        if alg == "EDF":
+            return edf_schedulable_supply(
+                taskset, supply, horizon=edf_horizon
+            ).schedulable
+        return fp_schedulable_supply(
+            taskset, supply, "RM" if alg == "FP" else alg
+        ).schedulable
+
+    hi = min(min_quantum(taskset, alg, period), period)
+    if not feasible(hi):
+        # The linear bound capped at P may still be infeasible (the set does
+        # not even fit a dedicated processor): report infinity.
+        if not feasible(period):
+            return float("inf")
+        hi = period
+    lo = min(taskset.utilization * period, hi)
+    while hi - lo > tol * max(1.0, hi):
+        mid = 0.5 * (lo + hi)
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def quantum_curves_for_bins(
+    bins: Sequence[TaskSet], algorithm: str
+) -> list[QuantumCurve]:
+    """Build one :class:`QuantumCurve` per partition bin (convenience)."""
+    return [QuantumCurve(ts, algorithm) for ts in bins]
+
+
+def min_quantum_jitter(
+    taskset: TaskSet, algorithm: str, period: float
+) -> float:
+    """Jitter-aware ``minQ`` — Eqs. 6/11 with the jittered demand.
+
+    The quadratic inversion is identical; only the point sets and demand
+    functions change (:mod:`repro.analysis.jitter`). With all jitters zero
+    this returns exactly :func:`min_quantum`, which the tests assert.
+    """
+    from repro.analysis.jitter import (
+        deadline_set_jitter,
+        edf_demand_jitter_array,
+        fp_workload_jitter_array,
+        scheduling_points_jitter,
+    )
+
+    check_positive("period", period)
+    if len(taskset) == 0:
+        return 0.0
+    alg = algorithm.upper()
+    if alg == "EDF":
+        pts = np.asarray(deadline_set_jitter(taskset), dtype=float)
+        if pts.size == 0:
+            return float("inf")  # some deadline is consumed entirely by jitter
+        w = edf_demand_jitter_array(taskset, pts)
+        return float(_f_quantum(pts, w, period).max())
+    if alg not in ("RM", "DM"):
+        raise ValueError(f"unknown algorithm {algorithm!r} (EDF, RM or DM)")
+    order = priority_order(taskset, alg)
+    worst = 0.0
+    for i, task in enumerate(order):
+        hp = order[:i]
+        pts = np.asarray(scheduling_points_jitter(task, hp), dtype=float)
+        if pts.size == 0:
+            return float("inf")
+        w = fp_workload_jitter_array(task, hp, pts)
+        worst = max(worst, float(_f_quantum(pts, w, period).min()))
+    return worst

@@ -1,0 +1,36 @@
+"""The paper's evaluation artifacts wired end-to-end.
+
+* :mod:`repro.experiments.paper` — the Table 1 task set, the manual
+  partition of Section 4, and the paper's reference numbers;
+* :mod:`repro.experiments.figure4` — the Figure 4 series and points 1–5;
+* :mod:`repro.experiments.table2` — the three Table 2 rows;
+* :mod:`repro.experiments.ablations` — the extra studies indexed in
+  DESIGN.md (exact supply vs linear bound, EDF vs RM, partitioning
+  heuristics, overhead sensitivity).
+
+Examples, tests and benchmarks all call into this package so the numbers
+reported anywhere in the repository come from a single implementation.
+"""
+
+from repro.experiments.paper import (
+    PAPER_OTOT,
+    PaperReference,
+    paper_partition,
+    paper_reference,
+    paper_taskset,
+)
+from repro.experiments.figure4 import Figure4Points, compute_figure4_points, figure4_series
+from repro.experiments.table2 import Table2Row, compute_table2
+
+__all__ = [
+    "paper_taskset",
+    "paper_partition",
+    "paper_reference",
+    "PaperReference",
+    "PAPER_OTOT",
+    "figure4_series",
+    "compute_figure4_points",
+    "Figure4Points",
+    "compute_table2",
+    "Table2Row",
+]

@@ -1,0 +1,73 @@
+"""Figure 4: the feasible-period region for EDF and RM.
+
+Regenerates the two curves (Eq. 15 LHS vs. ``P``) and the five annotated
+points of the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import FeasibleRegion
+from repro.experiments.paper import PAPER_OTOT, paper_partition
+from repro.model import PartitionedTaskSet
+
+
+@dataclass(frozen=True)
+class Figure4Points:
+    """The five annotated points of Figure 4 (computed, not quoted).
+
+    Points 1/2: max feasible period with zero overhead (EDF / RM).
+    Points 3/4: max admissible total overhead (EDF / RM).
+    Point 5: max feasible period at ``O_tot = 0.05`` under EDF.
+    """
+
+    point1_max_period_edf: float
+    point2_max_period_rm: float
+    point3_max_overhead_edf: float
+    point4_max_overhead_rm: float
+    point5_max_period_edf_otot: float
+    otot: float = PAPER_OTOT
+
+
+def _regions(
+    partition: PartitionedTaskSet | None = None,
+    *,
+    p_max: float = 3.5,
+    grid: int = 4001,
+) -> tuple[FeasibleRegion, FeasibleRegion]:
+    partition = partition or paper_partition()
+    edf = FeasibleRegion(partition, "EDF", p_max=p_max, grid=grid)
+    rm = FeasibleRegion(partition, "RM", p_max=p_max, grid=grid)
+    return edf, rm
+
+
+def figure4_series(
+    partition: PartitionedTaskSet | None = None,
+    *,
+    p_max: float = 3.5,
+    n: int = 1401,
+) -> dict[str, np.ndarray]:
+    """The plotted series: ``P`` grid plus ``G(P)`` for EDF and RM."""
+    edf, rm = _regions(partition, p_max=p_max)
+    ps, g_edf = edf.sweep(p_min=p_max / n, p_max=p_max, n=n)
+    _, g_rm = rm.sweep(p_min=p_max / n, p_max=p_max, n=n)
+    return {"P": ps, "EDF": g_edf, "RM": g_rm}
+
+
+def compute_figure4_points(
+    partition: PartitionedTaskSet | None = None,
+    otot: float = PAPER_OTOT,
+) -> Figure4Points:
+    """Compute the five annotated points of Figure 4."""
+    edf, rm = _regions(partition)
+    return Figure4Points(
+        point1_max_period_edf=edf.max_feasible_period(0.0),
+        point2_max_period_rm=rm.max_feasible_period(0.0),
+        point3_max_overhead_edf=edf.max_admissible_overhead().lhs,
+        point4_max_overhead_rm=rm.max_admissible_overhead().lhs,
+        point5_max_period_edf_otot=edf.max_feasible_period(otot),
+        otot=otot,
+    )

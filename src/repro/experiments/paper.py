@@ -1,0 +1,121 @@
+"""Table 1 task set and Section 4 manual partition, plus reference numbers.
+
+Table 1 of the paper (deadlines equal periods):
+
+====  ====  ====
+mode  C_i   T_i
+====  ====  ====
+NF    1     6      (tau1)
+NF    1     8      (tau2)
+NF    1     12     (tau3)
+NF    2     10     (tau4)
+NF    6     24     (tau5)
+FS    1     10     (tau6)
+FS    1     15     (tau7)
+FS    2     20     (tau8)
+FS    1     4      (tau9)
+FT    1     12     (tau10)
+FT    1     15     (tau11)
+FT    1     20     (tau12)
+FT    2     30     (tau13)
+====  ====  ====
+
+Manual partition (Section 4): ``T_NF^1={tau1}``, ``T_NF^2={tau2,tau3}``,
+``T_NF^3={tau4}``, ``T_NF^4={tau5}``; ``T_FS^1={tau6,tau7,tau8}``,
+``T_FS^2={tau9}``; all FT tasks on the single fault-tolerant channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model import Mode, PartitionedTaskSet, Task, TaskSet
+from repro.model.partitioned import partition_from_names
+
+#: The total mode-switch overhead used in the paper's worked example.
+PAPER_OTOT: float = 0.05
+
+_TABLE1 = [
+    # (name, C, T, mode)
+    ("tau1", 1, 6, Mode.NF),
+    ("tau2", 1, 8, Mode.NF),
+    ("tau3", 1, 12, Mode.NF),
+    ("tau4", 2, 10, Mode.NF),
+    ("tau5", 6, 24, Mode.NF),
+    ("tau6", 1, 10, Mode.FS),
+    ("tau7", 1, 15, Mode.FS),
+    ("tau8", 2, 20, Mode.FS),
+    ("tau9", 1, 4, Mode.FS),
+    ("tau10", 1, 12, Mode.FT),
+    ("tau11", 1, 15, Mode.FT),
+    ("tau12", 1, 20, Mode.FT),
+    ("tau13", 2, 30, Mode.FT),
+]
+
+
+def paper_taskset() -> TaskSet:
+    """The 13-task set of Table 1 (implicit deadlines)."""
+    return TaskSet(
+        Task(name=n, wcet=c, period=t, mode=m) for n, c, t, m in _TABLE1
+    )
+
+
+def paper_partition() -> PartitionedTaskSet:
+    """The manual partition of Section 4."""
+    return partition_from_names(
+        paper_taskset(),
+        {
+            Mode.NF: [["tau1"], ["tau2", "tau3"], ["tau4"], ["tau5"]],
+            Mode.FS: [["tau6", "tau7", "tau8"], ["tau9"]],
+            Mode.FT: [["tau10", "tau11", "tau12", "tau13"]],
+        },
+    )
+
+
+@dataclass(frozen=True)
+class PaperReference:
+    """Every number the paper prints for this example (our reproduction targets).
+
+    Attributes mirror Figure 4's points 1–5 and Table 2's rows. All values
+    are quoted at the paper's printed precision (3 decimals).
+    """
+
+    # Figure 4 points (EDF: 1, 3, 5; RM: 2, 4)
+    max_period_edf_zero_overhead: float = 3.176  # point 1
+    max_period_rm_zero_overhead: float = 2.381   # point 2
+    max_overhead_edf: float = 0.201              # point 3
+    max_overhead_rm: float = 0.129               # point 4
+    max_period_edf_otot: float = 2.966           # point 5 (O_tot = 0.05)
+
+    # Table 2 (a): required utilizations max_i U(T_k^i)
+    req_util_ft: float = 0.267
+    req_util_fs: float = 0.267
+    req_util_nf: float = 0.250
+
+    # Table 2 (b): min-overhead-bandwidth design (EDF, O_tot = 0.05)
+    b_period: float = 2.966
+    b_q_ft: float = 0.820
+    b_q_fs: float = 1.281
+    b_q_nf: float = 0.815
+    b_alloc_ft: float = 0.276
+    b_alloc_fs: float = 0.432
+    b_alloc_nf: float = 0.275
+    b_slack_ratio: float = 0.000
+    b_overhead_bandwidth: float = 0.017
+
+    # Table 2 (c): max-slack design (EDF, O_tot = 0.05)
+    c_period: float = 0.855
+    c_q_ft: float = 0.230
+    c_q_fs: float = 0.252
+    c_q_nf: float = 0.220
+    c_alloc_ft: float = 0.269
+    c_alloc_fs: float = 0.294
+    c_alloc_nf: float = 0.257
+    c_slack: float = 0.103
+    c_slack_ratio: float = 0.121
+    c_overhead_bandwidth: float = 0.059
+
+
+def paper_reference() -> PaperReference:
+    """The paper's published numbers for the worked example."""
+    return PaperReference()

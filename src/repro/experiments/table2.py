@@ -1,0 +1,115 @@
+"""Table 2: the paper's three design rows for the Table 1 task set.
+
+Row (a) lists the *required* per-mode utilizations
+``max_i U(T_k^i)``; rows (b) and (c) are the two EDF designs at
+``O_tot = 0.05`` produced by the min-overhead-bandwidth and max-slack goals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import (
+    FeasibleRegion,
+    MaxSlackGoal,
+    MinOverheadBandwidthGoal,
+    Overheads,
+    PlatformConfig,
+    design_platform,
+)
+from repro.experiments.paper import PAPER_OTOT, paper_partition
+from repro.model import Mode, PartitionedTaskSet
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row group of Table 2 (lengths + allocated utilizations)."""
+
+    label: str
+    period: float
+    otot: float
+    q_ft: float
+    q_fs: float
+    q_nf: float
+    alloc_ft: float
+    alloc_fs: float
+    alloc_nf: float
+    slack: float
+    slack_ratio: float
+    overhead_bandwidth: float
+
+    @classmethod
+    def from_config(cls, label: str, config: PlatformConfig) -> "Table2Row":
+        s = config.schedule
+        return cls(
+            label=label,
+            period=s.period,
+            otot=s.overheads.total,
+            q_ft=s.usable(Mode.FT),
+            q_fs=s.usable(Mode.FS),
+            q_nf=s.usable(Mode.NF),
+            alloc_ft=s.alpha(Mode.FT),
+            alloc_fs=s.alpha(Mode.FS),
+            alloc_nf=s.alpha(Mode.NF),
+            slack=config.slack,
+            slack_ratio=config.slack_ratio,
+            overhead_bandwidth=s.overheads.total / s.period,
+        )
+
+
+@dataclass(frozen=True)
+class Table2:
+    """The full reproduced table: required utilizations + both designs."""
+
+    req_util_ft: float
+    req_util_fs: float
+    req_util_nf: float
+    row_b: Table2Row
+    row_c: Table2Row
+
+    def render(self) -> str:
+        """Paper-style text rendering of the table."""
+        hdr = (
+            f"{'':<16}{'P':>8}{'Otot':>8}{'Q~FT':>8}{'Q~FS':>8}{'Q~NF':>8}"
+            f"{'slack':>8}"
+        )
+        lines = [hdr]
+        lines.append(
+            f"{'(a) req. util.':<16}{'':>8}{'':>8}"
+            f"{self.req_util_ft:>8.3f}{self.req_util_fs:>8.3f}{self.req_util_nf:>8.3f}{'':>8}"
+        )
+        for row in (self.row_b, self.row_c):
+            lines.append(
+                f"{row.label + ' length':<16}{row.period:>8.3f}{row.otot:>8.3f}"
+                f"{row.q_ft:>8.3f}{row.q_fs:>8.3f}{row.q_nf:>8.3f}{row.slack:>8.3f}"
+            )
+            lines.append(
+                f"{row.label + ' alloc.':<16}{1.0:>8.3f}{row.overhead_bandwidth:>8.3f}"
+                f"{row.alloc_ft:>8.3f}{row.alloc_fs:>8.3f}{row.alloc_nf:>8.3f}"
+                f"{row.slack_ratio:>8.3f}"
+            )
+        return "\n".join(lines)
+
+
+def compute_table2(
+    partition: PartitionedTaskSet | None = None,
+    otot: float = PAPER_OTOT,
+    algorithm: str = "EDF",
+) -> Table2:
+    """Reproduce Table 2 for the given partition (default: the paper's)."""
+    partition = partition or paper_partition()
+    overheads = Overheads.uniform(otot)
+    region = FeasibleRegion(partition, algorithm)
+    cfg_b = design_platform(
+        partition, algorithm, overheads, MinOverheadBandwidthGoal(), region=region
+    )
+    cfg_c = design_platform(
+        partition, algorithm, overheads, MaxSlackGoal(), region=region
+    )
+    return Table2(
+        req_util_ft=partition.max_bin_utilization(Mode.FT),
+        req_util_fs=partition.max_bin_utilization(Mode.FS),
+        req_util_nf=partition.max_bin_utilization(Mode.NF),
+        row_b=Table2Row.from_config("(b)", cfg_b),
+        row_c=Table2Row.from_config("(c)", cfg_c),
+    )

@@ -1,0 +1,36 @@
+"""Assignment of fault-robustness modes to generated tasks."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.model import Mode
+
+
+def assign_modes_by_share(
+    n: int,
+    shares: Mapping[Mode, float],
+    rng: np.random.Generator,
+) -> list[Mode]:
+    """Draw one mode per task according to the given probability shares.
+
+    ``shares`` need not be normalised; missing modes get probability 0.
+    Raises :class:`ValueError` when no positive share is given.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0: got {n}")
+    modes = list(Mode)
+    weights = np.array([max(float(shares.get(m, 0.0)), 0.0) for m in modes])
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("at least one mode share must be positive")
+    probs = weights / total
+    picks = rng.choice(len(modes), size=n, p=probs)
+    return [modes[int(i)] for i in picks]
+
+
+def paper_like_shares() -> dict[Mode, float]:
+    """Mode mix mirroring the paper's example (5 NF : 4 FS : 4 FT)."""
+    return {Mode.NF: 5.0, Mode.FS: 4.0, Mode.FT: 4.0}

@@ -1,0 +1,84 @@
+"""Stafford's RandFixedSum (as popularised for real-time by Emberson et al.).
+
+Generates vectors of ``n`` values in ``[a, b]`` with an exact fixed sum,
+uniformly distributed over that constraint polytope. Unlike UUniFast-discard
+it needs no rejection loop, so it stays efficient even for tight
+``u_max`` constraints.
+
+This is a NumPy port of Roger Stafford's MATLAB ``randfixedsum`` restricted
+to what the workload generator needs (single vector draws with common
+bounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import check_positive
+
+
+def randfixedsum(
+    n: int,
+    total: float,
+    rng: np.random.Generator,
+    *,
+    low: float = 0.0,
+    high: float = 1.0,
+) -> np.ndarray:
+    """``n`` values in ``[low, high]`` summing to ``total``, uniform.
+
+    Raises :class:`ValueError` when the target sum is outside
+    ``[n*low, n*high]``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1: got {n}")
+    if high <= low:
+        raise ValueError(f"empty range [{low}, {high}]")
+    if not (n * low - 1e-12 <= total <= n * high + 1e-12):
+        raise ValueError(
+            f"infeasible: total={total} outside [{n * low}, {n * high}]"
+        )
+    if n == 1:
+        return np.array([float(np.clip(total, low, high))])
+
+    # Rescale to the unit problem: values in [0,1] summing to s.
+    s = (total - n * low) / (high - low)
+    s = float(np.clip(s, 0.0, float(n)))
+
+    # Probability table (Stafford's t1/t2 recursion).
+    k = int(np.clip(np.floor(s), 0, n - 1))
+    s = max(min(s, float(k + 1)), float(k))
+    s1 = s - np.arange(k, k - n, -1)
+    s2 = np.arange(k + n, k, -1) - s
+    tiny = np.finfo(float).tiny
+    huge = np.finfo(float).max
+    w = np.zeros((n, n + 1))
+    w[0, 1] = huge
+    t = np.zeros((n - 1, n))
+    for i in range(2, n + 1):
+        tmp1 = w[i - 2, 1 : i + 1] * s1[: i] / i
+        tmp2 = w[i - 2, : i] * s2[n - i : n] / i
+        w[i - 1, 1 : i + 1] = tmp1 + tmp2
+        tmp3 = w[i - 1, 1 : i + 1] + tiny
+        tmp4 = s2[n - i : n] > s1[: i]
+        t[i - 2, : i] = (tmp2 / tmp3) * tmp4 + (1 - tmp1 / tmp3) * (~tmp4)
+
+    # Walk the table backwards turning uniform draws into simplex samples.
+    x = np.zeros(n + 1)
+    rt = rng.random(n - 1)  # rand simplex type
+    rs = rng.random(n - 1)  # rand position in simplex
+    j = k + 1
+    sm, pr = 0.0, 1.0
+    for i in range(n - 1, 0, -1):
+        e = float(rt[n - i - 1] <= t[i - 1, j - 1])
+        sx = rs[n - i - 1] ** (1.0 / i)
+        sm += (1.0 - sx) * pr * s / (i + 1)
+        pr *= sx
+        x[n - i - 1] = sm + pr * e
+        s -= e
+        j -= int(e)
+    x[n - 1] = sm + pr * s
+
+    # Random permutation (the recursion is order-biased).
+    x_final = x[:n][rng.permutation(n)]
+    return low + (high - low) * x_final

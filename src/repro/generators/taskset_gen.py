@@ -1,0 +1,91 @@
+"""One-call synthetic task-set factories used by the benchmark sweeps."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.generators.modes import assign_modes_by_share
+from repro.generators.periods import loguniform_periods
+from repro.generators.randfixedsum import randfixedsum
+from repro.generators.uunifast import uunifast_discard
+from repro.model import Mode, Task, TaskSet
+from repro.util import check_positive
+
+
+def generate_taskset(
+    n: int,
+    u_total: float,
+    rng: np.random.Generator,
+    *,
+    mode: Mode = Mode.NF,
+    period_low: float = 10.0,
+    period_high: float = 1000.0,
+    u_max: float = 1.0,
+    deadline_factor: float = 1.0,
+    utilization_method: str = "uunifast-discard",
+    period_granularity: float | None = 1.0,
+    name_prefix: str = "t",
+) -> TaskSet:
+    """Generate ``n`` sporadic tasks of one mode with total utilization ``u_total``.
+
+    Parameters
+    ----------
+    deadline_factor:
+        ``D_i = max(C_i, deadline_factor * T_i)`` with
+        ``0 < deadline_factor <= 1`` (1.0 = implicit deadlines).
+    utilization_method:
+        ``"uunifast-discard"`` or ``"randfixedsum"``.
+    period_granularity:
+        Round periods to multiples of this (keeps hyperperiods tractable);
+        None disables rounding.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1: got {n}")
+    check_positive("u_total", u_total)
+    if not 0 < deadline_factor <= 1.0:
+        raise ValueError(f"deadline_factor must be in (0, 1]: got {deadline_factor}")
+    if utilization_method == "uunifast-discard":
+        utils = uunifast_discard(n, u_total, rng, u_max=u_max)
+    elif utilization_method == "randfixedsum":
+        utils = randfixedsum(n, u_total, rng, low=0.0, high=u_max)
+    else:
+        raise ValueError(f"unknown utilization_method {utilization_method!r}")
+    periods = loguniform_periods(
+        n, rng, low=period_low, high=period_high, granularity=period_granularity
+    )
+    tasks = []
+    for i, (u, p) in enumerate(zip(utils, periods), start=1):
+        wcet = max(u * p, 1e-6)
+        deadline = min(max(wcet, deadline_factor * p), p)
+        tasks.append(
+            Task(
+                name=f"{name_prefix}{i}",
+                wcet=wcet,
+                period=float(p),
+                deadline=deadline,
+                mode=mode,
+            )
+        )
+    return TaskSet(tasks)
+
+
+def generate_mixed_taskset(
+    n: int,
+    u_total: float,
+    rng: np.random.Generator,
+    *,
+    mode_shares: Mapping[Mode, float] | None = None,
+    **kwargs,
+) -> TaskSet:
+    """Generate a task set with a random FT/FS/NF mode mix.
+
+    ``mode_shares`` defaults to the paper-like 5:4:4 NF/FS/FT mix. Remaining
+    keyword arguments are forwarded to :func:`generate_taskset`.
+    """
+    from repro.generators.modes import paper_like_shares
+
+    base = generate_taskset(n, u_total, rng, **kwargs)
+    modes = assign_modes_by_share(n, mode_shares or paper_like_shares(), rng)
+    return TaskSet(t.replace(mode=m) for t, m in zip(base, modes))

@@ -1,0 +1,57 @@
+"""UUniFast utilization generation (Bini & Buttazzo 2005).
+
+Draws ``n`` task utilizations summing exactly to ``u_total``, uniformly over
+the simplex — the standard generator for uniprocessor experiments. The
+``discard`` variant (Davis & Burns) resamples until every individual
+utilization is at most ``u_max``, which keeps the distribution uniform over
+the truncated simplex and is the standard multiprocessor adaptation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import check_positive
+
+
+def uunifast(n: int, u_total: float, rng: np.random.Generator) -> np.ndarray:
+    """``n`` utilizations summing to ``u_total``, uniform on the simplex."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1: got {n}")
+    check_positive("u_total", u_total)
+    utils = np.empty(n)
+    remaining = u_total
+    for i in range(n - 1):
+        next_remaining = remaining * rng.random() ** (1.0 / (n - 1 - i))
+        utils[i] = remaining - next_remaining
+        remaining = next_remaining
+    utils[n - 1] = remaining
+    return utils
+
+
+def uunifast_discard(
+    n: int,
+    u_total: float,
+    rng: np.random.Generator,
+    *,
+    u_max: float = 1.0,
+    max_attempts: int = 10_000,
+) -> np.ndarray:
+    """UUniFast with rejection of vectors containing any ``U_i > u_max``.
+
+    Raises :class:`RuntimeError` when the acceptance region is so small that
+    ``max_attempts`` resamples all fail (e.g. ``u_total/n`` close to
+    ``u_max``).
+    """
+    if u_total > n * u_max:
+        raise ValueError(
+            f"infeasible: u_total={u_total} > n*u_max={n * u_max}"
+        )
+    for _ in range(max_attempts):
+        utils = uunifast(n, u_total, rng)
+        if np.all(utils <= u_max):
+            return utils
+    raise RuntimeError(
+        f"uunifast_discard failed after {max_attempts} attempts "
+        f"(n={n}, u_total={u_total}, u_max={u_max})"
+    )

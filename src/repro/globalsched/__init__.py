@@ -1,0 +1,36 @@
+"""Global multiprocessor scheduling (the paper's deferred alternative).
+
+Section 3 of the paper restricts itself to *partitioned* scheduling and
+postpones global strategies to future work. This package implements that
+future work so the two families can be compared inside the same slots:
+
+* :mod:`repro.globalsched.analysis` — sufficient schedulability tests for
+  global EDF (Goossens–Funk–Baruah bound, density bound) and global RM
+  (Bertogna-style utilization bound), plus their supply-aware forms for
+  identical-speed processors that are only available inside a mode's slot
+  windows;
+* :mod:`repro.globalsched.sim` — an event-driven global scheduler: at every
+  instant the ``m`` highest-priority active jobs run on the ``m`` available
+  logical processors, with free migration (no migration cost, the standard
+  theoretical model);
+* :mod:`repro.globalsched.compare` — partitioned-vs-global acceptance
+  comparisons on a mode's task class.
+"""
+
+from repro.globalsched.analysis import (
+    global_edf_density_test,
+    global_edf_gfb_test,
+    global_rm_utilization_test,
+)
+from repro.globalsched.compare import GlobalVsPartitioned, compare_nf_strategies
+from repro.globalsched.sim import GlobalSimResult, simulate_global
+
+__all__ = [
+    "global_edf_gfb_test",
+    "global_edf_density_test",
+    "global_rm_utilization_test",
+    "simulate_global",
+    "GlobalSimResult",
+    "compare_nf_strategies",
+    "GlobalVsPartitioned",
+]

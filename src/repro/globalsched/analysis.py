@@ -1,0 +1,110 @@
+"""Sufficient schedulability tests for global EDF / RM on ``m`` processors.
+
+These are the classic polynomial-time bounds:
+
+* **GFB** (Goossens, Funk, Baruah 2003), global EDF, implicit deadlines:
+  ``U <= m (1 - u_max) + u_max`` where ``u_max`` is the largest task
+  utilization;
+* **density bound**, global EDF, constrained deadlines:
+  ``sum density <= m (1 - d_max) + d_max`` with densities ``C_i/D_i``
+  (follows from GFB applied to the density abstraction);
+* **RM utilization bound** (Bertogna/Andersson-style), global RM, implicit
+  deadlines: ``U <= (m/2)(1 - u_max) + u_max``.
+
+The supply-aware variants handle the flexible platform's slots: during a
+mode's slot all of its ``m`` logical processors are simultaneously available,
+so each processor individually provides the mode's supply ``Z(t)`` and the
+fraction/delay pair scales the bounds: capacity ``m`` becomes effective
+``m·α`` and every deadline shrinks by the slot delay ``Δ`` (a task with
+``D_i <= Δ`` can never be guaranteed).
+
+All tests are *sufficient* — a False verdict means "not proven", which the
+comparison layer treats as a rejection, exactly as a design tool would.
+"""
+
+from __future__ import annotations
+
+from repro.model import TaskSet
+from repro.supply import SupplyFunction
+from repro.util import EPS, approx_le
+
+
+def _check_m(m: int) -> None:
+    if m < 1:
+        raise ValueError(f"m must be >= 1: got {m}")
+
+
+def global_edf_gfb_test(taskset: TaskSet, m: int) -> bool:
+    """GFB bound for global EDF on ``m`` dedicated processors.
+
+    Requires implicit deadlines (use :func:`global_edf_density_test`
+    otherwise).
+    """
+    _check_m(m)
+    if len(taskset) == 0:
+        return True
+    if not taskset.all_implicit_deadline:
+        raise ValueError("GFB requires implicit deadlines")
+    u_max = taskset.max_utilization
+    if u_max > 1.0 + EPS:
+        return False
+    return approx_le(taskset.utilization, m * (1.0 - u_max) + u_max)
+
+
+def global_edf_density_test(taskset: TaskSet, m: int) -> bool:
+    """Density-based sufficient test for global EDF, constrained deadlines."""
+    _check_m(m)
+    if len(taskset) == 0:
+        return True
+    d_max = max(t.density for t in taskset)
+    if d_max > 1.0 + EPS:
+        return False
+    return approx_le(taskset.density, m * (1.0 - d_max) + d_max)
+
+
+def global_rm_utilization_test(taskset: TaskSet, m: int) -> bool:
+    """Utilization bound for global RM, implicit deadlines:
+    ``U <= (m/2)(1 − u_max) + u_max``."""
+    _check_m(m)
+    if len(taskset) == 0:
+        return True
+    if not taskset.all_implicit_deadline:
+        raise ValueError("the global RM bound requires implicit deadlines")
+    u_max = taskset.max_utilization
+    if u_max > 1.0 + EPS:
+        return False
+    return approx_le(taskset.utilization, (m / 2.0) * (1.0 - u_max) + u_max)
+
+
+def global_edf_supply_test(
+    taskset: TaskSet, m: int, supply: SupplyFunction
+) -> bool:
+    """Supply-aware GFB for ``m`` slot-gated processors.
+
+    During a mode's slots all ``m`` logical processors are available
+    simultaneously, each delivering at least ``Z(t) >= α(t − Δ)``. A safe
+    reduction to the dedicated-processor bound: shrink every deadline/period
+    by the delay ``Δ`` (service before ``Δ`` is never guaranteed) and scale
+    capacity by ``α``. Tasks with ``D_i <= Δ`` are rejected outright.
+
+    This inflation is conservative (sufficient), mirroring how Theorem 1/2
+    specialise the uniprocessor tests — a safe analysis of the paper's
+    "global strategies" future-work item rather than a tight one.
+    """
+    _check_m(m)
+    if len(taskset) == 0:
+        return True
+    alpha, delta = supply.alpha, supply.delta
+    if alpha <= 0:
+        return False
+    densities = []
+    for t in taskset:
+        usable = t.deadline - delta
+        if usable <= EPS:
+            return False
+        densities.append(t.wcet / usable)
+    d_max = max(densities)
+    if d_max > alpha + EPS:
+        return False
+    total = sum(densities)
+    return approx_le(total, (m * (1.0 - d_max / alpha) + d_max / alpha) * alpha)

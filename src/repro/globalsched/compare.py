@@ -1,0 +1,79 @@
+"""Partitioned vs global strategies on one mode's task class.
+
+The paper's Section 3 chooses partitioning and defers global scheduling.
+This module compares the two on the same footing: given a mode's tasks and
+its processor count, does each strategy accept the class (analysis), and
+does the accepted strategy survive simulation?
+
+Global scheduling has the classic trade-off: no bin-packing loss (a class
+whose tasks do not fit any partition can still be globally feasible), but
+the known polynomial tests are merely sufficient and lose capacity to the
+``(1 − u_max)`` factor — so each side accepts task sets the other rejects
+(Dhall-style sets hurt global; fragmentation hurts partitioned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.globalsched.analysis import global_edf_gfb_test
+from repro.globalsched.sim import simulate_global
+from repro.model import TaskSet
+from repro.partition import PartitionError, partition_tasks
+from repro.util import check_positive
+
+
+@dataclass(frozen=True)
+class GlobalVsPartitioned:
+    """Acceptance verdicts for one task class on ``m`` processors."""
+
+    taskset: TaskSet
+    m: int
+    partitioned_ok: bool
+    global_ok: bool
+    partition_detail: str = ""
+
+    @property
+    def disagreement(self) -> bool:
+        """True when exactly one strategy accepts."""
+        return self.partitioned_ok != self.global_ok
+
+
+def compare_nf_strategies(
+    taskset: TaskSet,
+    m: int = 4,
+    *,
+    admission: str = "edf",
+) -> GlobalVsPartitioned:
+    """Partitioned-EDF (bin packing + uniprocessor EDF) vs global-EDF (GFB).
+
+    Both sides see dedicated processors (the comparison is within one mode's
+    slots, where all ``m`` logical processors are simultaneously available;
+    slot gating affects both identically and cancels out of the comparison).
+    """
+    check_positive("m", m)
+    try:
+        partition_tasks(taskset, m, heuristic="worst-fit", admission=admission)
+        part_ok, detail = True, ""
+    except PartitionError as exc:
+        part_ok, detail = False, str(exc)
+    glob_ok = global_edf_gfb_test(taskset, m)
+    return GlobalVsPartitioned(taskset, m, part_ok, glob_ok, detail)
+
+
+def validate_global_by_simulation(
+    taskset: TaskSet,
+    m: int,
+    horizon: float | None = None,
+) -> bool:
+    """Simulate global EDF on dedicated processors; True if no miss.
+
+    Used to confirm GFB-accepted classes and to show (by example) that
+    GFB-rejected classes are sometimes schedulable anyway — the test is only
+    sufficient.
+    """
+    if len(taskset) == 0:
+        return True
+    horizon = horizon or 2 * taskset.hyperperiod()
+    res = simulate_global(taskset, "EDF", m, [(0.0, horizon)], horizon)
+    return not res.misses

@@ -1,0 +1,154 @@
+"""Partitioned task sets: the per-mode, per-processor assignment of Section 3.
+
+During NF mode four logical processors are available, during FS two, during
+FT one (Section 2.4). A :class:`PartitionedTaskSet` records, for each mode,
+the list of per-processor :class:`~repro.model.taskset.TaskSet` partitions —
+``T_NF^1..T_NF^4``, ``T_FS^1..T_FS^2``, ``T_FT`` — and validates that the
+partition is consistent with the task modes and the platform parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.model.task import MODE_ORDER, Mode, Task
+from repro.model.taskset import TaskSet
+
+
+class PartitionedTaskSet:
+    """A per-mode partition of a task set onto logical processors.
+
+    Parameters
+    ----------
+    partitions:
+        Mapping from :class:`Mode` to a sequence of TaskSets, one per logical
+        processor of that mode. Fewer entries than the mode's parallelism are
+        padded with empty TaskSets; more entries raise ``ValueError``.
+
+    Invariants enforced
+    -------------------
+    * every task appears in the partition of its own required mode;
+    * no task appears twice;
+    * at most ``mode.parallelism`` processor bins per mode.
+    """
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, partitions: Mapping[Mode, Sequence[TaskSet]]):
+        parts: dict[Mode, tuple[TaskSet, ...]] = {}
+        seen: dict[str, str] = {}
+        for mode in Mode:
+            bins = list(partitions.get(mode, ()))
+            if len(bins) > mode.parallelism:
+                raise ValueError(
+                    f"mode {mode} offers {mode.parallelism} logical processors, "
+                    f"got {len(bins)} partitions"
+                )
+            while len(bins) < mode.parallelism:
+                bins.append(TaskSet())
+            for proc_idx, ts in enumerate(bins):
+                if not isinstance(ts, TaskSet):
+                    raise TypeError(
+                        f"partition bins must be TaskSet: got {type(ts).__name__}"
+                    )
+                for task in ts:
+                    if task.mode is not mode:
+                        raise ValueError(
+                            f"task {task.name} requires mode {task.mode} but was "
+                            f"assigned to a {mode} partition"
+                        )
+                    where = f"{mode}[{proc_idx}]"
+                    if task.name in seen:
+                        raise ValueError(
+                            f"task {task.name} assigned twice "
+                            f"({seen[task.name]} and {where})"
+                        )
+                    seen[task.name] = where
+            parts[mode] = tuple(bins)
+        self._parts = parts
+
+    # -- accessors -----------------------------------------------------------
+
+    def bins(self, mode: Mode) -> tuple[TaskSet, ...]:
+        """Per-processor partitions of ``mode`` (length = mode.parallelism)."""
+        return self._parts[mode]
+
+    def bin(self, mode: Mode, index: int) -> TaskSet:
+        """Partition of the ``index``-th logical processor of ``mode``."""
+        return self._parts[mode][index]
+
+    def mode_taskset(self, mode: Mode) -> TaskSet:
+        """All tasks of a mode, merged back into one TaskSet."""
+        tasks: list[Task] = []
+        for ts in self._parts[mode]:
+            tasks.extend(ts)
+        return TaskSet(tasks)
+
+    def all_tasks(self) -> TaskSet:
+        """Every task across all modes, FT slots first (Figure 2 order)."""
+        tasks: list[Task] = []
+        for mode in MODE_ORDER:
+            tasks.extend(self.mode_taskset(mode))
+        return TaskSet(tasks)
+
+    def processor_of(self, task_name: str) -> tuple[Mode, int]:
+        """Return ``(mode, processor index)`` hosting the named task."""
+        for mode in Mode:
+            for idx, ts in enumerate(self._parts[mode]):
+                if task_name in ts:
+                    return mode, idx
+        raise KeyError(f"task {task_name!r} not found in partition")
+
+    def max_bin_utilization(self, mode: Mode) -> float:
+        """``max_i U(T_mode^i)`` — the binding quantity in Eqs. (13)–(14)."""
+        return max(ts.utilization for ts in self._parts[mode])
+
+    # -- niceties ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartitionedTaskSet):
+            return NotImplemented
+        return self._parts == other._parts
+
+    def __repr__(self) -> str:
+        chunks = []
+        for mode in MODE_ORDER:
+            bins = ", ".join("{" + ",".join(ts.names) + "}" for ts in self._parts[mode])
+            chunks.append(f"{mode}: [{bins}]")
+        return f"PartitionedTaskSet({'; '.join(chunks)})"
+
+    def summary(self) -> str:
+        """Readable multi-line description with per-bin utilizations."""
+        lines = ["PartitionedTaskSet:"]
+        for mode in MODE_ORDER:
+            for idx, ts in enumerate(self._parts[mode]):
+                names = ", ".join(ts.names) or "-"
+                lines.append(
+                    f"  {mode}[{idx}]: U={ts.utilization:.4f}  ({names})"
+                )
+        return "\n".join(lines)
+
+
+def partition_from_names(
+    taskset: TaskSet, assignment: Mapping[Mode, Sequence[Iterable[str]]]
+) -> PartitionedTaskSet:
+    """Build a :class:`PartitionedTaskSet` from task-name lists.
+
+    ``assignment`` maps each mode to a list of name-iterables, one per logical
+    processor, e.g. ``{Mode.NF: [["tau1"], ["tau2", "tau3"], ...], ...}``.
+    Tasks of ``taskset`` not mentioned anywhere raise ``ValueError`` so that a
+    partition silently dropping tasks cannot pass validation.
+    """
+    parts: dict[Mode, list[TaskSet]] = {}
+    mentioned: set[str] = set()
+    for mode, bins in assignment.items():
+        out_bins = []
+        for names in bins:
+            names = list(names)
+            mentioned.update(names)
+            out_bins.append(taskset.subset(names))
+        parts[mode] = out_bins
+    missing = set(taskset.names) - mentioned
+    if missing:
+        raise ValueError(f"partition does not place tasks: {sorted(missing)}")
+    return PartitionedTaskSet(parts)

@@ -1,0 +1,173 @@
+"""Task-set container with utilization, hyperperiod and mode queries.
+
+A :class:`TaskSet` is an immutable, ordered collection of uniquely named
+:class:`~repro.model.task.Task` objects. It provides the aggregate quantities
+used throughout the paper's analysis: total utilization ``U(T)`` (Section
+2.3), the hyperperiod (needed by ``dlSet`` in Theorem 2) and the partition of
+tasks by operating mode.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.model.task import Mode, Task
+from repro.util import lcm_fractions, to_fraction
+
+
+class TaskSet:
+    """Immutable ordered set of uniquely named tasks.
+
+    Supports iteration, indexing by position or task name, ``len``, ``in``
+    (by task or name), equality, and set-style restriction helpers.
+    """
+
+    __slots__ = ("_tasks", "_by_name")
+
+    def __init__(self, tasks: Iterable[Task] = ()):
+        tasks = tuple(tasks)
+        by_name: dict[str, Task] = {}
+        for t in tasks:
+            if not isinstance(t, Task):
+                raise TypeError(f"TaskSet items must be Task: got {type(t).__name__}")
+            if t.name in by_name:
+                raise ValueError(f"duplicate task name {t.name!r} in TaskSet")
+            by_name[t.name] = t
+        self._tasks: tuple[Task, ...] = tasks
+        self._by_name: dict[str, Task] = by_name
+
+    # -- collection protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __getitem__(self, key: int | str) -> Task:
+        if isinstance(key, str):
+            try:
+                return self._by_name[key]
+            except KeyError:
+                raise KeyError(f"no task named {key!r} in TaskSet") from None
+        return self._tasks[key]
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Task):
+            return self._by_name.get(item.name) == item
+        if isinstance(item, str):
+            return item in self._by_name
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskSet):
+            return NotImplemented
+        return self._tasks == other._tasks
+
+    def __hash__(self) -> int:
+        return hash(self._tasks)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(t.name for t in self._tasks)
+        return f"TaskSet([{inner}], U={self.utilization:.3f})"
+
+    # -- aggregate quantities ------------------------------------------------
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        """The tasks in insertion order."""
+        return self._tasks
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Task names in insertion order."""
+        return tuple(t.name for t in self._tasks)
+
+    @property
+    def utilization(self) -> float:
+        """Total utilization ``U(T) = sum_i C_i/T_i``."""
+        return sum(t.utilization for t in self._tasks)
+
+    @property
+    def density(self) -> float:
+        """Total density ``sum_i C_i/D_i``."""
+        return sum(t.density for t in self._tasks)
+
+    @property
+    def max_utilization(self) -> float:
+        """Largest single-task utilization (0 for an empty set)."""
+        return max((t.utilization for t in self._tasks), default=0.0)
+
+    def hyperperiod(self) -> float:
+        """Exact hyperperiod (LCM of periods), computed over rationals.
+
+        Raises :class:`ValueError` for an empty task set (no hyperperiod).
+        Float periods are rationalised exactly via
+        :func:`repro.util.to_fraction`, so integer and simple decimal periods
+        yield the textbook LCM.
+        """
+        return float(self.hyperperiod_fraction())
+
+    def hyperperiod_fraction(self) -> Fraction:
+        """Hyperperiod as an exact :class:`Fraction`."""
+        if not self._tasks:
+            raise ValueError("hyperperiod of an empty TaskSet is undefined")
+        return lcm_fractions([to_fraction(t.period) for t in self._tasks])
+
+    # -- restriction / partition helpers ------------------------------------
+
+    def restrict(self, predicate: Callable[[Task], bool]) -> "TaskSet":
+        """Return the sub-TaskSet of tasks matching ``predicate`` (order kept)."""
+        return TaskSet(t for t in self._tasks if predicate(t))
+
+    def by_mode(self, mode: Mode) -> "TaskSet":
+        """Tasks requiring the given operating mode, e.g. ``T_FT``."""
+        return self.restrict(lambda t: t.mode is mode)
+
+    def mode_partition(self) -> Mapping[Mode, "TaskSet"]:
+        """Partition into ``{FT: T_FT, FS: T_FS, NF: T_NF}`` (Section 2.3)."""
+        return {m: self.by_mode(m) for m in Mode}
+
+    def subset(self, names: Iterable[str]) -> "TaskSet":
+        """Sub-TaskSet of the named tasks, in this set's order.
+
+        Raises :class:`KeyError` if any name is missing.
+        """
+        wanted = set(names)
+        missing = wanted - set(self._by_name)
+        if missing:
+            raise KeyError(f"tasks not in TaskSet: {sorted(missing)}")
+        return TaskSet(t for t in self._tasks if t.name in wanted)
+
+    def without(self, names: Iterable[str]) -> "TaskSet":
+        """Sub-TaskSet excluding the named tasks (missing names ignored)."""
+        drop = set(names)
+        return TaskSet(t for t in self._tasks if t.name not in drop)
+
+    def add(self, task: Task) -> "TaskSet":
+        """Return a new TaskSet with ``task`` appended."""
+        return TaskSet(self._tasks + (task,))
+
+    def sorted_by(self, key: Callable[[Task], float], reverse: bool = False) -> "TaskSet":
+        """Return a new TaskSet sorted by ``key`` (stable)."""
+        return TaskSet(sorted(self._tasks, key=key, reverse=reverse))
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def all_implicit_deadline(self) -> bool:
+        """True if every task has ``D_i == T_i``."""
+        return all(t.implicit_deadline for t in self._tasks)
+
+    def summary(self) -> str:
+        """A short human-readable multi-line description."""
+        lines = [f"TaskSet: {len(self)} tasks, U={self.utilization:.4f}"]
+        for mode in Mode:
+            sub = self.by_mode(mode)
+            if len(sub):
+                lines.append(
+                    f"  {mode}: {len(sub)} tasks, U={sub.utilization:.4f} "
+                    f"({', '.join(sub.names)})"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Task-set transformations used by generators, ablations and tests."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.model.task import Mode, Task
+from repro.model.taskset import TaskSet
+from repro.util import check_positive
+
+
+def scale_periods(taskset: TaskSet, factor: float) -> TaskSet:
+    """Multiply every period *and deadline* by ``factor`` (keeps D/T ratios).
+
+    Utilizations scale by ``1/factor``.
+    """
+    check_positive("factor", factor)
+    return TaskSet(
+        t.replace(period=t.period * factor, deadline=t.deadline * factor)
+        for t in taskset
+    )
+
+
+def scale_wcets(taskset: TaskSet, factor: float) -> TaskSet:
+    """Multiply every WCET by ``factor``; utilizations scale by ``factor``.
+
+    Raises ``ValueError`` (via Task validation) if scaling makes any
+    ``C_i > D_i``.
+    """
+    check_positive("factor", factor)
+    return TaskSet(t.replace(wcet=t.wcet * factor) for t in taskset)
+
+
+def implicit_deadlines(taskset: TaskSet) -> TaskSet:
+    """Return a copy with every deadline reset to the period."""
+    return TaskSet(t.replace(deadline=t.period) for t in taskset)
+
+
+def with_mode(taskset: TaskSet, mode: Mode) -> TaskSet:
+    """Return a copy with every task's mode replaced by ``mode``."""
+    return TaskSet(t.replace(mode=mode) for t in taskset)
+
+
+def merge_tasksets(tasksets: Iterable[TaskSet], *, rename_collisions: bool = False) -> TaskSet:
+    """Concatenate task sets into one.
+
+    With ``rename_collisions`` duplicated names get a ``.2``, ``.3``, ...
+    suffix instead of raising.
+    """
+    tasks: list[Task] = []
+    counts: dict[str, int] = {}
+    for ts in tasksets:
+        for t in ts:
+            n = counts.get(t.name, 0) + 1
+            counts[t.name] = n
+            if n > 1:
+                if not rename_collisions:
+                    raise ValueError(f"duplicate task name {t.name!r} while merging")
+                t = t.replace(name=f"{t.name}.{n}")
+            tasks.append(t)
+    return TaskSet(tasks)

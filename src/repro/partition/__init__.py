@@ -1,0 +1,32 @@
+"""Task-to-processor partitioning.
+
+The paper assumes a *manual* partition (Section 3) and defers automatic
+partitioning to the bin-packing literature it cites [6]. This package
+implements that deferred piece:
+
+* :mod:`repro.partition.binpack` — first/best/worst/next-fit (and their
+  decreasing variants) with pluggable schedulability admission;
+* :mod:`repro.partition.multimode` — drives the per-mode partitioning onto
+  each mode's logical processors (4 for NF, 2 for FS, 1 for FT) and returns
+  a :class:`~repro.model.PartitionedTaskSet` ready for the design pipeline.
+"""
+
+from repro.partition.binpack import (
+    PartitionError,
+    best_fit,
+    first_fit,
+    next_fit,
+    partition_tasks,
+    worst_fit,
+)
+from repro.partition.multimode import partition_by_modes
+
+__all__ = [
+    "PartitionError",
+    "first_fit",
+    "best_fit",
+    "worst_fit",
+    "next_fit",
+    "partition_tasks",
+    "partition_by_modes",
+]

@@ -1,0 +1,199 @@
+"""Bin-packing heuristics with schedulability-based admission.
+
+Each heuristic assigns tasks one by one to ``m`` bins (logical processors).
+A candidate assignment is *admissible* when the bin still passes the chosen
+admission test; among admissible bins the heuristics differ in their
+preference:
+
+* first-fit — lowest index;
+* best-fit — highest utilization (tightest remaining space);
+* worst-fit — lowest utilization (balances load — the natural choice here,
+  since the design quanta scale with the *maximum* bin demand, Eqs. 13–14);
+* next-fit — the current bin, advancing on failure.
+
+``decreasing=True`` pre-sorts tasks by utilization, the classic improvement.
+
+Admission tests:
+
+* ``"utilization"`` — ``U(bin) <= cap`` (exact for EDF with implicit
+  deadlines);
+* ``"edf"`` — processor-demand criterion (exact for EDF, any constrained
+  deadlines);
+* ``"rm"`` / ``"dm"`` — Bini–Buttazzo point test under the corresponding
+  priority order (exact for FP).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.analysis import edf_schedulable_dedicated, fp_schedulable_dedicated
+from repro.model import Task, TaskSet
+from repro.util import EPS
+
+
+class PartitionError(ValueError):
+    """Raised when a heuristic cannot place every task."""
+
+
+AdmissionTest = Callable[[TaskSet], bool]
+
+
+def make_admission_test(kind: str, *, cap: float = 1.0) -> AdmissionTest:
+    """Build an admission predicate by name (see module docstring)."""
+    kind = kind.lower()
+    if kind == "utilization":
+        return lambda ts: ts.utilization <= cap + EPS
+    if kind == "edf":
+        return lambda ts: edf_schedulable_dedicated(ts).schedulable
+    if kind in ("rm", "dm"):
+        policy = kind.upper()
+        return lambda ts: fp_schedulable_dedicated(ts, policy).schedulable
+    raise ValueError(
+        f"unknown admission test {kind!r} (utilization, edf, rm or dm)"
+    )
+
+
+def _pack(
+    tasks: Sequence[Task],
+    m: int,
+    admission: AdmissionTest,
+    choose: Callable[[list[TaskSet], Task], list[int]],
+) -> list[TaskSet]:
+    """Common packing loop: try bins in the order given by ``choose``."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1: got {m}")
+    bins: list[TaskSet] = [TaskSet() for _ in range(m)]
+    for task in tasks:
+        placed = False
+        for idx in choose(bins, task):
+            candidate = bins[idx].add(task)
+            if admission(candidate):
+                bins[idx] = candidate
+                placed = True
+                break
+        if not placed:
+            raise PartitionError(
+                f"task {task.name} (U={task.utilization:.3f}) does not fit in "
+                f"any of the {m} bins"
+            )
+    return bins
+
+
+def _maybe_sort(tasks: Sequence[Task], decreasing: bool) -> list[Task]:
+    if decreasing:
+        return sorted(tasks, key=lambda t: (-t.utilization, t.name))
+    return list(tasks)
+
+
+def first_fit(
+    taskset: TaskSet | Sequence[Task],
+    m: int,
+    *,
+    admission: AdmissionTest | str = "utilization",
+    decreasing: bool = False,
+) -> list[TaskSet]:
+    """First-fit (optionally decreasing) into ``m`` bins."""
+    if isinstance(admission, str):
+        admission = make_admission_test(admission)
+    tasks = _maybe_sort(list(taskset), decreasing)
+    return _pack(tasks, m, admission, lambda bins, _t: list(range(len(bins))))
+
+
+def best_fit(
+    taskset: TaskSet | Sequence[Task],
+    m: int,
+    *,
+    admission: AdmissionTest | str = "utilization",
+    decreasing: bool = False,
+) -> list[TaskSet]:
+    """Best-fit: prefer the fullest admissible bin."""
+    if isinstance(admission, str):
+        admission = make_admission_test(admission)
+    tasks = _maybe_sort(list(taskset), decreasing)
+
+    def choose(bins: list[TaskSet], _t: Task) -> list[int]:
+        return sorted(range(len(bins)), key=lambda i: (-bins[i].utilization, i))
+
+    return _pack(tasks, m, admission, choose)
+
+
+def worst_fit(
+    taskset: TaskSet | Sequence[Task],
+    m: int,
+    *,
+    admission: AdmissionTest | str = "utilization",
+    decreasing: bool = False,
+) -> list[TaskSet]:
+    """Worst-fit: prefer the emptiest admissible bin (load balancing)."""
+    if isinstance(admission, str):
+        admission = make_admission_test(admission)
+    tasks = _maybe_sort(list(taskset), decreasing)
+
+    def choose(bins: list[TaskSet], _t: Task) -> list[int]:
+        return sorted(range(len(bins)), key=lambda i: (bins[i].utilization, i))
+
+    return _pack(tasks, m, admission, choose)
+
+
+def next_fit(
+    taskset: TaskSet | Sequence[Task],
+    m: int,
+    *,
+    admission: AdmissionTest | str = "utilization",
+    decreasing: bool = False,
+) -> list[TaskSet]:
+    """Next-fit: stay on the current bin, advance (without wrap) on failure."""
+    if isinstance(admission, str):
+        admission = make_admission_test(admission)
+    tasks = _maybe_sort(list(taskset), decreasing)
+    if m < 1:
+        raise ValueError(f"m must be >= 1: got {m}")
+    # next-fit keeps a cursor and never looks back, so it cannot reuse _pack.
+    cursor = 0
+    bins: list[TaskSet] = [TaskSet() for _ in range(m)]
+    for task in tasks:
+        placed = False
+        while cursor < m:
+            candidate = bins[cursor].add(task)
+            if admission(candidate):
+                bins[cursor] = candidate
+                placed = True
+                break
+            cursor += 1
+        if not placed:
+            raise PartitionError(
+                f"task {task.name} (U={task.utilization:.3f}) does not fit "
+                f"(next-fit exhausted all {m} bins)"
+            )
+    return bins
+
+
+_HEURISTICS = {
+    "first-fit": first_fit,
+    "best-fit": best_fit,
+    "worst-fit": worst_fit,
+    "next-fit": next_fit,
+}
+
+
+def partition_tasks(
+    taskset: TaskSet | Sequence[Task],
+    m: int,
+    *,
+    heuristic: str = "worst-fit",
+    admission: AdmissionTest | str = "utilization",
+    decreasing: bool = True,
+) -> list[TaskSet]:
+    """Partition by heuristic name (default: worst-fit decreasing).
+
+    Worst-fit decreasing minimises the *maximum* bin utilization, which is
+    the quantity the mode quanta scale with (Eqs. 13–14) — hence the default.
+    """
+    try:
+        fn = _HEURISTICS[heuristic.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown heuristic {heuristic!r}; use one of {sorted(_HEURISTICS)}"
+        ) from None
+    return fn(taskset, m, admission=admission, decreasing=decreasing)

@@ -1,0 +1,46 @@
+"""Per-mode partitioning onto the platform's logical processors.
+
+During NF mode the platform offers 4 logical processors, during FS 2, during
+FT 1 (Section 2.4). :func:`partition_by_modes` splits a mixed task set by
+required mode and bin-packs each class onto its mode's processors, returning
+a :class:`~repro.model.PartitionedTaskSet` ready for
+:func:`repro.core.design.design_platform`.
+"""
+
+from __future__ import annotations
+
+from repro.model import Mode, PartitionedTaskSet, TaskSet
+from repro.partition.binpack import AdmissionTest, PartitionError, partition_tasks
+
+
+def partition_by_modes(
+    taskset: TaskSet,
+    *,
+    heuristic: str = "worst-fit",
+    admission: AdmissionTest | str = "utilization",
+    decreasing: bool = True,
+) -> PartitionedTaskSet:
+    """Partition a mixed FT/FS/NF task set onto the platform processors.
+
+    Raises :class:`~repro.partition.binpack.PartitionError` when some mode's
+    tasks cannot be packed onto its logical processors at all — in that case
+    no slot schedule can make the system feasible either (the admission test
+    is necessary with a full processor, let alone a slot of it).
+    """
+    parts: dict[Mode, list[TaskSet]] = {}
+    for mode in Mode:
+        sub = taskset.by_mode(mode)
+        if len(sub) == 0:
+            parts[mode] = [TaskSet() for _ in range(mode.parallelism)]
+            continue
+        try:
+            parts[mode] = partition_tasks(
+                sub,
+                mode.parallelism,
+                heuristic=heuristic,
+                admission=admission,
+                decreasing=decreasing,
+            )
+        except PartitionError as exc:
+            raise PartitionError(f"mode {mode}: {exc}") from exc
+    return PartitionedTaskSet(parts)

@@ -1,0 +1,146 @@
+"""Cores, lock-step channels, and the checker's fault semantics.
+
+A *channel* is a group of cores executing the same code in lock-step and
+appearing to the scheduler as one logical processor. The checker observes
+every channel's outputs and applies the Section 2.4 semantics when a single
+transient fault hits one member core:
+
+* 4-way redundant lock-step (FT): majority voting over 4 (or the 3
+  fault-free) outputs masks the fault — the channel keeps running and never
+  emits a wrong value;
+* 2-way lock-step (FS): the two outputs disagree; the checker blocks the
+  channel's bus access (fail-silent) before the wrong value reaches memory;
+* single core (NF): nothing observes the fault — the running job's output
+  is silently corrupted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.model import Mode
+
+
+class FaultEffect(enum.Enum):
+    """Checker outcome for a single transient fault hitting a channel."""
+
+    MASKED = "masked"          #: majority vote hid the fault (FT)
+    SILENCED = "silenced"      #: mismatch detected, channel blocked (FS)
+    CORRUPTED = "corrupted"    #: undetected wrong output (NF)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Core:
+    """One physical core of the platform."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index <= 3:
+            raise ValueError(f"core index must be 0..3: got {self.index}")
+
+
+@dataclass(frozen=True)
+class LockstepChannel:
+    """A group of cores appearing as one logical processor.
+
+    Attributes
+    ----------
+    cores:
+        Member core indices (1, 2 or 4 cores).
+    voting:
+        True when the channel has enough redundancy to *mask* a single fault
+        by majority (the paper's 4-way redundant lock-step; 3 cores would
+        also suffice, see the Section 2.4 remark).
+    """
+
+    cores: tuple[int, ...]
+    voting: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.cores) not in (1, 2, 4):
+            raise ValueError(
+                f"channel must group 1, 2 or 4 cores: got {len(self.cores)}"
+            )
+        if len(set(self.cores)) != len(self.cores):
+            raise ValueError(f"duplicate cores in channel: {self.cores}")
+        for c in self.cores:
+            if not 0 <= c <= 3:
+                raise ValueError(f"core index must be 0..3: got {c}")
+        if self.voting and len(self.cores) < 3:
+            raise ValueError(
+                "majority voting needs at least 3 lock-stepped cores"
+            )
+
+    @property
+    def width(self) -> int:
+        """Number of member cores."""
+        return len(self.cores)
+
+    def contains(self, core: int) -> bool:
+        """Whether the physical core belongs to this channel."""
+        return core in self.cores
+
+    def fault_effect(self) -> FaultEffect:
+        """Checker outcome when a single member core suffers a soft error."""
+        if self.voting:
+            return FaultEffect.MASKED
+        if self.width >= 2:
+            return FaultEffect.SILENCED
+        return FaultEffect.CORRUPTED
+
+
+class Checker:
+    """The output comparator / bus gate / reconfiguration unit of Figure 1.
+
+    The checker holds the current channel layout and classifies faults.
+    Reconfiguration (changing layouts at slot boundaries) is driven by the
+    :class:`~repro.platform.switcher.ModeSwitchController`.
+    """
+
+    def __init__(self) -> None:
+        self._channels: tuple[LockstepChannel, ...] = ()
+        self._mode: Mode | None = None
+
+    @property
+    def mode(self) -> Mode | None:
+        """The currently configured operating mode (None before first config)."""
+        return self._mode
+
+    @property
+    def channels(self) -> tuple[LockstepChannel, ...]:
+        """The current channel layout."""
+        return self._channels
+
+    def configure(self, mode: Mode, channels: tuple[LockstepChannel, ...]) -> None:
+        """Install a new channel layout (a mode switch).
+
+        Validates that the layout uses each physical core exactly once.
+        """
+        used = [c for ch in channels for c in ch.cores]
+        if sorted(used) != [0, 1, 2, 3]:
+            raise ValueError(
+                f"layout must use each of cores 0..3 exactly once: got {used}"
+            )
+        self._channels = tuple(channels)
+        self._mode = mode
+
+    def channel_of(self, core: int) -> tuple[int, LockstepChannel]:
+        """The (index, channel) hosting a physical core."""
+        for i, ch in enumerate(self._channels):
+            if ch.contains(core):
+                return i, ch
+        raise RuntimeError("checker is not configured")
+
+    def classify_fault(self, core: int) -> tuple[int, FaultEffect]:
+        """Outcome of a single transient fault on ``core``.
+
+        Returns the logical processor (channel) index affected and the
+        :class:`FaultEffect` the checker produces for it.
+        """
+        idx, channel = self.channel_of(core)
+        return idx, channel.fault_effect()

@@ -1,0 +1,49 @@
+"""The three channel layouts of the reconfigurable platform (Section 2.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model import Mode
+from repro.platform.hardware import LockstepChannel
+
+
+@dataclass(frozen=True)
+class ModeLayout:
+    """Channel grouping of the four cores for one operating mode."""
+
+    mode: Mode
+    channels: tuple[LockstepChannel, ...]
+
+    @property
+    def logical_processors(self) -> int:
+        """Number of schedulable logical processors in this mode."""
+        return len(self.channels)
+
+    @property
+    def replication(self) -> int:
+        """Cores per logical processor (degree of hardware replication)."""
+        return self.channels[0].width
+
+
+_LAYOUTS: dict[Mode, ModeLayout] = {
+    # All four cores in redundant lock-step: one fault-tolerant channel.
+    Mode.FT: ModeLayout(
+        Mode.FT, (LockstepChannel((0, 1, 2, 3), voting=True),)
+    ),
+    # Two dual lock-step couples: two independent fail-silent channels.
+    Mode.FS: ModeLayout(
+        Mode.FS,
+        (LockstepChannel((0, 1)), LockstepChannel((2, 3))),
+    ),
+    # Four independent cores: maximum parallelism, no protection.
+    Mode.NF: ModeLayout(
+        Mode.NF,
+        tuple(LockstepChannel((c,)) for c in range(4)),
+    ),
+}
+
+
+def layout_for(mode: Mode) -> ModeLayout:
+    """The canonical channel layout of an operating mode."""
+    return _LAYOUTS[mode]

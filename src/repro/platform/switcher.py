@@ -1,0 +1,139 @@
+"""Mode-switch controller: walking a slot schedule over simulated time.
+
+Turns a :class:`~repro.core.config.SlotSchedule` into the concrete timeline
+of Figure 2 — for every major cycle, each mode's usable window, the
+switch-out overhead window at the slot tail, and any idle reserve at the end
+of the cycle. The multicore simulator consumes these segments; the fault
+layer uses :meth:`ModeSwitchController.segment_at` to find what the platform
+was doing at an arbitrary fault instant.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.config import SlotSchedule
+from repro.model import Mode
+from repro.platform.modes import ModeLayout, layout_for
+from repro.util import EPS, check_nonneg, check_positive
+
+
+class SegmentKind(enum.Enum):
+    """What the platform is doing during a timeline segment."""
+
+    USABLE = "usable"       #: a mode's tasks may execute
+    OVERHEAD = "overhead"   #: switching out of the mode (state sync, storing)
+    IDLE = "idle"           #: unallocated reserve at the end of the cycle
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal timeline interval with constant platform behaviour.
+
+    ``mode`` is None for idle segments (no channel layout is guaranteed
+    during reserve time; we treat faults there as harmless).
+    """
+
+    start: float
+    end: float
+    kind: SegmentKind
+    mode: Mode | None
+    cycle: int
+
+    @property
+    def duration(self) -> float:
+        """Segment length."""
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        who = str(self.mode) if self.mode is not None else "-"
+        return f"Segment[{self.start:.4f},{self.end:.4f}) {self.kind} {who} (cycle {self.cycle})"
+
+
+class ModeSwitchController:
+    """Expands a slot schedule into the platform timeline.
+
+    Parameters
+    ----------
+    schedule:
+        Any object exposing ``period`` and ``cycle_template()`` (the classic
+        :class:`~repro.core.config.SlotSchedule`, or the multi-quantum
+        :class:`~repro.core.multislot.SplitSchedule`).
+    """
+
+    _KIND = {
+        "usable": SegmentKind.USABLE,
+        "overhead": SegmentKind.OVERHEAD,
+        "idle": SegmentKind.IDLE,
+    }
+
+    def __init__(self, schedule: SlotSchedule):
+        self._schedule = schedule
+        self._template: list[tuple[float, float, SegmentKind, Mode | None]] = [
+            (a, b, self._KIND[kind], mode)
+            for a, b, kind, mode in schedule.cycle_template()
+        ]
+
+    @property
+    def schedule(self) -> SlotSchedule:
+        """The underlying slot schedule."""
+        return self._schedule
+
+    def layout_at(self, mode: Mode) -> ModeLayout:
+        """Channel layout installed while serving ``mode``."""
+        return layout_for(mode)
+
+    def segments(self, horizon: float) -> Iterator[Segment]:
+        """All segments of ``[0, horizon)``, in time order (clipped at the end)."""
+        check_positive("horizon", horizon)
+        period = self._schedule.period
+        cycle = 0
+        base = 0.0
+        while base < horizon - EPS:
+            for rel_a, rel_b, kind, mode in self._template:
+                a, b = base + rel_a, base + rel_b
+                if a >= horizon - EPS:
+                    break
+                yield Segment(a, min(b, horizon), kind, mode, cycle)
+            cycle += 1
+            base = cycle * period
+
+    def usable_windows(self, mode: Mode, horizon: float) -> list[tuple[float, float]]:
+        """The mode's usable windows within ``[0, horizon)`` (simulator input)."""
+        return [
+            (s.start, s.end)
+            for s in self.segments(horizon)
+            if s.kind is SegmentKind.USABLE and s.mode is mode
+        ]
+
+    def segment_at(self, t: float) -> Segment:
+        """The segment containing time ``t >= 0``.
+
+        Boundary convention: a boundary instant belongs to the *starting*
+        segment (half-open segments), matching the simulator's event order.
+        """
+        check_nonneg("t", t)
+        period = self._schedule.period
+        cycle = int(t // period)
+        rel = t - cycle * period
+        # Guard against rel == period from float division artifacts.
+        if rel >= period - EPS and self._template:
+            cycle += 1
+            rel = 0.0
+        for rel_a, rel_b, kind, mode in self._template:
+            if rel_a - EPS <= rel < rel_b - EPS:
+                base = cycle * period
+                return Segment(base + rel_a, base + rel_b, kind, mode, cycle)
+        # rel fell into the final sliver before the next cycle (float noise):
+        rel_a, rel_b, kind, mode = self._template[-1]
+        base = cycle * period
+        return Segment(base + rel_a, base + rel_b, kind, mode, cycle)
+
+    def mode_at(self, t: float) -> Mode | None:
+        """The operating mode active at ``t`` (None during idle reserve)."""
+        return self.segment_at(t).mode

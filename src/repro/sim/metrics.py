@@ -1,0 +1,169 @@
+"""Post-simulation metrics: response-time statistics and delivered service.
+
+Turns a :class:`~repro.sim.multicore.MulticoreResult` into the numbers a
+designer reads after a validation run:
+
+* per-task response-time statistics (count/mean/max, normalised laxity);
+* per-mode delivered service vs the design's promised bandwidth;
+* platform-level accounting: how the horizon divided into usable, overhead
+  and idle time (the Figure 2 identity, integrated over the run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import PlatformConfig
+from repro.model import Mode
+from repro.platform.switcher import ModeSwitchController, SegmentKind
+from repro.sim.multicore import MulticoreResult
+
+
+@dataclass(frozen=True)
+class ResponseStats:
+    """Response-time statistics of one task over a simulation run."""
+
+    task: str
+    completed: int
+    mean: float
+    worst: float
+    deadline: float
+
+    @property
+    def worst_case_laxity(self) -> float:
+        """``D − worst response`` (negative would mean a miss)."""
+        return self.deadline - self.worst
+
+    @property
+    def normalised_worst(self) -> float:
+        """Worst response as a fraction of the deadline (1.0 = boundary)."""
+        return self.worst / self.deadline
+
+
+def response_statistics(result: MulticoreResult) -> dict[str, ResponseStats]:
+    """Response-time statistics per task (completed jobs only)."""
+    out: dict[str, ResponseStats] = {}
+    for res in result.processors.values():
+        for task_name, rts in res.response_times().items():
+            arr = np.asarray(rts)
+            deadline = next(
+                j.task.deadline for j in res.jobs if j.task.name == task_name
+            )
+            out[task_name] = ResponseStats(
+                task=task_name,
+                completed=int(arr.size),
+                mean=float(arr.mean()),
+                worst=float(arr.max()),
+                deadline=deadline,
+            )
+    return out
+
+
+@dataclass(frozen=True)
+class ModeService:
+    """Delivered vs promised service of one mode over a run."""
+
+    mode: Mode
+    window_time: float      #: usable-slot time the platform granted
+    busy_time: float        #: time the mode's processors actually executed
+    promised_alpha: float   #: design bandwidth Q̃/P
+    horizon: float
+
+    @property
+    def delivered_alpha(self) -> float:
+        """Granted usable time per unit of horizon."""
+        return self.window_time / self.horizon
+
+    @property
+    def capacity(self) -> float:
+        """Total processor-time offered: windows × logical processors."""
+        return self.window_time * self.mode.parallelism
+
+    @property
+    def mode_utilization(self) -> float:
+        """Fraction of the granted processor-time actually used."""
+        if self.capacity <= 0:
+            return 0.0
+        return self.busy_time / self.capacity
+
+
+def mode_service(result: MulticoreResult, config: PlatformConfig) -> dict[Mode, ModeService]:
+    """Per-mode delivered-service accounting against the design promise."""
+    out: dict[Mode, ModeService] = {}
+    for mode in Mode:
+        windows = result.availability_windows(mode)
+        window_time = sum(b - a for a, b in windows)
+        busy = sum(
+            res.trace.busy_time()
+            for key, res in result.processors.items()
+            if key.startswith(str(mode))
+        )
+        out[mode] = ModeService(
+            mode=mode,
+            window_time=window_time,
+            busy_time=busy,
+            promised_alpha=config.schedule.alpha(mode),
+            horizon=result.horizon,
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class TimeAccounting:
+    """How the simulated horizon divided into platform activities."""
+
+    usable: float
+    overhead: float
+    idle: float
+    horizon: float
+
+    @property
+    def overhead_bandwidth(self) -> float:
+        """Measured ``O/P`` over the run (Table 2's overhead row)."""
+        return self.overhead / self.horizon
+
+
+def time_accounting(result: MulticoreResult) -> TimeAccounting:
+    """Integrate the slot timeline over the simulated horizon."""
+    ctrl = ModeSwitchController(result.schedule)
+    usable = overhead = idle = 0.0
+    for seg in ctrl.segments(result.horizon):
+        if seg.kind is SegmentKind.USABLE:
+            usable += seg.duration
+        elif seg.kind is SegmentKind.OVERHEAD:
+            overhead += seg.duration
+        else:
+            idle += seg.duration
+    return TimeAccounting(usable, overhead, idle, result.horizon)
+
+
+def summarize(result: MulticoreResult, config: PlatformConfig) -> str:
+    """One-page text report of a simulation run."""
+    lines = [
+        f"horizon {result.horizon:.1f}, misses {result.miss_count}, "
+        f"faults {len(result.fault_records)}"
+    ]
+    acct = time_accounting(result)
+    lines.append(
+        f"time split: usable {acct.usable:.1f} / overhead {acct.overhead:.1f}"
+        f" / idle {acct.idle:.1f} (O-bandwidth {acct.overhead_bandwidth:.4f})"
+    )
+    for mode, svc in mode_service(result, config).items():
+        if svc.window_time <= 0:
+            continue
+        lines.append(
+            f"  {mode}: delivered α {svc.delivered_alpha:.4f} "
+            f"(promised {svc.promised_alpha:.4f}), "
+            f"window use {100 * svc.mode_utilization:.1f}%"
+        )
+    stats = response_statistics(result)
+    if stats:
+        tightest = max(stats.values(), key=lambda s: s.normalised_worst)
+        lines.append(
+            f"tightest task: {tightest.task} "
+            f"(worst response {tightest.worst:.3f} of deadline "
+            f"{tightest.deadline:g} -> {100 * tightest.normalised_worst:.1f}%)"
+        )
+    return "\n".join(lines)

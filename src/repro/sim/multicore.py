@@ -1,0 +1,352 @@
+"""Full-platform simulation: slots, channels, schedulers, faults.
+
+:class:`MulticoreSim` executes a designed platform end-to-end:
+
+1. the :class:`~repro.platform.switcher.ModeSwitchController` expands the
+   slot schedule into per-mode usable windows;
+2. injected faults are classified through the checker semantics of the mode
+   active at the fault instant (mask / silence / corrupt / harmless);
+3. every logical processor of every mode runs its partition bin with the
+   local scheduler inside its windows — fail-silent faults black out the
+   remainder of the silenced channel's slot and abort the running job;
+4. NF corruptions are resolved against the execution trace (the victim is
+   whatever job occupied the core at the fault instant);
+5. results are aggregated into deadline, response-time and fault statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from repro.core.config import PlatformConfig, SlotSchedule
+from repro.faults.model import Fault, FaultOutcome, FaultRecord
+from repro.model import Mode, PartitionedTaskSet
+from repro.platform.hardware import FaultEffect
+from repro.platform.modes import layout_for
+from repro.platform.switcher import ModeSwitchController, SegmentKind
+from repro.sim.scheduler import make_policy
+from repro.sim.trace import SimEventKind, SimTrace
+from repro.sim.uniproc import (
+    UniprocResult,
+    simulate_uniproc,
+    subtract_blackouts,
+)
+from repro.util import EPS, check_positive, lcm_fractions, to_fraction
+
+_EFFECT_TO_OUTCOME = {
+    FaultEffect.MASKED: FaultOutcome.MASKED,
+    FaultEffect.SILENCED: FaultOutcome.SILENCED,
+    FaultEffect.CORRUPTED: FaultOutcome.CORRUPTED,
+}
+
+
+def _proc_key(mode: Mode, index: int) -> str:
+    return f"{mode}[{index}]"
+
+
+@dataclass
+class MulticoreResult:
+    """Aggregated outcome of a platform simulation run."""
+
+    horizon: float
+    schedule: SlotSchedule
+    processors: dict[str, UniprocResult]
+    trace: SimTrace
+    fault_records: list[FaultRecord] = field(default_factory=list)
+
+    @property
+    def misses(self) -> list:
+        """All deadline-miss events across processors."""
+        return self.trace.misses()
+
+    @property
+    def miss_count(self) -> int:
+        """Total number of deadline misses."""
+        return len(self.misses)
+
+    def misses_by_task(self) -> dict[str, int]:
+        """Deadline misses grouped by task name."""
+        out: dict[str, int] = {}
+        for e in self.misses:
+            task = e.who.split("#")[0]
+            out[task] = out.get(task, 0) + 1
+        return out
+
+    def corrupted_jobs(self) -> list[str]:
+        """Jobs whose outputs were silently corrupted (NF faults)."""
+        return [
+            r.victim for r in self.fault_records
+            if r.outcome is FaultOutcome.CORRUPTED and r.victim
+        ]
+
+    def aborted_jobs(self) -> list[str]:
+        """Jobs killed by fail-silent channel shutdowns."""
+        out = []
+        for res in self.processors.values():
+            out.extend(j.name for j in res.aborted)
+        return out
+
+    def fault_summary(self) -> dict[FaultOutcome, int]:
+        """Histogram of fault outcomes."""
+        out = {o: 0 for o in FaultOutcome}
+        for r in self.fault_records:
+            out[r.outcome] += 1
+        return out
+
+    def worst_response_times(self) -> dict[str, float]:
+        """Largest observed response time per task (completed jobs only)."""
+        out: dict[str, float] = {}
+        for res in self.processors.values():
+            for task, rts in res.response_times().items():
+                out[task] = max(out.get(task, 0.0), max(rts))
+        return out
+
+    def availability_windows(self, mode: Mode) -> list[tuple[float, float]]:
+        """The usable windows the platform granted to a mode (fault-free view)."""
+        controller = ModeSwitchController(self.schedule)
+        return controller.usable_windows(mode, self.horizon)
+
+
+class MulticoreSim:
+    """Simulator of the flexible 4-core platform for one designed config.
+
+    Parameters
+    ----------
+    partition:
+        The per-mode, per-processor task partition.
+    config:
+        A :class:`PlatformConfig` (from the design pipeline) or a raw
+        :class:`SlotSchedule`.
+    algorithm:
+        Local scheduler; defaults to the config's algorithm (required when a
+        raw schedule is given).
+    """
+
+    def __init__(
+        self,
+        partition: PartitionedTaskSet,
+        config: PlatformConfig | SlotSchedule,
+        algorithm: str | None = None,
+    ):
+        if isinstance(config, PlatformConfig):
+            self._schedule = config.schedule
+            algorithm = algorithm or config.algorithm
+        else:
+            self._schedule = config
+        if algorithm is None:
+            raise ValueError("algorithm is required when passing a raw SlotSchedule")
+        self._alg = algorithm.upper()
+        self._partition = partition
+        self._controller = ModeSwitchController(self._schedule)
+
+    @property
+    def schedule(self) -> SlotSchedule:
+        """The slot schedule being simulated."""
+        return self._schedule
+
+    def default_horizon(self, *, cycles_cap: int = 2000) -> float:
+        """Two task hyperperiods, rounded up to whole platform cycles.
+
+        Capped at ``cycles_cap`` platform cycles to keep pathological
+        hyperperiods tractable.
+        """
+        tasks = self._partition.all_tasks()
+        if len(tasks) == 0:
+            return 10.0 * self._schedule.period
+        h = float(lcm_fractions([to_fraction(t.period) for t in tasks]))
+        p = self._schedule.period
+        n_cycles = min(int(2.0 * h / p) + 1, cycles_cap)
+        return max(n_cycles, 1) * p
+
+    # -- fault classification ----------------------------------------------------
+
+    def classify_fault(self, fault: Fault) -> tuple[FaultOutcome, Mode | None, int | None, object]:
+        """Checker view of a fault: (outcome, mode, channel index, segment)."""
+        seg = self._controller.segment_at(fault.time)
+        if seg.kind is not SegmentKind.USABLE or seg.mode is None:
+            return FaultOutcome.HARMLESS, seg.mode, None, seg
+        layout = layout_for(seg.mode)
+        for idx, channel in enumerate(layout.channels):
+            if channel.contains(fault.core):
+                return _EFFECT_TO_OUTCOME[channel.fault_effect()], seg.mode, idx, seg
+        raise RuntimeError(  # pragma: no cover - layouts cover all cores
+            f"core {fault.core} not in any channel of mode {seg.mode}"
+        )
+
+    # -- main entry ----------------------------------------------------------------
+
+    def run(
+        self,
+        horizon: float | None = None,
+        *,
+        faults: Sequence[Fault] = (),
+        release_offsets: str | Mapping[str, float] = "zero",
+    ) -> MulticoreResult:
+        """Simulate ``[0, horizon)`` with optional fault injection.
+
+        Parameters
+        ----------
+        horizon:
+            Simulation length (default: :meth:`default_horizon`).
+        faults:
+            Transient faults to inject (times within the horizon).
+        release_offsets:
+            ``"zero"`` — synchronous release at t=0;
+            ``"critical"`` — every task's first release is aligned with the
+            *end* of its mode's first usable window (the supply-worst-case
+            phasing used by Lemma 1);
+            or an explicit per-task offset mapping.
+        """
+        horizon = horizon if horizon is not None else self.default_horizon()
+        check_positive("horizon", horizon)
+
+        # 1. classify faults, build per-processor abort/blackout lists
+        records: list[FaultRecord] = []
+        aborts: dict[tuple[Mode, int], list[float]] = {}
+        blackouts: dict[tuple[Mode, int], list[tuple[float, float]]] = {}
+        nf_corruptions: list[tuple[Fault, int]] = []
+        for fault in sorted(faults, key=lambda f: f.time):
+            if fault.time >= horizon:
+                raise ValueError(
+                    f"fault at {fault.time} is beyond the horizon {horizon}"
+                )
+            outcome, mode, chan, seg = self.classify_fault(fault)
+            if outcome is FaultOutcome.HARMLESS:
+                records.append(
+                    FaultRecord(
+                        fault, outcome, mode, None,
+                        detail=f"hit {seg.kind} time",
+                    )
+                )
+            elif outcome is FaultOutcome.MASKED:
+                records.append(
+                    FaultRecord(
+                        fault, outcome, mode, _proc_key(mode, chan),
+                        detail="majority vote over redundant lock-step",
+                    )
+                )
+            elif outcome is FaultOutcome.SILENCED:
+                key = (mode, chan)
+                aborts.setdefault(key, []).append(fault.time)
+                blackouts.setdefault(key, []).append((fault.time, seg.end))
+                # The victim (running job) is filled in after simulation.
+                records.append(
+                    FaultRecord(
+                        fault, outcome, mode, _proc_key(mode, chan),
+                        detail=f"channel blocked until {seg.end:g}",
+                    )
+                )
+            else:  # CORRUPTED — resolved against the trace afterwards
+                nf_corruptions.append((fault, chan))
+                records.append(
+                    FaultRecord(
+                        fault, outcome, mode, _proc_key(mode, chan),
+                        detail="undetected soft error",
+                    )
+                )
+
+        # 2. run every logical processor
+        merged = SimTrace(horizon)
+        processors: dict[str, UniprocResult] = {}
+        for mode in Mode:
+            windows = self._controller.usable_windows(mode, horizon)
+            for idx, taskset in enumerate(self._partition.bins(mode)):
+                if len(taskset) == 0:
+                    continue
+                key = _proc_key(mode, idx)
+                proc_windows = subtract_blackouts(
+                    windows, blackouts.get((mode, idx), [])
+                )
+                offsets = self._resolve_offsets(release_offsets, mode, taskset)
+                result = simulate_uniproc(
+                    taskset,
+                    make_policy(taskset, self._alg),
+                    proc_windows,
+                    horizon,
+                    processor=key,
+                    release_offsets=offsets,
+                    abort_events=aborts.get((mode, idx), ()),
+                )
+                processors[key] = result
+                merged.merge(result.trace)
+
+        # 3. resolve fault victims against the executed trace
+        final_records: list[FaultRecord] = []
+        for rec in records:
+            victim = None
+            if (
+                rec.outcome is FaultOutcome.CORRUPTED
+                and rec.processor not in processors
+            ):
+                # The struck core hosts no tasks at all: nothing observable
+                # was corrupted.
+                rec = FaultRecord(
+                    rec.fault, FaultOutcome.HARMLESS, rec.mode,
+                    rec.processor, detail="core hosts no tasks",
+                )
+            if rec.processor in processors:
+                res = processors[rec.processor]
+                if rec.outcome is FaultOutcome.CORRUPTED:
+                    victim = res.job_running_at(rec.fault.time)
+                    if victim is None:
+                        rec = FaultRecord(
+                            rec.fault, FaultOutcome.HARMLESS, rec.mode,
+                            rec.processor, detail="core was idle",
+                        )
+                    else:
+                        # Mark the job object for downstream consumers.
+                        for j in res.jobs:
+                            if j.name == victim:
+                                j.corrupted = True
+                                break
+                elif rec.outcome is FaultOutcome.SILENCED:
+                    aborted_names = {j.name for j in res.aborted}
+                    # The victim is the job the abort event killed at this time.
+                    for e in res.trace.events_of(SimEventKind.ABORT):
+                        if abs(e.time - rec.fault.time) <= EPS:
+                            victim = e.who
+                            break
+                    victim = victim if victim in aborted_names or victim else None
+            if victim is not None:
+                rec = FaultRecord(
+                    rec.fault, rec.outcome, rec.mode, rec.processor,
+                    victim=victim, detail=rec.detail,
+                )
+            final_records.append(rec)
+            merged.log(
+                rec.fault.time,
+                SimEventKind.FAULT,
+                f"core{rec.fault.core}",
+                detail=f"{rec.outcome}"
+                + (f" victim={rec.victim}" if rec.victim else ""),
+            )
+        merged.events.sort(key=lambda e: (e.time, e.kind.value, e.who))
+        return MulticoreResult(
+            horizon=horizon,
+            schedule=self._schedule,
+            processors=processors,
+            trace=merged,
+            fault_records=final_records,
+        )
+
+    def _resolve_offsets(
+        self,
+        release_offsets: str | Mapping[str, float],
+        mode: Mode,
+        taskset,
+    ) -> dict[str, float]:
+        if isinstance(release_offsets, str):
+            if release_offsets == "zero":
+                return {}
+            if release_offsets == "critical":
+                # Worst-case phasing of Lemma 1: the window of interest starts
+                # right when the mode's usable slot ends.
+                _, slot_end = self._schedule.usable_window(mode)
+                return {t.name: slot_end for t in taskset}
+            raise ValueError(
+                f"unknown release_offsets spec {release_offsets!r} "
+                "(use 'zero', 'critical' or a mapping)"
+            )
+        return {t.name: float(release_offsets.get(t.name, 0.0)) for t in taskset}

@@ -1,0 +1,82 @@
+"""Preemptive uniprocessor scheduling policies for the simulator.
+
+A policy is a stateless job selector: given the currently active jobs it
+returns the one to execute. Preemption is handled by the simulator, which
+re-invokes the selector at every event (release, completion, window edge).
+Ties are broken deterministically (earlier release, then task name) so
+simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Sequence
+
+from repro.analysis import priority_order
+from repro.model import Job, Task, TaskSet
+
+
+class SchedulingPolicy(abc.ABC):
+    """Picks which active job runs next on one logical processor."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(self, jobs: Sequence[Job]) -> Job | None:
+        """The job to execute among ``jobs`` (None when the set is empty)."""
+
+
+class FixedPriorityPolicy(SchedulingPolicy):
+    """Static priorities: highest-priority active job wins.
+
+    Parameters
+    ----------
+    order:
+        Tasks from highest to lowest priority (e.g. from
+        :func:`repro.analysis.priority_order`).
+    """
+
+    def __init__(self, order: Sequence[Task]):
+        self._rank: Mapping[str, int] = {t.name: i for i, t in enumerate(order)}
+        self.name = "FP"
+
+    def rank_of(self, task_name: str) -> int:
+        """Priority rank (0 = highest)."""
+        try:
+            return self._rank[task_name]
+        except KeyError:
+            raise KeyError(f"task {task_name!r} has no assigned priority") from None
+
+    def select(self, jobs: Sequence[Job]) -> Job | None:
+        active = [j for j in jobs if j.is_active]
+        if not active:
+            return None
+        return min(
+            active,
+            key=lambda j: (self.rank_of(j.task.name), j.release, j.task.name),
+        )
+
+
+class EDFPolicy(SchedulingPolicy):
+    """Earliest absolute deadline first (dynamic priorities)."""
+
+    name = "EDF"
+
+    def select(self, jobs: Sequence[Job]) -> Job | None:
+        active = [j for j in jobs if j.is_active]
+        if not active:
+            return None
+        return min(
+            active,
+            key=lambda j: (j.absolute_deadline, j.release, j.task.name),
+        )
+
+
+def make_policy(taskset: TaskSet, algorithm: str) -> SchedulingPolicy:
+    """Build a policy by algorithm name ("RM", "DM" or "EDF")."""
+    alg = algorithm.upper()
+    if alg == "EDF":
+        return EDFPolicy()
+    if alg in ("RM", "DM"):
+        return FixedPriorityPolicy(priority_order(taskset, alg))
+    raise ValueError(f"unknown algorithm {algorithm!r} (EDF, RM or DM)")

@@ -1,0 +1,286 @@
+"""Simulation of one logical processor inside availability windows.
+
+This is the workhorse of the platform simulator: a preemptive, event-driven
+execution of a partition's task set on one logical processor that is only
+available during the windows its mode's slots provide. The fail-silent fault
+path is supported through *abort events* (kill whatever runs at time ``t``)
+combined with pre-blacked-out windows.
+
+Job releases follow the synchronous periodic pattern (``k T_i + offset``) —
+the worst case the analysis assumes; per-task release offsets allow the
+validation layer to align the critical instant with a slot blackout.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.model import Job, JobState, TaskSet
+from repro.sim.scheduler import SchedulingPolicy
+from repro.sim.trace import ExecutionSlice, SimEvent, SimEventKind, SimTrace
+from repro.util import EPS, check_positive
+
+
+def merge_windows(
+    windows: Sequence[tuple[float, float]], horizon: float
+) -> list[tuple[float, float]]:
+    """Sort, clip to ``[0, horizon)`` and merge touching windows."""
+    ws = sorted(
+        (max(float(a), 0.0), min(float(b), horizon))
+        for a, b in windows
+        if min(b, horizon) - max(a, 0.0) > EPS
+    )
+    merged: list[list[float]] = []
+    for a, b in ws:
+        if merged and a <= merged[-1][1] + EPS:
+            merged[-1][1] = max(merged[-1][1], b)
+        else:
+            merged.append([a, b])
+    return [(a, b) for a, b in merged]
+
+
+def subtract_blackouts(
+    windows: Sequence[tuple[float, float]],
+    blackouts: Sequence[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Remove blackout intervals (e.g. silenced-channel time) from windows."""
+    out: list[tuple[float, float]] = []
+    for a, b in windows:
+        pieces = [(a, b)]
+        for ba, bb in blackouts:
+            next_pieces: list[tuple[float, float]] = []
+            for pa, pb in pieces:
+                if bb <= pa + EPS or ba >= pb - EPS:
+                    next_pieces.append((pa, pb))
+                    continue
+                if ba > pa + EPS:
+                    next_pieces.append((pa, ba))
+                if bb < pb - EPS:
+                    next_pieces.append((bb, pb))
+            pieces = next_pieces
+        out.extend(pieces)
+    return [p for p in out if p[1] - p[0] > EPS]
+
+
+@dataclass
+class UniprocResult:
+    """Outcome of a single-processor simulation.
+
+    Attributes
+    ----------
+    processor:
+        Logical processor label (e.g. ``"FS[1]"``).
+    jobs:
+        Every job instance released before the horizon.
+    trace:
+        Slices and events of this processor.
+    """
+
+    processor: str
+    jobs: list[Job]
+    trace: SimTrace
+
+    @property
+    def misses(self) -> list[SimEvent]:
+        """Deadline-miss events."""
+        return self.trace.misses()
+
+    @property
+    def completed(self) -> list[Job]:
+        """Jobs that ran to completion."""
+        return [j for j in self.jobs if j.state is JobState.COMPLETED]
+
+    @property
+    def aborted(self) -> list[Job]:
+        """Jobs killed by fail-silent channel shutdown."""
+        return [j for j in self.jobs if j.state is JobState.ABORTED]
+
+    def response_times(self) -> dict[str, list[float]]:
+        """Observed response times grouped by task."""
+        out: dict[str, list[float]] = {}
+        for j in self.completed:
+            rt = j.response_time
+            if rt is not None:
+                out.setdefault(j.task.name, []).append(rt)
+        return out
+
+    def worst_response_time(self, task: str) -> float | None:
+        """Largest observed response time of one task (None if never finished)."""
+        rts = self.response_times().get(task)
+        return max(rts) if rts else None
+
+    def job_running_at(self, t: float) -> str | None:
+        """Job name executing at instant ``t`` (None when idle)."""
+        for s in self.trace.slices:
+            if s.start - EPS <= t < s.end - EPS:
+                return s.job
+        return None
+
+
+def simulate_uniproc(
+    taskset: TaskSet,
+    policy: SchedulingPolicy,
+    windows: Sequence[tuple[float, float]],
+    horizon: float,
+    *,
+    processor: str = "P[0]",
+    release_offsets: Mapping[str, float] | None = None,
+    abort_events: Sequence[float] = (),
+) -> UniprocResult:
+    """Simulate ``taskset`` under ``policy`` within availability ``windows``.
+
+    Parameters
+    ----------
+    taskset:
+        Tasks sharing this logical processor.
+    policy:
+        Preemptive scheduling policy (see :mod:`repro.sim.scheduler`).
+    windows:
+        Availability intervals; execution only happens inside them.
+    horizon:
+        Simulation end. Jobs whose absolute deadline falls beyond the horizon
+        are not judged for misses (edge effect).
+    release_offsets:
+        Optional per-task first-release offsets (default 0 — synchronous).
+    abort_events:
+        Times at which the currently running job (if any) is killed — the
+        fail-silent channel-shutdown hook. Each time is consumed once.
+
+    Returns
+    -------
+    :class:`UniprocResult` with all jobs, slices and events.
+    """
+    check_positive("horizon", horizon)
+    offsets = release_offsets or {}
+    trace = SimTrace(horizon)
+    windows = merge_windows(windows, horizon)
+    aborts = sorted(t for t in abort_events if 0.0 <= t < horizon)
+
+    # Pre-generate all releases before the horizon, time-ordered.
+    jobs: list[Job] = []
+    releases: list[tuple[float, Job]] = []
+    for task in taskset:
+        off = float(offsets.get(task.name, 0.0))
+        if off < 0:
+            raise ValueError(f"release offset of {task.name} must be >= 0")
+        k = 0
+        while True:
+            r = off + k * task.period
+            if r >= horizon - EPS:
+                break
+            job = Job(task, r, k)
+            jobs.append(job)
+            releases.append((r, job))
+            k += 1
+    releases.sort(key=lambda p: (p[0], p[1].task.name))
+    release_times = [r for r, _ in releases]
+
+    ready: list[Job] = []
+    missed: set[str] = set()
+    rel_idx = 0
+    abort_idx = 0
+
+    def admit_releases(now: float) -> int:
+        """Move released jobs into the ready set; return new index."""
+        nonlocal rel_idx
+        while rel_idx < len(releases) and release_times[rel_idx] <= now + EPS:
+            r, job = releases[rel_idx]
+            ready.append(job)
+            trace.log(r, SimEventKind.RELEASE, job.name)
+            rel_idx += 1
+        return rel_idx
+
+    def check_misses(now: float) -> None:
+        """Log (once) every active job whose deadline has passed."""
+        for job in ready:
+            if (
+                job.is_active
+                and job.absolute_deadline < now - EPS
+                and job.name not in missed
+            ):
+                missed.add(job.name)
+                trace.log(
+                    job.absolute_deadline,
+                    SimEventKind.DEADLINE_MISS,
+                    job.name,
+                    detail=f"remaining={job.remaining:g}",
+                )
+
+    def next_release_after(now: float) -> float:
+        i = rel_idx
+        return release_times[i] if i < len(releases) else float("inf")
+
+    def consume_aborts(now: float, running: Job | None) -> None:
+        """Fire abort events at ``now`` (kill the running job, if any)."""
+        nonlocal abort_idx
+        while abort_idx < len(aborts) and aborts[abort_idx] <= now + EPS:
+            t = aborts[abort_idx]
+            abort_idx += 1
+            if running is not None and running.is_active:
+                running.abort()
+                trace.log(t, SimEventKind.ABORT, running.name, detail="channel silenced")
+                running = None
+
+    for win_a, win_b in windows:
+        now = win_a
+        while now < win_b - EPS:
+            # Aborts at or before `now` hit an idle (or already handled)
+            # instant — consume them harmlessly so a stale abort can never
+            # kill a job that starts later.
+            consume_aborts(now, None)
+            admit_releases(now)
+            check_misses(now)
+            job = policy.select(ready)
+            nr = next_release_after(now)
+            na = aborts[abort_idx] if abort_idx < len(aborts) else float("inf")
+            boundary = min(win_b, nr, na)
+            if job is None:
+                if boundary >= win_b - EPS:
+                    break  # idle until the window closes
+                now = boundary
+                continue
+            run_until = min(boundary, now + job.remaining)
+            if run_until > now + EPS:
+                job.execute(run_until - now)
+                trace.add_slice(
+                    ExecutionSlice(processor, job.name, job.task.name, now, run_until)
+                )
+            if not job.is_active and job.state is JobState.READY:
+                job.complete(run_until)
+                trace.log(run_until, SimEventKind.COMPLETION, job.name)
+                if (
+                    run_until > job.absolute_deadline + EPS
+                    and job.name not in missed
+                ):
+                    missed.add(job.name)
+                    trace.log(
+                        job.absolute_deadline,
+                        SimEventKind.DEADLINE_MISS,
+                        job.name,
+                        detail=f"completed late at {run_until:g}",
+                    )
+                ready.remove(job)
+            now = run_until
+            # The abort at `run_until` (if that is why we stopped) kills the
+            # job that was just executing, provided it is still active.
+            consume_aborts(now, job if job.state is JobState.READY else None)
+            ready[:] = [j for j in ready if j.state is JobState.READY]
+    # Horizon post-pass: unfinished jobs whose deadline lies inside the horizon.
+    for job in jobs:
+        if (
+            job.state is JobState.READY
+            and job.remaining > EPS
+            and job.absolute_deadline <= horizon + EPS
+            and job.name not in missed
+        ):
+            missed.add(job.name)
+            trace.log(
+                job.absolute_deadline,
+                SimEventKind.DEADLINE_MISS,
+                job.name,
+                detail=f"unfinished at horizon (remaining={job.remaining:g})",
+            )
+    trace.events.sort(key=lambda e: (e.time, e.kind.value, e.who))
+    return UniprocResult(processor, jobs, trace)

@@ -1,0 +1,76 @@
+"""Comparison helpers over supply functions.
+
+Supply functions form a partial order: ``Z1`` *dominates* ``Z2`` when
+``Z1(t) >= Z2(t)`` for every ``t`` — any task set feasible under the
+dominated supply is feasible under the dominating one. These helpers verify
+dominance numerically on a dense grid plus the breakpoints relevant to
+periodic supplies, which is how the library's safety claims (e.g. "the linear
+bound is safe", Figure 3) are checked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.supply.base import SupplyFunction
+from repro.supply.linear import LinearSupply
+from repro.util import EPS, check_positive
+
+
+def _probe_points(horizon: float, n: int, *extra_periods: float) -> np.ndarray:
+    """Dense grid over [0, horizon] enriched with periodic breakpoints."""
+    pts = [np.linspace(0.0, horizon, n)]
+    for period in extra_periods:
+        if period and period > 0:
+            ks = np.arange(0.0, horizon + period, period)
+            pts.append(ks)
+            pts.append(np.maximum(ks - EPS, 0.0))
+            pts.append(ks + EPS)
+    out = np.unique(np.concatenate(pts))
+    return out[(out >= 0.0) & (out <= horizon)]
+
+
+def _periods_of(*supplies: SupplyFunction) -> list[float]:
+    return [getattr(s, "period", 0.0) or 0.0 for s in supplies]
+
+
+def dominates(
+    z1: SupplyFunction,
+    z2: SupplyFunction,
+    horizon: float,
+    *,
+    n: int = 2001,
+    tol: float = 1e-7,
+) -> bool:
+    """True if ``z1(t) >= z2(t) - tol`` on a dense probe of ``[0, horizon]``."""
+    check_positive("horizon", horizon)
+    ts = _probe_points(horizon, n, *_periods_of(z1, z2))
+    return bool(np.all(z1.supply_array(ts) >= z2.supply_array(ts) - tol))
+
+
+def equivalent_on(
+    z1: SupplyFunction,
+    z2: SupplyFunction,
+    horizon: float,
+    *,
+    n: int = 2001,
+    tol: float = 1e-7,
+) -> bool:
+    """True if the two supplies agree within ``tol`` on ``[0, horizon]``."""
+    check_positive("horizon", horizon)
+    ts = _probe_points(horizon, n, *_periods_of(z1, z2))
+    return bool(np.all(np.abs(z1.supply_array(ts) - z2.supply_array(ts)) <= tol))
+
+
+def linear_bound_of(supply: SupplyFunction) -> LinearSupply:
+    """The bounded-delay abstraction ``Z'(t) = max(0, α(t − Δ))`` of a supply.
+
+    For :class:`~repro.supply.periodic.PeriodicSlotSupply` this is exactly
+    Eq. 3 of the paper (and is guaranteed to lower-bound the exact supply —
+    Figure 3); for other models it uses their ``alpha``/``delta``.
+    """
+    alpha = supply.alpha
+    delta = supply.delta
+    if alpha <= 0 or not np.isfinite(delta):
+        return LinearSupply(0.0, 0.0)
+    return LinearSupply(alpha, delta)

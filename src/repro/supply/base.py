@@ -1,0 +1,81 @@
+"""Abstract supply function interface.
+
+Every concrete supply function provides ``supply(t)`` (Definition 1 of the
+paper), its pseudo-inverse ``inverse(w)`` (earliest window length guaranteeing
+``w`` units of service — used by supply-aware response-time analysis), and the
+bounded-delay abstraction ``(alpha, delta)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+import numpy as np
+
+from repro.util import EPS, check_nonneg
+
+
+class SupplyFunction(abc.ABC):
+    """Minimum guaranteed service ``Z(t)`` of a time partition.
+
+    Implementations must be non-decreasing, 1-Lipschitz (a partition cannot
+    supply faster than real time), and satisfy ``Z(0) == 0``. These invariants
+    are exercised by the hypothesis property tests in
+    ``tests/properties/test_supply_props.py``.
+    """
+
+    @abc.abstractmethod
+    def supply(self, t: float) -> float:
+        """Minimum service guaranteed in any window of length ``t >= 0``."""
+
+    @property
+    @abc.abstractmethod
+    def alpha(self) -> float:
+        """Long-run supply rate ``lim Z(t)/t``."""
+
+    @property
+    @abc.abstractmethod
+    def delta(self) -> float:
+        """Longest starvation interval: ``sup { t : Z(t) = 0 }``."""
+
+    # -- generic implementations ----------------------------------------------
+
+    def supply_array(self, ts: Iterable[float]) -> np.ndarray:
+        """Vectorised :meth:`supply` (subclasses may override with numpy)."""
+        return np.array([self.supply(float(t)) for t in ts], dtype=float)
+
+    def inverse(self, w: float, *, hint: float | None = None) -> float:
+        """Smallest ``t`` with ``Z(t) >= w`` (pseudo-inverse).
+
+        The generic implementation brackets geometrically from ``hint`` (or
+        ``delta + w``) and bisects; subclasses with closed forms override it.
+        Raises :class:`ValueError` if the supply can never reach ``w``
+        (``alpha == 0``).
+        """
+        check_nonneg("w", w)
+        if w <= EPS:
+            return 0.0
+        if self.alpha <= 0:
+            raise ValueError(f"supply rate is 0; cannot ever provide w={w}")
+        hi = max(hint if hint is not None else 0.0, self.delta + w, EPS)
+        for _ in range(200):
+            if self.supply(hi) >= w:
+                break
+            hi *= 2.0
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"failed to bracket inverse for w={w}")
+        lo = 0.0
+        for _ in range(100):
+            mid = 0.5 * (lo + hi)
+            if self.supply(mid) >= w:
+                hi = mid
+            else:
+                lo = mid
+            if hi - lo <= EPS * max(1.0, hi):
+                break
+        return hi
+
+    def is_feasible_budget(self) -> bool:
+        """True when the partition supplies any time at all (``alpha > 0``)."""
+        return self.alpha > 0

@@ -1,0 +1,61 @@
+"""Trivial supply functions: a dedicated processor and an empty partition."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.supply.base import SupplyFunction
+from repro.util import check_nonneg
+
+
+class DedicatedSupply(SupplyFunction):
+    """A full dedicated processor: ``Z(t) = t`` (``alpha=1``, ``delta=0``).
+
+    With this supply, the supply-aware schedulability tests of
+    :mod:`repro.analysis` reduce exactly to the classic dedicated-processor
+    tests — a relationship the test suite checks.
+    """
+
+    def supply(self, t: float) -> float:
+        check_nonneg("t", t)
+        return float(t)
+
+    def supply_array(self, ts) -> np.ndarray:
+        return np.asarray(ts, dtype=float).copy()
+
+    @property
+    def alpha(self) -> float:
+        return 1.0
+
+    @property
+    def delta(self) -> float:
+        return 0.0
+
+    def inverse(self, w: float, *, hint: float | None = None) -> float:
+        check_nonneg("w", w)
+        return float(w)
+
+    def __repr__(self) -> str:
+        return "DedicatedSupply()"
+
+
+class NullSupply(SupplyFunction):
+    """A partition that never supplies time (``Z(t) = 0``)."""
+
+    def supply(self, t: float) -> float:
+        check_nonneg("t", t)
+        return 0.0
+
+    def supply_array(self, ts) -> np.ndarray:
+        return np.zeros(len(np.asarray(ts)), dtype=float)
+
+    @property
+    def alpha(self) -> float:
+        return 0.0
+
+    @property
+    def delta(self) -> float:
+        return float("inf")
+
+    def __repr__(self) -> str:
+        return "NullSupply()"

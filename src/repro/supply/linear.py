@@ -1,0 +1,73 @@
+"""Linear (bounded-delay) lower bound of a supply function (Eq. 3).
+
+``Z'(t) = max(0, α (t − Δ))`` is a safe lower bound of the exact periodic
+slot supply (Figure 3): any task set feasible under ``Z'`` is feasible under
+``Z``. The paper develops its whole design methodology on ``Z'`` because it
+turns the feasibility conditions into the closed-form ``minQ`` formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.supply.base import SupplyFunction
+from repro.util import EPS, check_in_range, check_nonneg
+
+
+class LinearSupply(SupplyFunction):
+    """Bounded-delay supply ``Z'(t) = max(0, alpha * (t - delta))``.
+
+    Parameters
+    ----------
+    alpha:
+        Supply rate in ``(0, 1]`` (``alpha = 0`` is allowed and models a
+        partition that never supplies).
+    delta:
+        Initial service delay ``>= 0``.
+    """
+
+    __slots__ = ("_alpha", "_delta")
+
+    def __init__(self, alpha: float, delta: float):
+        check_in_range("alpha", alpha, 0.0, 1.0)
+        check_nonneg("delta", delta)
+        self._alpha = float(alpha)
+        self._delta = float(delta)
+
+    @classmethod
+    def from_slot(cls, period: float, budget: float) -> "LinearSupply":
+        """Build from slot parameters via Eq. 2: ``α = Q̃/P``, ``Δ = P − Q̃``."""
+        if period <= 0:
+            raise ValueError(f"period must be > 0: got {period}")
+        if not 0 <= budget <= period + EPS:
+            raise ValueError(f"budget must be in [0, period]: got {budget}")
+        budget = min(budget, period)
+        return cls(alpha=budget / period, delta=period - budget)
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def delta(self) -> float:
+        return self._delta if self._alpha > 0 else float("inf")
+
+    def supply(self, t: float) -> float:
+        check_nonneg("t", t)
+        return max(0.0, self._alpha * (t - self._delta))
+
+    def supply_array(self, ts) -> np.ndarray:
+        t = np.asarray(ts, dtype=float)
+        return np.maximum(0.0, self._alpha * (t - self._delta))
+
+    def inverse(self, w: float, *, hint: float | None = None) -> float:
+        """Closed form: ``t = Δ + w/α`` for ``w > 0``."""
+        check_nonneg("w", w)
+        if w <= EPS:
+            return 0.0
+        if self._alpha <= 0:
+            raise ValueError(f"supply rate is 0; cannot ever provide w={w}")
+        return self._delta + w / self._alpha
+
+    def __repr__(self) -> str:
+        return f"LinearSupply(α={self._alpha:g}, Δ={self._delta:g})"

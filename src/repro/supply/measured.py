@@ -1,0 +1,144 @@
+"""Empirical supply functions extracted from simulator availability traces.
+
+The multicore simulator records, for each logical processor, the exact time
+windows during which the platform made it available (its mode's usable slot
+portions). :class:`MeasuredSupply` turns such a finite trace into an
+empirical supply function
+
+.. math:: \\hat Z(t) = \\min_{t_0} \\text{available time in } [t_0, t_0+t]
+
+over the observed horizon, which the validation layer compares against the
+analytical guarantee: a correct platform must satisfy
+``measured >= analytical`` everywhere (the analytical ``Z`` is a *minimum*
+guarantee).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.supply.base import SupplyFunction
+from repro.util import EPS, check_nonneg, check_positive
+
+
+def _merge_windows(windows: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    ws = sorted((float(a), float(b)) for a, b in windows if b - a > EPS)
+    merged: list[list[float]] = []
+    for a, b in ws:
+        if merged and a <= merged[-1][1] + EPS:
+            merged[-1][1] = max(merged[-1][1], b)
+        else:
+            merged.append([a, b])
+    return [(a, b) for a, b in merged]
+
+
+class MeasuredSupply(SupplyFunction):
+    """Empirical minimum-supply over a finite availability trace.
+
+    Parameters
+    ----------
+    windows:
+        Availability windows ``(start, end)`` observed in ``[0, horizon]``.
+    horizon:
+        Length of the observation. Queries with ``t > horizon`` raise
+        ``ValueError`` — a finite trace says nothing beyond its horizon.
+
+    Notes
+    -----
+    The empirical minimum is evaluated by sliding the window start over the
+    candidate offsets where the minimum can occur (availability-window ends
+    and ``start - t`` alignments), the same argument as
+    :class:`~repro.supply.slots.SlotLayoutSupply`.
+    """
+
+    def __init__(self, windows: Iterable[tuple[float, float]], horizon: float):
+        check_positive("horizon", horizon)
+        self._windows = _merge_windows(windows)
+        self._horizon = float(horizon)
+        for a, b in self._windows:
+            if a < -EPS or b > self._horizon + EPS:
+                raise ValueError(
+                    f"window [{a}, {b}) outside observed horizon [0, {self._horizon}]"
+                )
+        # Cumulative availability F(x) for O(log n) interval queries.
+        self._starts = np.array([a for a, _ in self._windows])
+        self._ends = np.array([b for _, b in self._windows])
+        lens = self._ends - self._starts
+        self._cum = np.concatenate([[0.0], np.cumsum(lens)])
+
+    @property
+    def horizon(self) -> float:
+        """Observation length."""
+        return self._horizon
+
+    @property
+    def windows(self) -> Sequence[tuple[float, float]]:
+        """Merged availability windows."""
+        return list(self._windows)
+
+    def total_available(self) -> float:
+        """Total availability over the horizon."""
+        return float(self._cum[-1])
+
+    def _F(self, x: float) -> float:
+        """Cumulative available time in [0, x]."""
+        if x <= 0:
+            return 0.0
+        x = min(x, self._horizon)
+        i = int(np.searchsorted(self._starts, x, side="right")) - 1
+        if i < 0:
+            return 0.0
+        base = float(self._cum[i])
+        return base + min(max(x - self._starts[i], 0.0), self._ends[i] - self._starts[i])
+
+    def _available(self, t0: float, t1: float) -> float:
+        return self._F(t1) - self._F(t0)
+
+    def supply(self, t: float) -> float:
+        check_nonneg("t", t)
+        if t > self._horizon + EPS:
+            raise ValueError(
+                f"cannot evaluate measured supply at t={t} beyond horizon "
+                f"{self._horizon}"
+            )
+        if t <= EPS:
+            return 0.0
+        candidates = [0.0]
+        for _a, b in self._windows:
+            if b + t <= self._horizon + EPS:
+                candidates.append(b)
+        # Also consider the window ending exactly at the horizon.
+        candidates.append(max(self._horizon - t, 0.0))
+        best = min(self._available(t0, min(t0 + t, self._horizon)) for t0 in candidates)
+        return max(best, 0.0)
+
+    @property
+    def alpha(self) -> float:
+        """Empirical long-run rate: total availability / horizon."""
+        return self.total_available() / self._horizon
+
+    @property
+    def delta(self) -> float:
+        """Longest observed starvation stretch (including trace edges)."""
+        if not self._windows:
+            return float("inf")
+        gaps = [self._windows[0][0]]
+        for (a1, b1), (a2, _b2) in zip(self._windows, self._windows[1:]):
+            gaps.append(a2 - b1)
+        gaps.append(self._horizon - self._windows[-1][1])
+        return max(max(gaps), 0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"MeasuredSupply({len(self._windows)} windows, "
+            f"horizon={self._horizon:g}, alpha={self.alpha:.3f})"
+        )
+
+
+def availability_to_supply(
+    windows: Iterable[tuple[float, float]], horizon: float
+) -> MeasuredSupply:
+    """Convenience constructor mirroring the simulator's trace output."""
+    return MeasuredSupply(windows, horizon)

@@ -1,0 +1,48 @@
+"""Shared numeric and validation utilities.
+
+This package holds the small helpers used across the library: floating-point
+tolerances, exact LCM/hyperperiod arithmetic over rationals, and argument
+validation with consistent error messages.
+"""
+
+from repro.util.mathutils import (
+    EPS,
+    REL_TOL,
+    approx_ge,
+    approx_le,
+    feq,
+    fgt,
+    flt,
+    fuzzy_ceil,
+    fuzzy_floor,
+    lcm_fractions,
+    lcm_ints,
+    to_fraction,
+)
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_nonneg,
+    check_positive,
+    check_type,
+)
+
+__all__ = [
+    "EPS",
+    "REL_TOL",
+    "approx_ge",
+    "approx_le",
+    "feq",
+    "fgt",
+    "flt",
+    "fuzzy_ceil",
+    "fuzzy_floor",
+    "lcm_fractions",
+    "lcm_ints",
+    "to_fraction",
+    "check_finite",
+    "check_in_range",
+    "check_nonneg",
+    "check_positive",
+    "check_type",
+]

@@ -1,0 +1,61 @@
+"""Argument validation helpers with consistent error messages.
+
+All public constructors in the library validate their inputs through these
+helpers so failure messages have a uniform ``<name> must ...: got <value>``
+shape that is easy to assert on in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def check_type(name: str, value: Any, types: type | tuple[type, ...]) -> None:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(f"{name} must be {expected}: got {type(value).__name__} ({value!r})")
+
+
+def check_finite(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` is a finite real number."""
+    check_type(name, value, (int, float))
+    if isinstance(value, bool) or not math.isfinite(float(value)):
+        raise ValueError(f"{name} must be finite: got {value!r}")
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` is finite and > 0."""
+    check_finite(name, value)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0: got {value!r}")
+
+
+def check_nonneg(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` is finite and >= 0."""
+    check_finite(name, value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0: got {value!r}")
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    lo_open: bool = False,
+    hi_open: bool = False,
+) -> None:
+    """Raise :class:`ValueError` unless ``value`` lies in the given interval."""
+    check_finite(name, value)
+    lo_ok = value > lo if lo_open else value >= lo
+    hi_ok = value < hi if hi_open else value <= hi
+    if not (lo_ok and hi_ok):
+        lb = "(" if lo_open else "["
+        rb = ")" if hi_open else "]"
+        raise ValueError(f"{name} must be in {lb}{lo}, {hi}{rb}: got {value!r}")

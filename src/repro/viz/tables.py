@@ -1,0 +1,36 @@
+"""Plain-text table formatting for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    float_fmt: str = "{:.3f}",
+    pad: int = 2,
+) -> str:
+    """Render rows under headers with right-aligned numeric columns.
+
+    Floats are formatted with ``float_fmt``; everything else via ``str``.
+    """
+    def fmt(v: Any) -> str:
+        if isinstance(v, bool) or v is None:
+            return str(v)
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = " " * pad
+    out = [sep.join(h.rjust(w) for h, w in zip(headers, widths))]
+    out.append(sep.join("-" * w for w in widths))
+    for row in cells:
+        out.append(sep.join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)

@@ -1,0 +1,93 @@
+"""Unit tests for Bini–Buttazzo scheduling points."""
+
+import pytest
+
+from repro.analysis import scheduling_points
+from repro.model import Task
+
+
+class TestSchedulingPoints:
+    def test_no_higher_priority_is_deadline_only(self):
+        t = Task("t", 1, 10)
+        assert scheduling_points(t, []) == (10.0,)
+
+    def test_textbook_example(self):
+        # hp task T=4; task deadline 10: points are P_1(10) =
+        # P_0(floor(10/4)*4) ∪ P_0(10) = {8, 10}.
+        t = Task("t", 1, 10)
+        hp = [Task("h", 1, 4)]
+        assert scheduling_points(t, hp) == (8.0, 10.0)
+
+    def test_two_level_recursion(self):
+        # hp periods 3 and 5, deadline 7:
+        # P_2(7) = P_1(5) ∪ P_1(7) = {P_0(3), P_0(5)} ∪ {P_0(6), P_0(7)}
+        t = Task("t", 1, 7)
+        hp = [Task("h1", 0.5, 3), Task("h2", 0.5, 5)]
+        assert scheduling_points(t, hp) == (3.0, 5.0, 6.0, 7.0)
+
+    def test_multiple_of_period_collapses_branches(self):
+        # deadline exactly = 2*T of the hp task: floor branch == t branch.
+        t = Task("t", 1, 8)
+        hp = [Task("h", 1, 4)]
+        assert scheduling_points(t, hp) == (8.0,)
+
+    def test_points_bounded_by_deadline(self):
+        t = Task("t", 1, 10, deadline=9)
+        hp = [Task("h1", 1, 4), Task("h2", 1, 6)]
+        pts = scheduling_points(t, hp)
+        assert all(0 < p <= 9.0 for p in pts)
+
+    def test_deadline_always_included(self):
+        t = Task("t", 2, 20, deadline=17)
+        hp = [Task("h1", 1, 3), Task("h2", 1, 7)]
+        assert 17.0 in scheduling_points(t, hp)
+
+    def test_nonpositive_points_discarded(self):
+        # D_i < T_j drives the floor branch to 0 — it must not appear.
+        t = Task("t", 1, 10, deadline=5)
+        hp = [Task("h", 1, 9)]
+        pts = scheduling_points(t, hp)
+        assert pts == (5.0,)
+        assert all(p > 0 for p in pts)
+
+    def test_any_hp_order_yields_an_exact_test_set(self):
+        # The reduced point set depends on the recursion order, but every
+        # order must produce an *exact* test: compare the point-test verdict
+        # against response-time analysis for both orders on a grid of WCETs.
+        from repro.analysis import fp_response_time
+        from repro.analysis.workload import fp_workload_array
+
+        a, b = Task("a", 1, 5), Task("b", 1, 7)
+        for c_t in (1.0, 3.0, 5.0, 7.0, 9.0, 9.9):
+            t = Task("t", c_t, 12)
+            rta_ok = fp_response_time(t, [a, b]) is not None
+            for hp in ([a, b], [b, a]):
+                pts = scheduling_points(t, hp)
+                w = fp_workload_array(t, hp, pts)
+                point_ok = bool((w <= list(pts)).any())
+                assert point_ok == rta_ok, f"C={c_t}, order={[x.name for x in hp]}"
+
+    def test_points_sorted_unique(self):
+        t = Task("t", 1, 24)
+        hp = [Task("h1", 1, 4), Task("h2", 1, 6), Task("h3", 1, 8)]
+        pts = scheduling_points(t, hp)
+        assert list(pts) == sorted(set(pts))
+
+    def test_points_subset_of_release_multiples_plus_deadline(self):
+        t = Task("t", 1, 24)
+        hp = [Task("h1", 1, 4), Task("h2", 1, 6)]
+        pts = set(scheduling_points(t, hp))
+        legal = {k * 4.0 for k in range(1, 7)} | {k * 6.0 for k in range(1, 5)} | {24.0}
+        assert pts <= legal
+
+    def test_paper_ft_taskset_points(self):
+        # FT tasks of Table 1 under RM: lowest-priority tau13 (T=30, D=30).
+        tau13 = Task("tau13", 2, 30)
+        hp = [Task("tau10", 1, 12), Task("tau11", 1, 15), Task("tau12", 1, 20)]
+        pts = scheduling_points(tau13, hp)
+        # all points are multiples of 12, 15 or 20 (or the deadline 30)
+        for p in pts:
+            assert (
+                p in (30.0,)
+                or min(p % 12, p % 15, p % 20) == pytest.approx(0.0, abs=1e-9)
+            )

@@ -1,0 +1,96 @@
+"""Unit tests for priority assignment (RM, DM, OPA)."""
+
+import pytest
+
+from repro.analysis import (
+    audsley_opa,
+    deadline_monotonic,
+    fp_schedulable_supply,
+    priority_order,
+    rate_monotonic,
+)
+from repro.analysis.points import scheduling_points
+from repro.analysis.workload import fp_workload_array
+from repro.model import Task, TaskSet
+from repro.supply import LinearSupply
+
+
+@pytest.fixture
+def ts():
+    return TaskSet(
+        [
+            Task("slow", 1, 20, deadline=6),
+            Task("fast", 1, 5),
+            Task("mid", 1, 10, deadline=8),
+        ]
+    )
+
+
+class TestStaticOrders:
+    def test_rm_by_period(self, ts):
+        assert [t.name for t in rate_monotonic(ts)] == ["fast", "slow", "mid"][0:1] + [
+            "mid",
+            "slow",
+        ]
+
+    def test_dm_by_deadline(self, ts):
+        assert [t.name for t in deadline_monotonic(ts)] == ["fast", "slow", "mid"]
+
+    def test_ties_broken_by_name(self):
+        ts = TaskSet([Task("b", 1, 10), Task("a", 1, 10)])
+        assert [t.name for t in rate_monotonic(ts)] == ["a", "b"]
+
+    def test_priority_order_dispatch(self, ts):
+        assert priority_order(ts, "rm") == rate_monotonic(ts)
+        assert priority_order(ts, "DM") == deadline_monotonic(ts)
+
+    def test_unknown_policy_rejected(self, ts):
+        with pytest.raises(ValueError):
+            priority_order(ts, "LLF")
+
+    def test_rm_equals_dm_for_implicit_deadlines(self):
+        ts = TaskSet([Task("a", 1, 4), Task("b", 1, 9), Task("c", 1, 6)])
+        assert rate_monotonic(ts) == deadline_monotonic(ts)
+
+
+class TestAudsleyOPA:
+    @staticmethod
+    def _point_test(supply):
+        def feasible(task, hp):
+            pts = scheduling_points(task, list(hp))
+            if not pts:
+                return False
+            w = fp_workload_array(task, list(hp), pts)
+            z = supply.supply_array(pts)
+            return bool((z >= w - 1e-9).any())
+
+        return feasible
+
+    def test_opa_finds_order_when_dm_works(self, ts):
+        order = audsley_opa(ts, self._point_test(LinearSupply(1.0, 0.0)))
+        assert order is not None
+        res = fp_schedulable_supply(ts, LinearSupply(1.0, 0.0), order)
+        assert res.schedulable
+
+    def test_opa_beats_rm_on_non_dm_optimal_case(self):
+        # Under reduced supply, OPA still finds an order whenever one exists;
+        # we verify the returned order passes the same test it optimised.
+        ts = TaskSet(
+            [Task("a", 1, 8, deadline=7), Task("b", 1, 8, deadline=7.5)]
+        )
+        supply = LinearSupply(0.5, 2.0)
+        order = audsley_opa(ts, self._point_test(supply))
+        assert order is not None
+        assert fp_schedulable_supply(ts, supply, order).schedulable
+
+    def test_opa_none_when_impossible(self):
+        ts = TaskSet([Task("a", 3, 4), Task("b", 3, 4.5, deadline=4)])
+        order = audsley_opa(ts, self._point_test(LinearSupply(1.0, 0.0)))
+        assert order is None
+
+    def test_opa_empty_taskset(self):
+        assert audsley_opa(TaskSet(), lambda t, hp: True) == ()
+
+    def test_opa_returns_permutation(self, ts):
+        order = audsley_opa(ts, self._point_test(LinearSupply(1.0, 0.0)))
+        assert sorted(t.name for t in order) == sorted(ts.names)

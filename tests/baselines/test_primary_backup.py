@@ -1,0 +1,113 @@
+"""Primary/backup baseline tests."""
+
+import pytest
+
+from repro.baselines import (
+    pb_partition,
+    pb_schedulable,
+    replicate_for_pb,
+    simulate_pb_worst_case,
+)
+from repro.baselines.primary_backup import BACKUP_SUFFIX, PRIMARY_SUFFIX, _partner
+from repro.model import Mode, Task, TaskSet
+from repro.partition import PartitionError
+
+
+class TestReplication:
+    def test_critical_tasks_duplicated(self, paper_ts):
+        rep = replicate_for_pb(paper_ts)
+        # 5 NF singles + (4 FS + 4 FT) * 2 = 21 tasks.
+        assert len(rep) == 21
+
+    def test_replicas_renamed_and_remoded(self, paper_ts):
+        rep = replicate_for_pb(paper_ts)
+        assert "tau10.pri" in rep.names and "tau10.bak" in rep.names
+        assert all(t.mode is Mode.NF for t in rep)
+
+    def test_nf_tasks_untouched(self, paper_ts):
+        rep = replicate_for_pb(paper_ts)
+        assert "tau1" in rep.names
+
+    def test_utilization_doubles_for_protected(self, paper_ts):
+        rep = replicate_for_pb(paper_ts)
+        protected_u = sum(
+            t.utilization for t in paper_ts if t.mode is not Mode.NF
+        )
+        assert rep.utilization == pytest.approx(
+            paper_ts.utilization + protected_u
+        )
+
+    def test_partner_mapping(self):
+        assert _partner("x" + PRIMARY_SUFFIX) == "x" + BACKUP_SUFFIX
+        assert _partner("x" + BACKUP_SUFFIX) == "x" + PRIMARY_SUFFIX
+        assert _partner("plain") is None
+
+
+class TestPlacement:
+    def test_partners_on_disjoint_processors(self, paper_ts):
+        rep = replicate_for_pb(paper_ts)
+        bins = pb_partition(rep, 4)
+        where = {}
+        for idx, b in enumerate(bins):
+            for t in b:
+                where[t.name] = idx
+        for name, idx in where.items():
+            partner = _partner(name)
+            if partner:
+                assert where[partner] != idx, name
+
+    def test_all_replicas_placed(self, paper_ts):
+        rep = replicate_for_pb(paper_ts)
+        bins = pb_partition(rep, 4)
+        assert sum(len(b) for b in bins) == len(rep)
+
+    def test_needs_two_processors(self, paper_ts):
+        with pytest.raises(ValueError):
+            pb_partition(replicate_for_pb(paper_ts), 1)
+
+    def test_impossible_placement_raises(self):
+        # Two heavy FT tasks -> 4 replicas of U=0.9: no 4-proc packing.
+        ts = TaskSet(
+            [
+                Task("f1", 9, 10, mode=Mode.FT),
+                Task("f2", 9, 10, mode=Mode.FT),
+                Task("f3", 9, 10, mode=Mode.FT),
+            ]
+        )
+        with pytest.raises(PartitionError):
+            pb_partition(replicate_for_pb(ts), 4)
+
+
+class TestAnalysisAndSim:
+    def test_paper_set_pb_schedulable(self, paper_ts):
+        pb = pb_schedulable(paper_ts)
+        assert pb.schedulable
+        assert pb.replication_overhead == pytest.approx(
+            sum(t.utilization for t in paper_ts if t.mode is not Mode.NF)
+        )
+
+    def test_worst_case_sim_no_misses(self, paper_ts):
+        pb = pb_schedulable(paper_ts)
+        results = simulate_pb_worst_case(pb, horizon=120.0)
+        assert sum(len(r.misses) for r in results) == 0
+
+    def test_sim_on_unschedulable_rejected(self):
+        ts = TaskSet(
+            [
+                Task("f1", 9, 10, mode=Mode.FT),
+                Task("f2", 9, 10, mode=Mode.FT),
+                Task("f3", 9, 10, mode=Mode.FT),
+            ]
+        )
+        pb = pb_schedulable(ts)
+        assert not pb.schedulable
+        with pytest.raises(ValueError):
+            simulate_pb_worst_case(pb, horizon=10.0)
+
+    def test_pb_cheaper_than_flexible_in_bandwidth(self, paper_ts):
+        # PB replication costs 2x protected utilization (~0.84), while the
+        # lock-step scheme dedicates whole platform slots — the documented
+        # bandwidth-vs-masking trade-off.
+        pb = pb_schedulable(paper_ts)
+        assert pb.replicated_utilization < 4.0  # fits parallel capacity
+        assert pb.replication_overhead < 1.0

@@ -1,0 +1,72 @@
+"""Static-platform baseline tests: the paper's motivating comparison."""
+
+import pytest
+
+from repro.baselines import StaticKind, compare_with_flexible, evaluate_static
+from repro.core import Overheads
+from repro.model import Mode, Task, TaskSet
+
+
+class TestEvaluateStatic:
+    def test_all_ft_protects_everything(self, paper_ts):
+        rep = evaluate_static(paper_ts, StaticKind.ALL_FT)
+        assert rep.protection_ok
+        assert rep.under_protected == ()
+
+    def test_all_ft_cannot_schedule_paper_set(self, paper_ts):
+        # U = 1.608 > 1 single processor.
+        rep = evaluate_static(paper_ts, StaticKind.ALL_FT)
+        assert not rep.schedulable
+        assert not rep.acceptable
+
+    def test_all_nf_schedules_but_underprotects(self, paper_ts):
+        rep = evaluate_static(paper_ts, StaticKind.ALL_NF)
+        assert rep.schedulable
+        assert not rep.protection_ok
+        assert set(rep.under_protected) == {
+            "tau6", "tau7", "tau8", "tau9",  # FS tasks
+            "tau10", "tau11", "tau12", "tau13",  # FT tasks
+        }
+
+    def test_all_fs_underprotects_only_ft(self, paper_ts):
+        rep = evaluate_static(paper_ts, StaticKind.ALL_FS)
+        assert set(rep.under_protected) == {"tau10", "tau11", "tau12", "tau13"}
+
+    def test_capacity_per_kind(self, paper_ts):
+        assert evaluate_static(paper_ts, StaticKind.ALL_FT).capacity == 1
+        assert evaluate_static(paper_ts, StaticKind.ALL_FS).capacity == 2
+        assert evaluate_static(paper_ts, StaticKind.ALL_NF).capacity == 4
+
+    def test_small_ft_set_acceptable_on_all_ft(self):
+        ts = TaskSet([Task("f", 1, 10, mode=Mode.FT)])
+        rep = evaluate_static(ts, StaticKind.ALL_FT)
+        assert rep.acceptable
+
+
+class TestCompareWithFlexible:
+    def test_paper_story(self, paper_ts):
+        # No static design is acceptable; the flexible scheme is.
+        out = compare_with_flexible(paper_ts, "EDF", Overheads.uniform(0.05))
+        statics = [out[str(k)] for k in StaticKind]
+        assert not any(r.acceptable for r in statics)
+        flexible = out["flexible"]
+        assert flexible.schedulable and flexible.protection_ok
+        assert flexible.period == pytest.approx(2.966, abs=2e-3)
+
+    def test_flexible_reports_failure_gracefully(self):
+        # An impossible set: FT tasks alone exceed one processor.
+        ts = TaskSet(
+            [
+                Task("f1", 6, 10, mode=Mode.FT),
+                Task("f2", 6, 10, mode=Mode.FT),
+            ]
+        )
+        out = compare_with_flexible(ts, "EDF")
+        assert not out["flexible"].schedulable
+        assert out["flexible"].detail
+
+    def test_explicit_partition_forwarded(self, paper_ts, paper_part):
+        out = compare_with_flexible(
+            paper_ts, "EDF", Overheads.uniform(0.05), partition=paper_part
+        )
+        assert out["flexible"].schedulable

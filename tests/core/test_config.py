@@ -1,0 +1,129 @@
+"""Unit tests for Overheads, SlotSchedule and PlatformConfig."""
+
+import pytest
+
+from repro.core import Overheads, PlatformConfig, SlotSchedule
+from repro.model import Mode
+
+
+@pytest.fixture
+def schedule():
+    return SlotSchedule(
+        period=3.0,
+        quanta={Mode.FT: 0.9, Mode.FS: 1.2, Mode.NF: 0.6},
+        overheads=Overheads(0.1, 0.1, 0.1),
+    )
+
+
+class TestOverheads:
+    def test_total(self):
+        assert Overheads(0.1, 0.2, 0.3).total == pytest.approx(0.6)
+
+    def test_uniform_split(self):
+        o = Overheads.uniform(0.3)
+        assert o.ft == o.fs == o.nf == pytest.approx(0.1)
+
+    def test_zero(self):
+        assert Overheads.zero().total == 0.0
+
+    def test_of_mode(self):
+        o = Overheads(0.1, 0.2, 0.3)
+        assert o.of(Mode.FT) == 0.1
+        assert o.of(Mode.FS) == 0.2
+        assert o.of(Mode.NF) == 0.3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Overheads(-0.1, 0, 0)
+
+
+class TestSlotScheduleAccounting:
+    def test_usable_is_q_minus_o(self, schedule):
+        assert schedule.usable(Mode.FT) == pytest.approx(0.8)
+        assert schedule.usable(Mode.FS) == pytest.approx(1.1)
+        assert schedule.usable(Mode.NF) == pytest.approx(0.5)
+
+    def test_alpha_delta_eq2(self, schedule):
+        assert schedule.alpha(Mode.FT) == pytest.approx(0.8 / 3.0)
+        assert schedule.delta(Mode.FT) == pytest.approx(3.0 - 0.8)
+
+    def test_idle_reserve(self, schedule):
+        assert schedule.idle_reserve == pytest.approx(3.0 - 2.7)
+
+    def test_overhead_bandwidth(self, schedule):
+        assert schedule.overhead_bandwidth == pytest.approx(0.3 / 3.0)
+
+    def test_figure2_identity_sum(self, schedule):
+        # Figure 2: P = sum slots + idle ; each slot = usable + overhead.
+        total = sum(
+            schedule.usable(m) + schedule.overheads.of(m) for m in Mode
+        )
+        assert total + schedule.idle_reserve == pytest.approx(schedule.period)
+
+    def test_empty_slot_pays_no_overhead(self):
+        s = SlotSchedule(2.0, {Mode.FT: 0.0, Mode.FS: 1.0, Mode.NF: 1.0},
+                         Overheads(0.5, 0.1, 0.1))
+        assert s.usable(Mode.FT) == 0.0
+        assert s.overhead_bandwidth == pytest.approx(0.2 / 2.0)
+
+
+class TestSlotScheduleWindows:
+    def test_slot_order_ft_fs_nf(self, schedule):
+        assert schedule.slot_window(Mode.FT) == (0.0, 0.9)
+        assert schedule.slot_window(Mode.FS) == (0.9, 2.1)
+        assert schedule.slot_window(Mode.NF)[0] == pytest.approx(2.1)
+
+    def test_usable_window_precedes_overhead_window(self, schedule):
+        ua, ub = schedule.usable_window(Mode.FS)
+        oa, ob = schedule.overhead_window(Mode.FS)
+        assert ub == pytest.approx(oa)
+        assert ob - oa == pytest.approx(0.1)
+
+    def test_cycles(self, schedule):
+        assert list(schedule.cycles(9.5)) == pytest.approx([0.0, 3.0, 6.0, 9.0])
+
+    def test_supply_views(self, schedule):
+        exact = schedule.supply(Mode.FT)
+        linear = schedule.linear_supply(Mode.FT)
+        assert exact.budget == pytest.approx(0.8)
+        assert linear.alpha == pytest.approx(schedule.alpha(Mode.FT))
+
+
+class TestSlotScheduleValidation:
+    def test_slots_exceeding_period_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            SlotSchedule(2.0, {Mode.FT: 1.0, Mode.FS: 0.8, Mode.NF: 0.5})
+
+    def test_overhead_exceeding_slot_rejected(self):
+        with pytest.raises(ValueError, match="overhead"):
+            SlotSchedule(2.0, {Mode.FT: 0.05}, Overheads(0.1, 0, 0))
+
+    def test_negative_quantum_rejected(self):
+        with pytest.raises(ValueError):
+            SlotSchedule(2.0, {Mode.FT: -0.1})
+
+    def test_equality(self, schedule):
+        same = SlotSchedule(
+            3.0, {Mode.FT: 0.9, Mode.FS: 1.2, Mode.NF: 0.6},
+            Overheads(0.1, 0.1, 0.1),
+        )
+        assert schedule == same
+
+    def test_table_rendering(self, schedule):
+        text = schedule.table()
+        assert "FT" in text and "P = 3.0000" in text
+
+
+class TestPlatformConfig:
+    def test_slack_ratio(self, schedule):
+        cfg = PlatformConfig(schedule, "EDF", slack=0.3)
+        assert cfg.slack_ratio == pytest.approx(0.1)
+
+    def test_allocated_utilization(self, schedule):
+        cfg = PlatformConfig(schedule, "EDF")
+        assert cfg.allocated_utilization(Mode.FS) == pytest.approx(1.1 / 3.0)
+
+    def test_summary_contains_key_rows(self, schedule):
+        cfg = PlatformConfig(schedule, "EDF", slack=0.3, goal="max-slack")
+        s = cfg.summary()
+        assert "max-slack" in s and "slack" in s

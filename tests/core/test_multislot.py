@@ -1,0 +1,174 @@
+"""Unit tests for multi-quantum slot schedules and the split design."""
+
+import pytest
+
+from repro.core import (
+    DesignError,
+    Overheads,
+    SplitSchedule,
+    design_split_platform,
+    min_quantum,
+    min_quantum_split,
+)
+from repro.model import Mode, Task, TaskSet
+from repro.model.partitioned import partition_from_names
+from repro.sim import MulticoreSim
+
+
+@pytest.fixture
+def tight_fs_partition():
+    ts = TaskSet(
+        [
+            Task("ctrl", 1, 12, mode=Mode.FT),
+            Task("fs_fast", 0.5, 3.0, mode=Mode.FS),
+            Task("nf", 2, 20, mode=Mode.NF),
+        ]
+    )
+    return partition_from_names(
+        ts,
+        {Mode.FT: [["ctrl"]], Mode.FS: [["fs_fast"]], Mode.NF: [["nf"]]},
+    )
+
+
+class TestMinQuantumSplit:
+    def test_k1_equals_eq11(self, paper_part):
+        ft = paper_part.bin(Mode.FT, 0)
+        for p in (0.7, 2.0, 3.0):
+            assert min_quantum_split(ft, "EDF", p, 1) == pytest.approx(
+                min_quantum(ft, "EDF", p)
+            )
+
+    def test_k1_equals_eq6(self, paper_part):
+        ft = paper_part.bin(Mode.FT, 0)
+        assert min_quantum_split(ft, "RM", 2.0, 1) == pytest.approx(
+            min_quantum(ft, "RM", 2.0)
+        )
+
+    def test_monotone_decreasing_in_pieces(self, paper_part):
+        ft = paper_part.bin(Mode.FT, 0)
+        qs = [min_quantum_split(ft, "EDF", 3.0, k) for k in (1, 2, 3, 4)]
+        assert qs == sorted(qs, reverse=True)
+
+    def test_never_below_bandwidth(self, paper_part):
+        ft = paper_part.bin(Mode.FT, 0)
+        for k in (1, 2, 8):
+            assert min_quantum_split(ft, "EDF", 3.0, k) >= (
+                ft.utilization * 3.0 - 1e-9
+            )
+
+    def test_empty_taskset(self):
+        assert min_quantum_split(TaskSet(), "EDF", 2.0, 3) == 0.0
+
+    def test_validation(self, paper_part):
+        ft = paper_part.bin(Mode.FT, 0)
+        with pytest.raises(ValueError):
+            min_quantum_split(ft, "EDF", 2.0, 0)
+        with pytest.raises(ValueError):
+            min_quantum_split(ft, "LLF", 2.0, 1)
+
+
+class TestSplitSchedule:
+    def test_template_tiles_cycle(self):
+        s = SplitSchedule(
+            4.0,
+            {Mode.FT: 0.8, Mode.FS: 1.0, Mode.NF: 0.6},
+            {Mode.FS: 2},
+            Overheads.uniform(0.06),
+        )
+        template = s.cycle_template()
+        assert template[0][0] == 0.0
+        assert template[-1][1] == pytest.approx(4.0)
+        for (a, b, _k, _m), (c, _d, _k2, _m2) in zip(template, template[1:]):
+            assert b == pytest.approx(c)
+
+    def test_split_mode_has_k_windows(self):
+        s = SplitSchedule(4.0, {Mode.FS: 1.0}, {Mode.FS: 2})
+        windows = s.supply(Mode.FS).windows
+        assert len(windows) == 2
+
+    def test_even_gaps_for_split_mode(self):
+        s = SplitSchedule(4.0, {Mode.FS: 1.0}, {Mode.FS: 2})
+        # Windows at frame starts: delay = P/2 - piece = 2 - 0.5.
+        assert s.delta(Mode.FS) == pytest.approx(1.5)
+
+    def test_overhead_paid_per_piece(self):
+        s = SplitSchedule(
+            4.0, {Mode.FS: 1.0}, {Mode.FS: 2}, Overheads(0.0, 0.1, 0.0)
+        )
+        assert s.quantum(Mode.FS) == pytest.approx(1.0 + 2 * 0.1)
+
+    def test_overflowing_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            SplitSchedule(2.0, {Mode.FT: 1.5, Mode.FS: 1.0})
+
+    def test_empty_mode_queries(self):
+        s = SplitSchedule(4.0, {Mode.FS: 1.0})
+        assert s.usable(Mode.FT) == 0.0
+        assert s.quantum(Mode.FT) == 0.0
+        assert s.linear_supply(Mode.FT).alpha == 0.0
+
+    def test_idle_reserve_accounting(self):
+        s = SplitSchedule(4.0, {Mode.FS: 1.0}, {Mode.FS: 2})
+        assert s.idle_reserve == pytest.approx(4.0 - 1.0)
+
+
+class TestDesignSplitPlatform:
+    def test_uniform_split_matches_plain_design(self, paper_part, paper_config_b):
+        d = design_split_platform(
+            paper_part, "EDF", Overheads.uniform(0.05),
+            {Mode.FT: 1, Mode.FS: 1, Mode.NF: 1},
+        )
+        assert d.period == pytest.approx(paper_config_b.period, abs=2e-3)
+
+    def test_fs_split_extends_period_on_paper_set(self, paper_part):
+        base = design_split_platform(
+            paper_part, "EDF", Overheads.uniform(0.05), {}
+        )
+        split = design_split_platform(
+            paper_part, "EDF", Overheads.uniform(0.05), {Mode.FS: 2}
+        )
+        assert split.period > base.period * 1.1
+
+    def test_split_design_simulates_cleanly(self, paper_part):
+        d = design_split_platform(
+            paper_part, "EDF", Overheads.uniform(0.05), {Mode.FS: 2}
+        )
+        res = MulticoreSim(paper_part, d.schedule, "EDF").run(
+            horizon=d.period * 50
+        )
+        assert res.miss_count == 0
+
+    def test_tight_deadline_benefits_from_splitting(self, tight_fs_partition):
+        p1 = design_split_platform(
+            tight_fs_partition, "EDF", Overheads(0.02, 0.02, 0.02), {Mode.FS: 1}
+        )
+        p2 = design_split_platform(
+            tight_fs_partition, "EDF", Overheads(0.02, 0.02, 0.02), {Mode.FS: 2}
+        )
+        assert p2.period > p1.period
+        assert p2.schedule.delta(Mode.FS) <= p1.schedule.delta(Mode.FS) + 1e-9
+
+    def test_split_designs_simulate_cleanly(self, tight_fs_partition):
+        for k in (1, 2, 3):
+            d = design_split_platform(
+                tight_fs_partition, "EDF", Overheads(0.02, 0.02, 0.02),
+                {Mode.FS: k},
+            )
+            res = MulticoreSim(tight_fs_partition, d.schedule, "EDF").run(
+                horizon=d.period * 40
+            )
+            assert res.miss_count == 0, k
+
+    def test_impossible_split_raises(self, tight_fs_partition):
+        with pytest.raises(DesignError):
+            design_split_platform(
+                tight_fs_partition, "EDF", Overheads(0.5, 0.5, 0.5),
+                {Mode.FS: 4},
+            )
+
+    def test_summary_renders(self, tight_fs_partition):
+        d = design_split_platform(
+            tight_fs_partition, "EDF", Overheads(0.02, 0.02, 0.02), {Mode.FS: 2}
+        )
+        s = d.summary()
+        assert "2 pieces" in s and "delay" in s

@@ -1,0 +1,89 @@
+"""Unit tests for the feasible-period region (Figure 4 engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeasibleRegion
+
+
+class TestRegionQueries:
+    def test_max_period_zero_overhead_matches_paper(self, paper_region_edf):
+        assert paper_region_edf.max_feasible_period(0.0) == pytest.approx(
+            3.176, abs=1.5e-3
+        )
+
+    def test_rm_max_period_matches_paper(self, paper_region_rm):
+        assert paper_region_rm.max_feasible_period(0.0) == pytest.approx(
+            2.381, abs=1.5e-3
+        )
+
+    def test_max_overhead_matches_paper(self, paper_region_edf, paper_region_rm):
+        assert paper_region_edf.max_admissible_overhead().lhs == pytest.approx(
+            0.201, abs=1.5e-3
+        )
+        assert paper_region_rm.max_admissible_overhead().lhs == pytest.approx(
+            0.129, abs=1.5e-3
+        )
+
+    def test_point5_overhead_0_05(self, paper_region_edf):
+        assert paper_region_edf.max_feasible_period(0.05) == pytest.approx(
+            2.966, abs=1.5e-3
+        )
+
+    def test_boundary_period_sits_on_the_level_set(self, paper_region_edf):
+        p = paper_region_edf.max_feasible_period(0.05)
+        assert float(paper_region_edf.lhs(p)) == pytest.approx(0.05, abs=1e-6)
+
+    def test_max_slack_ratio_matches_table2c(self, paper_region_edf):
+        ratio, point = paper_region_edf.max_slack_ratio(0.05)
+        assert ratio == pytest.approx(0.121, abs=2e-3)
+        assert point.period == pytest.approx(0.855, abs=2e-3)
+
+    def test_infeasible_overhead_raises(self, paper_region_edf):
+        with pytest.raises(ValueError, match="max admissible"):
+            paper_region_edf.max_feasible_period(0.5)
+
+    def test_infeasible_slack_raises(self, paper_region_edf):
+        with pytest.raises(ValueError):
+            paper_region_edf.max_slack_ratio(0.5)
+
+    def test_is_feasible(self, paper_region_edf):
+        assert paper_region_edf.is_feasible(2.0, 0.05)
+        assert not paper_region_edf.is_feasible(3.3, 0.05)
+
+
+class TestRegionMechanics:
+    def test_sweep_shapes(self, paper_region_edf):
+        ps, g = paper_region_edf.sweep(n=501)
+        assert len(ps) == len(g) == 501
+        assert np.all(np.diff(ps) > 0)
+
+    def test_sweep_range_validation(self, paper_region_edf):
+        with pytest.raises(ValueError):
+            paper_region_edf.sweep(p_min=2.0, p_max=1.0)
+
+    def test_curve_negative_beyond_max_period(self, paper_region_edf):
+        p_max = paper_region_edf.max_feasible_period(0.0)
+        assert float(paper_region_edf.lhs(p_max + 0.2)) < 0.0
+
+    def test_edf_dominates_rm_everywhere(self, paper_region_edf, paper_region_rm):
+        ps = np.linspace(0.1, 3.4, 200)
+        g_edf = np.asarray(paper_region_edf.lhs(ps))
+        g_rm = np.asarray(paper_region_rm.lhs(ps))
+        assert np.all(g_edf >= g_rm - 1e-9)
+
+    def test_auto_pmax_brackets_region(self, paper_part):
+        region = FeasibleRegion(paper_part, "EDF")  # no explicit p_max
+        assert region.p_max > region.max_feasible_period(0.0)
+
+    def test_min_quanta_at_design_period(self, paper_region_edf):
+        q = paper_region_edf.min_quanta(2.9664)
+        from repro.model import Mode
+
+        assert q[Mode.FT] == pytest.approx(0.820, abs=1.5e-3)
+        assert q[Mode.FS] == pytest.approx(1.281, abs=1.5e-3)
+        assert q[Mode.NF] == pytest.approx(0.815, abs=1.5e-3)
+
+    def test_grid_too_small_rejected(self, paper_part):
+        with pytest.raises(ValueError):
+            FeasibleRegion(paper_part, "EDF", grid=10)

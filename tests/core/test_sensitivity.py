@@ -1,0 +1,78 @@
+"""Unit tests for design sensitivity analysis."""
+
+import pytest
+
+from repro.core import Overheads, design_platform
+from repro.core.sensitivity import (
+    critical_scaling_factor,
+    design_margins,
+    quantum_margin,
+    task_wcet_margin,
+)
+from repro.model import Mode, Task, TaskSet
+
+
+class TestQuantumMargin:
+    def test_boundary_design_has_zero_margin(self, paper_part, paper_config_b):
+        margins = quantum_margin(paper_part, paper_config_b)
+        for mode in Mode:
+            assert margins[mode] == pytest.approx(0.0, abs=1e-6)
+
+    def test_max_slack_design_also_tight(self, paper_part, paper_config_c):
+        # Row (c) allocates quanta at their minimum: margins ~ 0 again,
+        # the flexibility lives in the *unallocated* reserve instead.
+        margins = quantum_margin(paper_part, paper_config_c)
+        for mode in Mode:
+            assert margins[mode] == pytest.approx(0.0, abs=1e-6)
+        assert paper_config_c.slack > 0.1
+
+
+class TestCriticalScaling:
+    def test_half_loaded_bin_scales_about_double(self):
+        ts = TaskSet([Task("a", 1, 10)])
+        # Dedicated-ish slot: P=1, Q=0.25 vs the task's 0.1 utilization.
+        factor = critical_scaling_factor(ts, "EDF", 1.0, 0.25)
+        assert factor > 1.5
+
+    def test_boundary_scales_to_one(self, paper_part, paper_config_b):
+        ft = paper_part.bin(Mode.FT, 0)
+        factor = critical_scaling_factor(
+            ft, "EDF", paper_config_b.period,
+            paper_config_b.schedule.usable(Mode.FT),
+        )
+        assert factor == pytest.approx(1.0, abs=5e-3)
+
+    def test_overloaded_bin_scales_below_one(self):
+        # A quantum far below the bin's demand: only a tiny fraction of the
+        # WCETs fits, so the critical factor is well below 1 (= infeasible
+        # as deployed).
+        ts = TaskSet([Task("a", 5, 10)])
+        factor = critical_scaling_factor(ts, "EDF", 1.0, 0.01)
+        assert 0.0 < factor < 0.05
+
+    def test_empty_bin_unbounded(self):
+        assert critical_scaling_factor(TaskSet(), "EDF", 1.0, 0.5) == float("inf")
+
+    def test_capped_by_deadline_validity(self):
+        ts = TaskSet([Task("a", 4, 10)])
+        # generous quantum: the cap D/C = 2.5 binds before feasibility.
+        factor = critical_scaling_factor(ts, "EDF", 0.5, 0.5)
+        assert factor <= 2.5 + 1e-9
+
+
+class TestTaskMargin:
+    def test_margin_fields(self, paper_part, paper_config_c):
+        m = task_wcet_margin(paper_part, paper_config_c, "tau1")
+        assert m.task == "tau1"
+        assert m.mode is Mode.NF
+        assert m.max_wcet >= m.wcet
+        assert m.headroom == pytest.approx(m.max_wcet - m.wcet)
+
+    def test_boundary_task_has_no_headroom(self, paper_part, paper_config_b):
+        # In design (b) the NF quantum is sized by tau5's bin exactly.
+        m = task_wcet_margin(paper_part, paper_config_b, "tau5")
+        assert m.headroom_ratio == pytest.approx(0.0, abs=5e-3)
+
+    def test_all_margins_nonnegative(self, paper_part, paper_config_b):
+        for name, m in design_margins(paper_part, paper_config_b).items():
+            assert m.headroom >= -1e-9, name

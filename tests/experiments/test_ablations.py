@@ -1,0 +1,69 @@
+"""Ablation study tests."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    edf_vs_rm_regions,
+    exact_vs_linear_gap,
+    overhead_sensitivity,
+    partitioning_comparison,
+    slot_splitting_gain,
+)
+
+
+class TestExactVsLinear:
+    def test_linear_always_upper_bounds_exact(self):
+        rows = exact_vs_linear_gap(periods=(1.0, 2.0))
+        assert rows
+        for r in rows:
+            assert r.minq_linear >= r.minq_exact - 1e-6
+            assert r.gap >= -1e-6
+
+    def test_gap_ratio_nonnegative(self):
+        for r in exact_vs_linear_gap(periods=(1.0,)):
+            assert r.gap_ratio >= -1e-9
+
+
+class TestEdfVsRm:
+    def test_edf_dominates(self):
+        edf, rm = edf_vs_rm_regions()
+        assert edf.algorithm == "EDF" and rm.algorithm == "RM"
+        assert edf.max_period_zero_overhead > rm.max_period_zero_overhead
+        assert edf.max_admissible_overhead > rm.max_admissible_overhead
+
+
+class TestPartitioning:
+    def test_manual_and_heuristics_all_feasible(self):
+        rows = partitioning_comparison(heuristics=("worst-fit",))
+        assert len(rows) == 2
+        for r in rows:
+            assert r.max_period_zero_overhead > 0
+
+    def test_worst_fit_close_to_manual(self):
+        rows = partitioning_comparison(heuristics=("worst-fit",))
+        manual, wf = rows
+        # WFD balances utilization at least as well as the paper's manual
+        # split for NF (max bin util <= 0.25 is impossible to beat: tau5).
+        assert wf.max_bin_utilization["NF"] <= manual.max_bin_utilization["NF"] + 1e-9
+
+
+class TestOverheadSensitivity:
+    def test_monotone_decreasing_until_infeasible(self):
+        pts = overhead_sensitivity(otots=(0.0, 0.05, 0.1, 0.3))
+        feasible = [p for p in pts if p.max_period is not None]
+        periods = [p.max_period for p in feasible]
+        assert periods == sorted(periods, reverse=True)
+        assert pts[-1].max_period is None  # 0.3 > max admissible 0.201
+
+
+class TestSlotSplitting:
+    def test_delay_shrinks_with_pieces(self):
+        rows = slot_splitting_gain(period=3.0, budget=1.0)
+        delays = [r.delay for r in rows]
+        assert delays == sorted(delays, reverse=True)
+        assert delays[0] == pytest.approx(2.0)
+        assert delays[-1] == pytest.approx(0.5)
+
+    def test_supply_never_degrades(self):
+        rows = slot_splitting_gain(period=3.0, budget=1.0, pieces_list=(1, 3))
+        assert rows[1].supply_at_half_period >= rows[0].supply_at_half_period

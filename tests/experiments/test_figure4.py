@@ -1,0 +1,67 @@
+"""Figure 4 reproduction tests: curve shape and the five annotated points."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import compute_figure4_points, figure4_series, paper_reference
+
+
+@pytest.fixture(scope="module")
+def points():
+    return compute_figure4_points()
+
+
+@pytest.fixture(scope="module")
+def series():
+    return figure4_series(p_max=3.5, n=701)
+
+
+class TestFigure4Points:
+    def test_point1(self, points):
+        assert points.point1_max_period_edf == pytest.approx(
+            paper_reference().max_period_edf_zero_overhead, abs=1.5e-3
+        )
+
+    def test_point2(self, points):
+        assert points.point2_max_period_rm == pytest.approx(
+            paper_reference().max_period_rm_zero_overhead, abs=1.5e-3
+        )
+
+    def test_point3(self, points):
+        assert points.point3_max_overhead_edf == pytest.approx(
+            paper_reference().max_overhead_edf, abs=1.5e-3
+        )
+
+    def test_point4(self, points):
+        assert points.point4_max_overhead_rm == pytest.approx(
+            paper_reference().max_overhead_rm, abs=1.5e-3
+        )
+
+    def test_point5(self, points):
+        assert points.point5_max_period_edf_otot == pytest.approx(
+            paper_reference().max_period_edf_otot, abs=1.5e-3
+        )
+
+
+class TestFigure4Curve:
+    def test_series_keys(self, series):
+        assert set(series) == {"P", "EDF", "RM"}
+
+    def test_edf_dominates_rm(self, series):
+        assert np.all(series["EDF"] >= series["RM"] - 1e-9)
+
+    def test_curves_start_near_zero(self, series):
+        # G(P) -> 0 as P -> 0 (tiny cycles, proportional quanta).
+        assert abs(series["EDF"][0]) < 0.05
+
+    def test_curves_end_negative(self, series):
+        assert series["EDF"][-1] < 0.0
+        assert series["RM"][-1] < 0.0
+
+    def test_zero_crossing_near_point1(self, series, points):
+        ps, g = series["P"], series["EDF"]
+        sign_changes = ps[:-1][(g[:-1] >= 0) & (g[1:] < 0)]
+        assert sign_changes.size
+        assert sign_changes.max() == pytest.approx(
+            points.point1_max_period_edf, abs=0.01
+        )

@@ -1,0 +1,72 @@
+"""Table 1 reproduction tests: the task set and manual partition."""
+
+import pytest
+
+from repro.experiments import PAPER_OTOT, paper_partition, paper_reference, paper_taskset
+from repro.model import Mode
+
+
+class TestTable1:
+    def test_thirteen_tasks(self, paper_ts):
+        assert len(paper_ts) == 13
+
+    def test_mode_counts(self, paper_ts):
+        assert len(paper_ts.by_mode(Mode.NF)) == 5
+        assert len(paper_ts.by_mode(Mode.FS)) == 4
+        assert len(paper_ts.by_mode(Mode.FT)) == 4
+
+    def test_exact_parameters(self, paper_ts):
+        assert paper_ts["tau1"].wcet == 1 and paper_ts["tau1"].period == 6
+        assert paper_ts["tau5"].wcet == 6 and paper_ts["tau5"].period == 24
+        assert paper_ts["tau9"].wcet == 1 and paper_ts["tau9"].period == 4
+        assert paper_ts["tau13"].wcet == 2 and paper_ts["tau13"].period == 30
+
+    def test_implicit_deadlines(self, paper_ts):
+        assert paper_ts.all_implicit_deadline
+
+    def test_mode_utilizations(self, paper_ts):
+        assert paper_ts.by_mode(Mode.FT).utilization == pytest.approx(0.2667, abs=1e-4)
+        assert paper_ts.by_mode(Mode.FS).utilization == pytest.approx(0.5167, abs=1e-4)
+        assert paper_ts.by_mode(Mode.NF).utilization == pytest.approx(0.8250, abs=1e-4)
+
+
+class TestManualPartition:
+    def test_nf_partition(self, paper_part):
+        assert paper_part.bin(Mode.NF, 0).names == ("tau1",)
+        assert paper_part.bin(Mode.NF, 1).names == ("tau2", "tau3")
+        assert paper_part.bin(Mode.NF, 2).names == ("tau4",)
+        assert paper_part.bin(Mode.NF, 3).names == ("tau5",)
+
+    def test_fs_partition(self, paper_part):
+        assert paper_part.bin(Mode.FS, 0).names == ("tau6", "tau7", "tau8")
+        assert paper_part.bin(Mode.FS, 1).names == ("tau9",)
+
+    def test_ft_partition(self, paper_part):
+        assert set(paper_part.bin(Mode.FT, 0).names) == {
+            "tau10", "tau11", "tau12", "tau13",
+        }
+
+    def test_required_utilizations_table2a(self, paper_part, ):
+        ref = paper_reference()
+        assert paper_part.max_bin_utilization(Mode.FT) == pytest.approx(
+            ref.req_util_ft, abs=5e-4
+        )
+        assert paper_part.max_bin_utilization(Mode.FS) == pytest.approx(
+            ref.req_util_fs, abs=5e-4
+        )
+        assert paper_part.max_bin_utilization(Mode.NF) == pytest.approx(
+            ref.req_util_nf, abs=5e-4
+        )
+
+    def test_paper_sanity_check_nf_bandwidth(self, paper_part, paper_config_b):
+        # The in-text verification: Q̃_NF / P = 0.275 >= 0.250.
+        alpha_nf = paper_config_b.allocated_utilization(Mode.NF)
+        assert alpha_nf == pytest.approx(0.275, abs=1e-3)
+        assert alpha_nf >= paper_part.max_bin_utilization(Mode.NF)
+
+    def test_otot_constant(self):
+        assert PAPER_OTOT == 0.05
+
+    def test_fresh_objects_every_call(self):
+        assert paper_taskset() is not paper_taskset()
+        assert paper_partition() == paper_partition()

@@ -1,0 +1,68 @@
+"""Table 2 reproduction tests: all rows at the paper's precision."""
+
+import pytest
+
+from repro.experiments import compute_table2, paper_reference
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return compute_table2()
+
+
+class TestTable2:
+    def test_row_a_required_utilizations(self, table2):
+        ref = paper_reference()
+        assert table2.req_util_ft == pytest.approx(ref.req_util_ft, abs=5e-4)
+        assert table2.req_util_fs == pytest.approx(ref.req_util_fs, abs=5e-4)
+        assert table2.req_util_nf == pytest.approx(ref.req_util_nf, abs=5e-4)
+
+    def test_row_b_lengths(self, table2):
+        ref = paper_reference()
+        b = table2.row_b
+        assert b.period == pytest.approx(ref.b_period, abs=1.5e-3)
+        assert b.q_ft == pytest.approx(ref.b_q_ft, abs=1.5e-3)
+        assert b.q_fs == pytest.approx(ref.b_q_fs, abs=1.5e-3)
+        assert b.q_nf == pytest.approx(ref.b_q_nf, abs=1.5e-3)
+        assert b.slack == pytest.approx(0.0, abs=1e-4)
+
+    def test_row_b_allocated_utilizations(self, table2):
+        ref = paper_reference()
+        b = table2.row_b
+        assert b.alloc_ft == pytest.approx(ref.b_alloc_ft, abs=2e-3)
+        assert b.alloc_fs == pytest.approx(ref.b_alloc_fs, abs=2e-3)
+        assert b.alloc_nf == pytest.approx(ref.b_alloc_nf, abs=2e-3)
+        assert b.overhead_bandwidth == pytest.approx(
+            ref.b_overhead_bandwidth, abs=1e-3
+        )
+
+    def test_row_c_lengths(self, table2):
+        ref = paper_reference()
+        c = table2.row_c
+        assert c.period == pytest.approx(ref.c_period, abs=2e-3)
+        assert c.q_ft == pytest.approx(ref.c_q_ft, abs=2e-3)
+        assert c.q_fs == pytest.approx(ref.c_q_fs, abs=2e-3)
+        assert c.q_nf == pytest.approx(ref.c_q_nf, abs=2e-3)
+        assert c.slack == pytest.approx(ref.c_slack, abs=2e-3)
+
+    def test_row_c_allocated_utilizations(self, table2):
+        ref = paper_reference()
+        c = table2.row_c
+        assert c.alloc_ft == pytest.approx(ref.c_alloc_ft, abs=2e-3)
+        assert c.alloc_fs == pytest.approx(ref.c_alloc_fs, abs=2e-3)
+        assert c.alloc_nf == pytest.approx(ref.c_alloc_nf, abs=2e-3)
+        assert c.slack_ratio == pytest.approx(ref.c_slack_ratio, abs=2e-3)
+        assert c.overhead_bandwidth == pytest.approx(
+            ref.c_overhead_bandwidth, abs=1.5e-3
+        )
+
+    def test_render_shows_all_rows(self, table2):
+        text = table2.render()
+        assert "(a) req. util." in text
+        assert "(b) length" in text
+        assert "(c) alloc." in text
+
+    def test_rm_variant_produces_smaller_period(self):
+        rm_table = compute_table2(algorithm="RM")
+        edf_table = compute_table2(algorithm="EDF")
+        assert rm_table.row_b.period < edf_table.row_b.period

@@ -1,0 +1,75 @@
+"""Fault-campaign tests: per-mode guarantees of Section 2.2."""
+
+import pytest
+
+from repro.faults import Fault, FaultCampaign, FaultOutcome, run_campaign
+from repro.model import Mode
+
+
+@pytest.fixture(scope="module")
+def campaign_result(paper_part, paper_config_b):
+    camp = FaultCampaign(paper_part, paper_config_b, rate=0.08)
+    return camp.run(horizon=paper_config_b.period * 60, seed=11)
+
+
+class TestCampaign:
+    def test_every_fault_classified(self, campaign_result):
+        assert campaign_result.injected == len(campaign_result.records)
+        assert sum(campaign_result.outcomes.values()) == campaign_result.injected
+
+    def test_ft_faults_always_masked(self, campaign_result):
+        by_mode = campaign_result.outcomes_by_mode
+        if Mode.FT in by_mode:
+            ft = by_mode[Mode.FT]
+            assert ft[FaultOutcome.SILENCED] == 0
+            assert ft[FaultOutcome.CORRUPTED] == 0
+
+    def test_fs_faults_never_corrupt(self, campaign_result):
+        by_mode = campaign_result.outcomes_by_mode
+        if Mode.FS in by_mode:
+            assert by_mode[Mode.FS][FaultOutcome.CORRUPTED] == 0
+            assert by_mode[Mode.FS][FaultOutcome.MASKED] == 0
+
+    def test_nf_faults_never_silence(self, campaign_result):
+        by_mode = campaign_result.outcomes_by_mode
+        if Mode.NF in by_mode:
+            assert by_mode[Mode.NF][FaultOutcome.SILENCED] == 0
+
+    def test_ft_tasks_never_miss(self, campaign_result):
+        assert campaign_result.ft_misses == 0
+
+    def test_corrupted_jobs_listed(self, campaign_result):
+        assert len(campaign_result.corrupted_jobs) == campaign_result.outcomes[
+            FaultOutcome.CORRUPTED
+        ]
+
+    def test_summary_renders(self, campaign_result):
+        s = campaign_result.summary()
+        assert "faults injected" in s and "masked" in s
+
+    def test_rates_sum_to_one(self, campaign_result):
+        if campaign_result.injected:
+            total = sum(
+                campaign_result.rate(o) for o in FaultOutcome
+            )
+            assert total == pytest.approx(1.0)
+
+
+class TestExplicitFaults:
+    def test_explicit_fault_list(self, paper_part, paper_config_b):
+        camp = FaultCampaign(paper_part, paper_config_b)
+        res = camp.run(
+            horizon=paper_config_b.period * 5,
+            faults=[Fault(0.1, 0), Fault(2.0, 1)],
+        )
+        assert res.injected == 2
+
+    def test_run_campaign_facade(self, paper_part, paper_config_b):
+        res = run_campaign(
+            paper_part, paper_config_b,
+            rate=0.05, horizon=paper_config_b.period * 20, seed=3,
+        )
+        assert res.injected >= 0
+        assert res.simulation.horizon == pytest.approx(
+            paper_config_b.period * 20
+        )

@@ -1,0 +1,35 @@
+"""Unit tests for mode assignment."""
+
+import numpy as np
+import pytest
+
+from repro.generators import assign_modes_by_share
+from repro.generators.modes import paper_like_shares
+from repro.model import Mode
+
+
+class TestAssignModes:
+    def test_length(self, rng):
+        assert len(assign_modes_by_share(10, {Mode.NF: 1.0}, rng)) == 10
+
+    def test_single_mode_share(self, rng):
+        modes = assign_modes_by_share(20, {Mode.FT: 1.0}, rng)
+        assert all(m is Mode.FT for m in modes)
+
+    def test_zero_total_share_rejected(self, rng):
+        with pytest.raises(ValueError):
+            assign_modes_by_share(5, {Mode.NF: 0.0}, rng)
+
+    def test_negative_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            assign_modes_by_share(-1, {Mode.NF: 1.0}, rng)
+
+    def test_shares_approximately_respected(self):
+        rng = np.random.default_rng(1)
+        modes = assign_modes_by_share(6000, {Mode.NF: 3.0, Mode.FS: 1.0}, rng)
+        frac_nf = sum(m is Mode.NF for m in modes) / len(modes)
+        assert 0.70 < frac_nf < 0.80
+
+    def test_paper_like_shares_keys(self):
+        shares = paper_like_shares()
+        assert set(shares) == {Mode.NF, Mode.FS, Mode.FT}

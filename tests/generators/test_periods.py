@@ -1,0 +1,61 @@
+"""Unit tests for period generators."""
+
+import numpy as np
+import pytest
+
+from repro.generators import harmonic_periods, loguniform_periods, uniform_periods
+
+
+class TestUniformPeriods:
+    def test_range(self, rng):
+        p = uniform_periods(200, rng, low=10, high=50)
+        assert np.all((p >= 10) & (p <= 50))
+
+    def test_granularity(self, rng):
+        p = uniform_periods(100, rng, low=10, high=50, granularity=5.0)
+        assert np.allclose(p % 5.0, 0.0)
+
+    def test_granularity_never_produces_zero(self, rng):
+        p = uniform_periods(100, rng, low=1.0, high=2.0, granularity=5.0)
+        assert np.all(p >= 5.0)
+
+    def test_rejects_empty_range(self, rng):
+        with pytest.raises(ValueError):
+            uniform_periods(5, rng, low=10, high=10)
+
+    def test_rejects_bad_n(self, rng):
+        with pytest.raises(ValueError):
+            uniform_periods(0, rng)
+
+
+class TestLogUniformPeriods:
+    def test_range(self, rng):
+        p = loguniform_periods(200, rng, low=10, high=1000)
+        assert np.all((p >= 10) & (p <= 1000))
+
+    def test_log_spread_covers_decades(self):
+        rng = np.random.default_rng(5)
+        p = loguniform_periods(4000, rng, low=10, high=1000)
+        # Log-uniform: ~half the mass below sqrt(10*1000) = 100.
+        frac_below_100 = np.mean(p < 100)
+        assert 0.4 < frac_below_100 < 0.6
+
+    def test_granularity(self, rng):
+        p = loguniform_periods(50, rng, low=10, high=100, granularity=1.0)
+        assert np.allclose(p, np.round(p))
+
+
+class TestHarmonicPeriods:
+    def test_all_powers_of_two_times_base(self, rng):
+        p = harmonic_periods(100, rng, base=10, max_doublings=4)
+        ratios = p / 10.0
+        assert np.allclose(np.log2(ratios), np.round(np.log2(ratios)))
+
+    def test_pairwise_harmonic(self, rng):
+        p = sorted(harmonic_periods(20, rng, base=5, max_doublings=3))
+        for small, large in zip(p, p[1:]):
+            assert (large / small) == pytest.approx(round(large / small))
+
+    def test_rejects_negative_doublings(self, rng):
+        with pytest.raises(ValueError):
+            harmonic_periods(5, rng, max_doublings=-1)

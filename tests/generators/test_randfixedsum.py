@@ -1,0 +1,58 @@
+"""Unit tests for Stafford's RandFixedSum port."""
+
+import numpy as np
+import pytest
+
+from repro.generators import randfixedsum
+
+
+class TestRandFixedSum:
+    def test_sum_exact(self, rng):
+        x = randfixedsum(6, 2.4, rng)
+        assert x.sum() == pytest.approx(2.4)
+
+    def test_bounds_respected(self, rng):
+        for _ in range(50):
+            x = randfixedsum(5, 2.0, rng, low=0.0, high=0.6)
+            assert np.all(x >= -1e-12)
+            assert np.all(x <= 0.6 + 1e-12)
+
+    def test_custom_bounds_sum(self, rng):
+        x = randfixedsum(4, 2.0, rng, low=0.2, high=0.8)
+        assert x.sum() == pytest.approx(2.0)
+        assert np.all(x >= 0.2 - 1e-12)
+
+    def test_single_value(self, rng):
+        assert randfixedsum(1, 0.4, rng)[0] == pytest.approx(0.4)
+
+    def test_infeasible_total_rejected(self, rng):
+        with pytest.raises(ValueError, match="infeasible"):
+            randfixedsum(3, 3.5, rng, high=1.0)
+        with pytest.raises(ValueError, match="infeasible"):
+            randfixedsum(3, 0.1, rng, low=0.2)
+
+    def test_empty_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            randfixedsum(3, 1.0, rng, low=1.0, high=1.0)
+
+    def test_bad_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            randfixedsum(0, 1.0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = randfixedsum(5, 2.0, np.random.default_rng(9))
+        b = randfixedsum(5, 2.0, np.random.default_rng(9))
+        assert np.allclose(a, b)
+
+    def test_mean_centered(self):
+        # Uniform over the constrained polytope: each coordinate has mean
+        # total/n by symmetry (after the random permutation).
+        rng = np.random.default_rng(11)
+        draws = np.array([randfixedsum(4, 2.0, rng) for _ in range(3000)])
+        assert np.allclose(draws.mean(axis=0), 0.5, atol=0.03)
+
+    def test_no_rejection_needed_for_tight_cap(self, rng):
+        # The acceptance-region case where uunifast_discard struggles.
+        x = randfixedsum(3, 2.97, rng, high=1.0)
+        assert x.sum() == pytest.approx(2.97)
+        assert np.all(x <= 1.0 + 1e-9)

@@ -1,0 +1,65 @@
+"""Unit tests for the one-call task-set factories."""
+
+import numpy as np
+import pytest
+
+from repro.generators import generate_mixed_taskset, generate_taskset
+from repro.model import Mode
+
+
+class TestGenerateTaskset:
+    def test_total_utilization(self, rng):
+        ts = generate_taskset(8, 1.6, rng)
+        assert ts.utilization == pytest.approx(1.6, rel=1e-9)
+
+    def test_count_and_names(self, rng):
+        ts = generate_taskset(5, 1.0, rng, name_prefix="w")
+        assert len(ts) == 5
+        assert ts.names == ("w1", "w2", "w3", "w4", "w5")
+
+    def test_mode_applied(self, rng):
+        ts = generate_taskset(4, 0.8, rng, mode=Mode.FS)
+        assert all(t.mode is Mode.FS for t in ts)
+
+    def test_deadline_factor(self, rng):
+        ts = generate_taskset(6, 0.6, rng, deadline_factor=0.5)
+        for t in ts:
+            assert t.deadline <= t.period
+            assert t.deadline >= t.wcet
+
+    def test_implicit_deadline_by_default(self, rng):
+        ts = generate_taskset(6, 0.6, rng)
+        assert ts.all_implicit_deadline
+
+    def test_period_bounds(self, rng):
+        ts = generate_taskset(30, 1.0, rng, period_low=20, period_high=40)
+        for t in ts:
+            assert 19.0 <= t.period <= 41.0  # granularity rounding slack
+
+    def test_randfixedsum_method(self, rng):
+        ts = generate_taskset(6, 1.2, rng, utilization_method="randfixedsum")
+        assert ts.utilization == pytest.approx(1.2, rel=1e-9)
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_taskset(4, 1.0, rng, utilization_method="magic")
+
+    def test_bad_deadline_factor_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_taskset(4, 1.0, rng, deadline_factor=1.5)
+
+
+class TestGenerateMixed:
+    def test_modes_are_mixed(self):
+        rng = np.random.default_rng(2)
+        ts = generate_mixed_taskset(40, 2.0, rng)
+        present = {t.mode for t in ts}
+        assert len(present) >= 2  # statistically certain with 40 tasks
+
+    def test_explicit_shares(self, rng):
+        ts = generate_mixed_taskset(10, 1.0, rng, mode_shares={Mode.FT: 1.0})
+        assert all(t.mode is Mode.FT for t in ts)
+
+    def test_utilization_preserved(self, rng):
+        ts = generate_mixed_taskset(10, 1.5, rng)
+        assert ts.utilization == pytest.approx(1.5, rel=1e-9)

@@ -1,0 +1,83 @@
+"""Unit tests for global scheduling bounds."""
+
+import pytest
+
+from repro.globalsched import (
+    global_edf_density_test,
+    global_edf_gfb_test,
+    global_rm_utilization_test,
+)
+from repro.globalsched.analysis import global_edf_supply_test
+from repro.model import Task, TaskSet
+from repro.supply import DedicatedSupply, LinearSupply
+
+
+class TestGFB:
+    def test_light_set_accepted(self):
+        ts = TaskSet([Task(f"t{i}", 1, 10) for i in range(4)])  # U=0.4, umax=0.1
+        assert global_edf_gfb_test(ts, 2)
+
+    def test_bound_is_tight_formula(self):
+        # u_max = 0.5, m = 2: bound = 2*0.5 + 0.5 = 1.5.
+        ts = TaskSet([Task("a", 5, 10), Task("b", 5, 10), Task("c", 5, 10)])
+        assert global_edf_gfb_test(ts, 2)  # U = 1.5 == bound
+        ts2 = ts.add(Task("d", 1, 10))     # U = 1.6 > bound
+        assert not global_edf_gfb_test(ts2, 2)
+
+    def test_dhall_effect_visible(self):
+        # One heavy task (u ~ 1): GFB collapses to U <= 1 for any m.
+        ts = TaskSet([Task("heavy", 9.9, 10), Task("light", 1, 10)])
+        assert not global_edf_gfb_test(ts, 4)
+
+    def test_empty(self):
+        assert global_edf_gfb_test(TaskSet(), 4)
+
+    def test_requires_implicit_deadlines(self):
+        ts = TaskSet([Task("a", 1, 10, deadline=5)])
+        with pytest.raises(ValueError):
+            global_edf_gfb_test(ts, 2)
+
+    def test_bad_m(self):
+        with pytest.raises(ValueError):
+            global_edf_gfb_test(TaskSet(), 0)
+
+
+class TestDensityBound:
+    def test_constrained_deadlines_supported(self):
+        ts = TaskSet([Task("a", 1, 10, deadline=5), Task("b", 1, 10, deadline=5)])
+        assert global_edf_density_test(ts, 2)
+
+    def test_density_overload_rejected(self):
+        ts = TaskSet([Task("a", 5, 10, deadline=5), Task("b", 5, 10, deadline=5)])
+        # densities 1.0 each: d_max = 1 -> bound = m*(0)+1 = 1 < 2.
+        assert not global_edf_density_test(ts, 2)
+
+
+class TestGlobalRM:
+    def test_light_set_accepted(self):
+        ts = TaskSet([Task(f"t{i}", 1, 10) for i in range(4)])
+        assert global_rm_utilization_test(ts, 2)
+
+    def test_rm_bound_half_of_edf(self):
+        # U = 1.5, u_max = 0.5, m = 2: RM bound = 1*(0.5)+0.5 = 1.0 < 1.5.
+        ts = TaskSet([Task("a", 5, 10), Task("b", 5, 10), Task("c", 5, 10)])
+        assert not global_rm_utilization_test(ts, 2)
+        assert global_edf_gfb_test(ts, 2)
+
+
+class TestSupplyAwareGlobal:
+    def test_dedicated_supply_reduces_to_gfb(self):
+        ts = TaskSet([Task("a", 2, 10), Task("b", 2, 10)])
+        assert global_edf_supply_test(ts, 2, DedicatedSupply()) == \
+            global_edf_gfb_test(ts, 2)
+
+    def test_delay_eats_short_deadlines(self):
+        ts = TaskSet([Task("a", 1, 10, deadline=2)])
+        assert not global_edf_supply_test(ts, 4, LinearSupply(0.5, 2.0))
+        assert global_edf_supply_test(ts, 4, LinearSupply(0.9, 0.5))
+
+    def test_zero_alpha_rejected(self):
+        from repro.supply import NullSupply
+
+        ts = TaskSet([Task("a", 1, 10)])
+        assert not global_edf_supply_test(ts, 4, NullSupply())

@@ -1,0 +1,105 @@
+"""Unit tests for run-time Job instances."""
+
+import pytest
+
+from repro.model import Job, JobState, Task
+
+
+@pytest.fixture
+def task():
+    return Task("t", wcet=3, period=10, deadline=8)
+
+
+@pytest.fixture
+def job(task):
+    return Job(task, release=20.0, index=2)
+
+
+class TestJobBasics:
+    def test_remaining_defaults_to_wcet(self, job):
+        assert job.remaining == 3.0
+
+    def test_name(self, job):
+        assert job.name == "t#2"
+
+    def test_absolute_deadline(self, job):
+        assert job.absolute_deadline == 28.0
+
+    def test_initial_state(self, job):
+        assert job.state is JobState.READY
+        assert job.is_active
+
+
+class TestExecution:
+    def test_execute_partial(self, job):
+        used = job.execute(1.0)
+        assert used == 1.0
+        assert job.remaining == 2.0
+        assert job.is_active
+
+    def test_execute_clamps_to_remaining(self, job):
+        used = job.execute(99.0)
+        assert used == 3.0
+        assert job.remaining == 0.0
+        assert not job.is_active
+
+    def test_execute_zero(self, job):
+        assert job.execute(0.0) == 0.0
+
+    def test_execute_negative_raises(self, job):
+        with pytest.raises(ValueError):
+            job.execute(-1.0)
+
+    def test_tiny_residue_snaps_to_zero(self, job):
+        job.execute(3.0 - 1e-12)
+        assert job.remaining == 0.0
+
+
+class TestCompletionAndDeadlines:
+    def test_complete_sets_state_and_time(self, job):
+        job.execute(3.0)
+        job.complete(25.0)
+        assert job.state is JobState.COMPLETED
+        assert job.completion_time == 25.0
+        assert job.response_time == 5.0
+
+    def test_met_deadline_true(self, job):
+        job.execute(3.0)
+        job.complete(28.0)
+        assert job.met_deadline()
+
+    def test_met_deadline_false_when_late(self, job):
+        job.execute(3.0)
+        job.complete(28.5)
+        assert not job.met_deadline()
+
+    def test_met_deadline_false_when_incomplete(self, job):
+        assert not job.met_deadline()
+
+    def test_complete_twice_raises(self, job):
+        job.complete(25.0)
+        with pytest.raises(RuntimeError):
+            job.complete(26.0)
+
+    def test_response_time_none_before_completion(self, job):
+        assert job.response_time is None
+
+
+class TestAbort:
+    def test_abort(self, job):
+        job.abort()
+        assert job.state is JobState.ABORTED
+        assert not job.is_active
+
+    def test_abort_completed_is_noop(self, job):
+        job.complete(21.0)
+        job.abort()
+        assert job.state is JobState.COMPLETED
+
+    def test_corrupted_flag(self, job):
+        assert not job.corrupted
+        job.corrupted = True
+        assert job.corrupted
+
+    def test_repr(self, job):
+        assert "t#2" in repr(job)

@@ -1,0 +1,110 @@
+"""Unit tests for PartitionedTaskSet."""
+
+import pytest
+
+from repro.model import Mode, PartitionedTaskSet, Task, TaskSet
+from repro.model.partitioned import partition_from_names
+
+
+@pytest.fixture
+def tasks():
+    return TaskSet(
+        [
+            Task("n1", 1, 10, mode=Mode.NF),
+            Task("n2", 1, 20, mode=Mode.NF),
+            Task("s1", 1, 10, mode=Mode.FS),
+            Task("f1", 1, 10, mode=Mode.FT),
+        ]
+    )
+
+
+@pytest.fixture
+def part(tasks):
+    return partition_from_names(
+        tasks,
+        {
+            Mode.NF: [["n1"], ["n2"]],
+            Mode.FS: [["s1"]],
+            Mode.FT: [["f1"]],
+        },
+    )
+
+
+class TestConstruction:
+    def test_pads_missing_bins_to_parallelism(self, part):
+        assert len(part.bins(Mode.NF)) == 4
+        assert len(part.bins(Mode.FS)) == 2
+        assert len(part.bins(Mode.FT)) == 1
+
+    def test_too_many_bins_rejected(self, tasks):
+        with pytest.raises(ValueError, match="logical processors"):
+            PartitionedTaskSet({Mode.FT: [TaskSet(), TaskSet()]})
+
+    def test_wrong_mode_assignment_rejected(self, tasks):
+        with pytest.raises(ValueError, match="requires mode"):
+            PartitionedTaskSet({Mode.FS: [tasks.subset(["n1"])]})
+
+    def test_duplicate_task_rejected(self, tasks):
+        nf = tasks.subset(["n1"])
+        with pytest.raises(ValueError, match="twice"):
+            PartitionedTaskSet({Mode.NF: [nf, nf]})
+
+    def test_non_taskset_bin_rejected(self):
+        with pytest.raises(TypeError):
+            PartitionedTaskSet({Mode.NF: [["not-a-taskset"]]})  # type: ignore[list-item]
+
+
+class TestAccessors:
+    def test_bin(self, part):
+        assert part.bin(Mode.NF, 0).names == ("n1",)
+        assert part.bin(Mode.NF, 2).names == ()
+
+    def test_mode_taskset(self, part):
+        assert set(part.mode_taskset(Mode.NF).names) == {"n1", "n2"}
+
+    def test_all_tasks_ft_first(self, part):
+        names = part.all_tasks().names
+        assert names[0] == "f1"  # FT slot leads the cycle
+        assert set(names) == {"n1", "n2", "s1", "f1"}
+
+    def test_processor_of(self, part):
+        assert part.processor_of("n2") == (Mode.NF, 1)
+        assert part.processor_of("f1") == (Mode.FT, 0)
+
+    def test_processor_of_missing(self, part):
+        with pytest.raises(KeyError):
+            part.processor_of("zz")
+
+    def test_max_bin_utilization(self, part):
+        assert part.max_bin_utilization(Mode.NF) == pytest.approx(0.1)
+
+    def test_equality(self, part, tasks):
+        again = partition_from_names(
+            tasks,
+            {Mode.NF: [["n1"], ["n2"]], Mode.FS: [["s1"]], Mode.FT: [["f1"]]},
+        )
+        assert part == again
+
+    def test_summary_and_repr(self, part):
+        assert "NF" in part.summary()
+        assert "FT" in repr(part)
+
+
+class TestPartitionFromNames:
+    def test_unplaced_task_rejected(self, tasks):
+        with pytest.raises(ValueError, match="does not place"):
+            partition_from_names(
+                tasks,
+                {Mode.NF: [["n1"], ["n2"]], Mode.FS: [["s1"]]},  # f1 missing
+            )
+
+    def test_unknown_name_rejected(self, tasks):
+        with pytest.raises(KeyError):
+            partition_from_names(
+                tasks,
+                {
+                    Mode.NF: [["n1", "ghost"], ["n2"]],
+                    Mode.FS: [["s1"]],
+                    Mode.FT: [["f1"]],
+                },
+            )

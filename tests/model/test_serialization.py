@@ -1,0 +1,60 @@
+"""Unit tests for task/taskset JSON round-trips."""
+
+import pytest
+
+from repro.experiments import paper_taskset
+from repro.model import (
+    Mode,
+    Task,
+    TaskSet,
+    task_from_dict,
+    task_to_dict,
+    taskset_from_dict,
+    taskset_from_json,
+    taskset_to_dict,
+    taskset_to_json,
+)
+
+
+class TestTaskRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        t = Task("x", wcet=1.5, period=10, deadline=7, mode=Mode.FS)
+        assert task_from_dict(task_to_dict(t)) == t
+
+    def test_dict_shape(self):
+        d = task_to_dict(Task("x", 1, 10))
+        assert d == {
+            "name": "x",
+            "wcet": 1.0,
+            "period": 10.0,
+            "deadline": 10.0,
+            "mode": "NF",
+        }
+
+    def test_missing_mode_defaults_to_nf(self):
+        t = task_from_dict({"name": "x", "wcet": 1, "period": 10})
+        assert t.mode is Mode.NF
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            task_from_dict({"name": "x", "wcet": 1, "period": 10, "mode": "XX"})
+
+
+class TestTaskSetRoundTrip:
+    def test_json_roundtrip_paper_set(self):
+        ts = paper_taskset()
+        assert taskset_from_json(taskset_to_json(ts)) == ts
+
+    def test_dict_roundtrip_empty(self):
+        assert taskset_from_dict(taskset_to_dict(TaskSet())) == TaskSet()
+
+    def test_schema_version_present(self):
+        assert taskset_to_dict(TaskSet())["schema"] == 1
+
+    def test_unsupported_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            taskset_from_dict({"schema": 99, "tasks": []})
+
+    def test_json_is_stable_text(self):
+        ts = TaskSet([Task("a", 1, 4)])
+        assert taskset_to_json(ts) == taskset_to_json(ts)

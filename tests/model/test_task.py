@@ -1,0 +1,103 @@
+"""Unit tests for the Task value object and Mode enum."""
+
+import pytest
+
+from repro.model import Mode, Task
+
+
+class TestMode:
+    def test_parallelism(self):
+        assert Mode.FT.parallelism == 1
+        assert Mode.FS.parallelism == 2
+        assert Mode.NF.parallelism == 4
+
+    def test_cores_per_channel(self):
+        assert Mode.FT.cores_per_channel == 4
+        assert Mode.FS.cores_per_channel == 2
+        assert Mode.NF.cores_per_channel == 1
+
+    def test_str(self):
+        assert str(Mode.FT) == "FT"
+
+    def test_roundtrip_by_value(self):
+        assert Mode("FS") is Mode.FS
+
+
+class TestTaskConstruction:
+    def test_implicit_deadline_defaults_to_period(self):
+        t = Task("t", wcet=1, period=10)
+        assert t.deadline == 10.0
+
+    def test_explicit_deadline(self):
+        t = Task("t", wcet=1, period=10, deadline=5)
+        assert t.deadline == 5.0
+
+    def test_fields_normalised_to_float(self):
+        t = Task("t", wcet=1, period=10)
+        assert isinstance(t.wcet, float)
+        assert isinstance(t.period, float)
+
+    def test_default_mode_is_nf(self):
+        assert Task("t", 1, 10).mode is Mode.NF
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            Task("", 1, 10)
+
+    def test_rejects_nonpositive_wcet(self):
+        with pytest.raises(ValueError):
+            Task("t", 0, 10)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            Task("t", 1, 0)
+
+    def test_rejects_wcet_above_deadline(self):
+        with pytest.raises(ValueError, match="wcet"):
+            Task("t", wcet=6, period=10, deadline=5)
+
+    def test_rejects_deadline_above_period(self):
+        with pytest.raises(ValueError, match="constrained"):
+            Task("t", wcet=1, period=10, deadline=11)
+
+    def test_rejects_non_mode(self):
+        with pytest.raises(TypeError):
+            Task("t", 1, 10, mode="FT")
+
+
+class TestTaskProperties:
+    def test_utilization(self):
+        assert Task("t", 2, 8).utilization == pytest.approx(0.25)
+
+    def test_density(self):
+        assert Task("t", 2, 8, deadline=4).density == pytest.approx(0.5)
+
+    def test_implicit_deadline_flag(self):
+        assert Task("t", 1, 10).implicit_deadline
+        assert not Task("t", 1, 10, deadline=9).implicit_deadline
+
+    def test_replace_changes_only_given_fields(self):
+        t = Task("t", 1, 10, mode=Mode.FT)
+        t2 = t.replace(wcet=2)
+        assert t2.wcet == 2.0
+        assert t2.period == 10.0
+        assert t2.mode is Mode.FT
+        assert t.wcet == 1.0  # original untouched
+
+    def test_equality_and_hash(self):
+        a = Task("t", 1, 10)
+        b = Task("t", 1.0, 10.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Task("t", 2, 10)
+
+    def test_usable_as_dict_key(self):
+        d = {Task("t", 1, 10): "x"}
+        assert d[Task("t", 1, 10)] == "x"
+
+    def test_repr_mentions_name_and_mode(self):
+        r = repr(Task("tau1", 1, 6, mode=Mode.FT))
+        assert "tau1" in r and "FT" in r
+
+    def test_repr_shows_explicit_deadline(self):
+        assert "D=5" in repr(Task("t", 1, 10, deadline=5))

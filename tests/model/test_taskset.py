@@ -1,0 +1,142 @@
+"""Unit tests for the TaskSet container."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model import Mode, Task, TaskSet
+
+
+@pytest.fixture
+def ts():
+    return TaskSet(
+        [
+            Task("a", 1, 4, mode=Mode.NF),
+            Task("b", 1, 6, mode=Mode.FS),
+            Task("c", 2, 12, mode=Mode.FT),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert len(TaskSet()) == 0
+        assert TaskSet().utilization == 0.0
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TaskSet([Task("a", 1, 4), Task("a", 1, 5)])
+
+    def test_rejects_non_task(self):
+        with pytest.raises(TypeError):
+            TaskSet([Task("a", 1, 4), "b"])  # type: ignore[list-item]
+
+    def test_preserves_order(self, ts):
+        assert ts.names == ("a", "b", "c")
+
+
+class TestCollectionProtocol:
+    def test_len(self, ts):
+        assert len(ts) == 3
+
+    def test_index_by_position(self, ts):
+        assert ts[0].name == "a"
+
+    def test_index_by_name(self, ts):
+        assert ts["b"].period == 6.0
+
+    def test_missing_name_raises_keyerror(self, ts):
+        with pytest.raises(KeyError, match="nope"):
+            ts["nope"]
+
+    def test_contains_task_and_name(self, ts):
+        assert "a" in ts
+        assert Task("a", 1, 4, mode=Mode.NF) in ts
+        assert Task("a", 2, 4, mode=Mode.NF) not in ts  # same name, diff params
+        assert 42 not in ts
+
+    def test_equality_and_hash(self, ts):
+        same = TaskSet(list(ts))
+        assert ts == same
+        assert hash(ts) == hash(same)
+        assert ts != TaskSet([ts[0]])
+
+    def test_iteration(self, ts):
+        assert [t.name for t in ts] == ["a", "b", "c"]
+
+
+class TestAggregates:
+    def test_utilization(self, ts):
+        assert ts.utilization == pytest.approx(1 / 4 + 1 / 6 + 2 / 12)
+
+    def test_density_with_constrained_deadline(self):
+        ts = TaskSet([Task("a", 1, 4, deadline=2)])
+        assert ts.density == pytest.approx(0.5)
+
+    def test_max_utilization(self, ts):
+        assert ts.max_utilization == pytest.approx(0.25)
+
+    def test_max_utilization_empty(self):
+        assert TaskSet().max_utilization == 0.0
+
+    def test_hyperperiod(self, ts):
+        assert ts.hyperperiod() == pytest.approx(12.0)
+
+    def test_hyperperiod_fraction_exact(self, ts):
+        assert ts.hyperperiod_fraction() == Fraction(12)
+
+    def test_hyperperiod_empty_raises(self):
+        with pytest.raises(ValueError):
+            TaskSet().hyperperiod()
+
+    def test_hyperperiod_rational_periods(self):
+        ts = TaskSet([Task("a", 0.1, 0.5), Task("b", 0.1, 0.75)])
+        assert ts.hyperperiod() == pytest.approx(1.5)
+
+
+class TestRestriction:
+    def test_by_mode(self, ts):
+        assert ts.by_mode(Mode.FS).names == ("b",)
+
+    def test_mode_partition_covers_everything(self, ts):
+        parts = ts.mode_partition()
+        total = sum(len(parts[m]) for m in Mode)
+        assert total == len(ts)
+
+    def test_subset(self, ts):
+        assert ts.subset(["c", "a"]).names == ("a", "c")  # original order kept
+
+    def test_subset_missing_raises(self, ts):
+        with pytest.raises(KeyError):
+            ts.subset(["a", "zz"])
+
+    def test_without(self, ts):
+        assert ts.without(["b"]).names == ("a", "c")
+        assert ts.without(["missing"]).names == ts.names
+
+    def test_add_returns_new(self, ts):
+        bigger = ts.add(Task("d", 1, 8))
+        assert len(bigger) == 4
+        assert len(ts) == 3
+
+    def test_sorted_by(self, ts):
+        by_period = ts.sorted_by(lambda t: t.period, reverse=True)
+        assert by_period.names == ("c", "b", "a")
+
+    def test_restrict_predicate(self, ts):
+        heavy = ts.restrict(lambda t: t.utilization >= 0.2)
+        assert heavy.names == ("a",)
+
+
+class TestMisc:
+    def test_all_implicit_deadline(self, ts):
+        assert ts.all_implicit_deadline
+        ts2 = ts.add(Task("d", 1, 8, deadline=4))
+        assert not ts2.all_implicit_deadline
+
+    def test_summary_mentions_modes(self, ts):
+        s = ts.summary()
+        assert "FT" in s and "FS" in s and "NF" in s
+
+    def test_repr(self, ts):
+        assert "a" in repr(ts)

@@ -1,0 +1,70 @@
+"""Unit tests for task-set transformations."""
+
+import pytest
+
+from repro.model import (
+    Mode,
+    Task,
+    TaskSet,
+    implicit_deadlines,
+    merge_tasksets,
+    scale_periods,
+    scale_wcets,
+    with_mode,
+)
+
+
+@pytest.fixture
+def ts():
+    return TaskSet([Task("a", 1, 4, deadline=3), Task("b", 2, 10)])
+
+
+class TestScaling:
+    def test_scale_periods_scales_deadlines_too(self, ts):
+        out = scale_periods(ts, 2.0)
+        assert out["a"].period == 8.0
+        assert out["a"].deadline == 6.0
+
+    def test_scale_periods_divides_utilization(self, ts):
+        out = scale_periods(ts, 2.0)
+        assert out.utilization == pytest.approx(ts.utilization / 2)
+
+    def test_scale_periods_rejects_nonpositive(self, ts):
+        with pytest.raises(ValueError):
+            scale_periods(ts, 0.0)
+
+    def test_scale_wcets(self, ts):
+        out = scale_wcets(ts, 1.5)
+        assert out["a"].wcet == 1.5
+        assert out.utilization == pytest.approx(ts.utilization * 1.5)
+
+    def test_scale_wcets_overflow_rejected(self, ts):
+        # scaling a's wcet past its deadline must fail Task validation
+        with pytest.raises(ValueError):
+            scale_wcets(ts, 4.0)
+
+
+class TestModeAndDeadlines:
+    def test_implicit_deadlines(self, ts):
+        out = implicit_deadlines(ts)
+        assert out["a"].deadline == 4.0
+
+    def test_with_mode(self, ts):
+        out = with_mode(ts, Mode.FT)
+        assert all(t.mode is Mode.FT for t in out)
+
+
+class TestMerge:
+    def test_merge_disjoint(self, ts):
+        other = TaskSet([Task("c", 1, 8)])
+        merged = merge_tasksets([ts, other])
+        assert merged.names == ("a", "b", "c")
+
+    def test_merge_collision_raises_by_default(self, ts):
+        with pytest.raises(ValueError, match="duplicate"):
+            merge_tasksets([ts, ts])
+
+    def test_merge_collision_renames_when_asked(self, ts):
+        merged = merge_tasksets([ts, ts], rename_collisions=True)
+        assert "a.2" in merged.names and "b.2" in merged.names
+        assert len(merged) == 4

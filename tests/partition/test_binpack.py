@@ -1,0 +1,134 @@
+"""Unit tests for bin-packing partitioners."""
+
+import pytest
+
+from repro.model import Task, TaskSet
+from repro.partition import (
+    PartitionError,
+    best_fit,
+    first_fit,
+    next_fit,
+    partition_tasks,
+    worst_fit,
+)
+from repro.partition.binpack import make_admission_test
+
+
+def names(bins):
+    return [tuple(b.names) for b in bins]
+
+
+@pytest.fixture
+def six_tasks():
+    return TaskSet(
+        [
+            Task("a", 4, 10),  # U = .4
+            Task("b", 3, 10),  # U = .3
+            Task("c", 3, 10),  # U = .3
+            Task("d", 2, 10),  # U = .2
+            Task("e", 2, 10),  # U = .2
+            Task("f", 1, 10),  # U = .1
+        ]
+    )
+
+
+class TestHeuristicPlacement:
+    def test_first_fit_greedy(self, six_tasks):
+        bins = first_fit(six_tasks, 2)
+        # a,b,c fill bin0 to 1.0; d,e,f go to bin1.
+        assert names(bins) == [("a", "b", "c"), ("d", "e", "f")]
+
+    def test_worst_fit_balances(self, six_tasks):
+        bins = worst_fit(six_tasks, 2)
+        utils = [b.utilization for b in bins]
+        assert max(utils) - min(utils) <= 0.2
+
+    def test_best_fit_tightest(self):
+        ts = TaskSet([Task("a", 6, 10), Task("b", 3, 10), Task("c", 3, 10)])
+        bins = best_fit(ts, 2)
+        # a -> bin0 (.6); b -> prefers fuller bin0 (.9); c only fits bin1.
+        assert names(bins) == [("a", "b"), ("c",)]
+
+    def test_next_fit_never_looks_back(self):
+        ts = TaskSet([Task("a", 6, 10), Task("b", 5, 10), Task("c", 4, 10)])
+        bins = next_fit(ts, 3)
+        # a(0.6) bin0; b(0.5) doesn't fit bin0 -> bin1; c(0.4) fits bin1.
+        assert names(bins) == [("a",), ("b", "c"), ()]
+
+    def test_decreasing_sorts_by_utilization(self, six_tasks):
+        bins = first_fit(six_tasks, 2, decreasing=True)
+        placed_first = bins[0].names[0]
+        assert placed_first == "a"  # highest utilization first
+
+    def test_overflow_raises(self):
+        ts = TaskSet([Task("a", 9, 10), Task("b", 9, 10), Task("c", 9, 10)])
+        with pytest.raises(PartitionError):
+            first_fit(ts, 2)
+
+    def test_next_fit_fails_where_first_fit_succeeds(self):
+        ts = TaskSet(
+            [Task("a", 6, 10), Task("b", 5, 10), Task("c", 4, 10), Task("d", 5, 10)]
+        )
+        # first-fit: a(.6)->0, b(.5)->1, c(.4)->0, d(.5)->1 : fits in 2 bins
+        assert len(first_fit(ts, 2)) == 2
+        with pytest.raises(PartitionError):
+            next_fit(ts, 2)
+
+    def test_bad_bin_count(self, six_tasks):
+        with pytest.raises(ValueError):
+            first_fit(six_tasks, 0)
+
+
+class TestAdmissionTests:
+    def test_utilization_cap(self):
+        adm = make_admission_test("utilization", cap=0.5)
+        assert adm(TaskSet([Task("a", 1, 2)]))
+        assert not adm(TaskSet([Task("a", 1, 2), Task("b", 1, 10)]))
+
+    def test_edf_admission_sees_constrained_deadlines(self):
+        adm = make_admission_test("edf")
+        good = TaskSet([Task("a", 1, 10, deadline=2)])
+        bad = TaskSet(
+            [Task("a", 1, 10, deadline=2), Task("b", 2, 10, deadline=2)]
+        )
+        assert adm(good)
+        assert not adm(bad)
+
+    def test_rm_admission_stricter_than_edf(self):
+        # U=1 non-harmonic pair: EDF yes, RM no.
+        pair = TaskSet([Task("a", 1, 2), Task("b", 2.5, 5)])
+        assert make_admission_test("edf")(pair)
+        assert not make_admission_test("rm")(pair)
+
+    def test_unknown_admission_rejected(self):
+        with pytest.raises(ValueError):
+            make_admission_test("magic")
+
+    def test_partition_with_rm_admission(self, six_tasks):
+        bins = partition_tasks(six_tasks, 3, admission="rm")
+        assert sum(len(b) for b in bins) == 6
+
+
+class TestPartitionTasksFacade:
+    def test_default_is_worst_fit_decreasing(self, six_tasks):
+        default = partition_tasks(six_tasks, 2)
+        explicit = worst_fit(six_tasks, 2, decreasing=True)
+        assert names(default) == names(explicit)
+
+    def test_unknown_heuristic_rejected(self, six_tasks):
+        with pytest.raises(ValueError, match="unknown heuristic"):
+            partition_tasks(six_tasks, 2, heuristic="magic-fit")
+
+    def test_all_tasks_placed_exactly_once(self, six_tasks):
+        bins = partition_tasks(six_tasks, 3)
+        placed = [n for b in bins for n in b.names]
+        assert sorted(placed) == sorted(six_tasks.names)
+
+    def test_wfd_minimises_max_bin_on_paper_nf(self, paper_ts):
+        from repro.model import Mode
+
+        nf = paper_ts.by_mode(Mode.NF)
+        bins = partition_tasks(nf, 4, heuristic="worst-fit", decreasing=True)
+        # paper's manual partition has max bin utilization 0.25; WFD must
+        # not do worse than single-task-per-bin layouts allow
+        assert max(b.utilization for b in bins) <= 0.30

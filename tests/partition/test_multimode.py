@@ -1,0 +1,53 @@
+"""Unit tests for per-mode partitioning."""
+
+import pytest
+
+from repro.model import Mode, Task, TaskSet
+from repro.partition import PartitionError, partition_by_modes
+
+
+class TestPartitionByModes:
+    def test_paper_taskset_partitions(self, paper_ts):
+        part = partition_by_modes(paper_ts)
+        assert set(part.all_tasks().names) == set(paper_ts.names)
+
+    def test_bin_counts_match_parallelism(self, paper_ts):
+        part = partition_by_modes(paper_ts)
+        assert len(part.bins(Mode.NF)) == 4
+        assert len(part.bins(Mode.FS)) == 2
+        assert len(part.bins(Mode.FT)) == 1
+
+    def test_modes_respected(self, paper_ts):
+        part = partition_by_modes(paper_ts)
+        for mode in Mode:
+            for ts in part.bins(mode):
+                assert all(t.mode is mode for t in ts)
+
+    def test_empty_mode_gets_empty_bins(self):
+        ts = TaskSet([Task("a", 1, 10, mode=Mode.NF)])
+        part = partition_by_modes(ts)
+        assert all(len(b) == 0 for b in part.bins(Mode.FT))
+
+    def test_ft_overload_reported_with_mode(self):
+        ts = TaskSet(
+            [
+                Task("f1", 6, 10, mode=Mode.FT),
+                Task("f2", 6, 10, mode=Mode.FT),
+            ]
+        )
+        with pytest.raises(PartitionError, match="FT"):
+            partition_by_modes(ts)
+
+    def test_heuristic_forwarded(self, paper_ts):
+        wf = partition_by_modes(paper_ts, heuristic="worst-fit")
+        ff = partition_by_modes(paper_ts, heuristic="first-fit")
+        # Different heuristics may or may not coincide, but both are valid.
+        assert set(wf.all_tasks().names) == set(ff.all_tasks().names)
+
+    def test_feasible_for_design(self, paper_ts):
+        # The automatic partition must feed the design pipeline end-to-end.
+        from repro.core import Overheads, design_platform
+
+        part = partition_by_modes(paper_ts)
+        cfg = design_platform(part, "EDF", Overheads.uniform(0.05))
+        assert cfg.period > 0

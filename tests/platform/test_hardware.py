@@ -1,0 +1,97 @@
+"""Unit tests for cores, channels and the checker."""
+
+import pytest
+
+from repro.model import Mode
+from repro.platform import Checker, Core, FaultEffect, LockstepChannel
+from repro.platform.modes import layout_for
+
+
+class TestCore:
+    def test_valid_indices(self):
+        for i in range(4):
+            Core(i)
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            Core(4)
+        with pytest.raises(ValueError):
+            Core(-1)
+
+
+class TestLockstepChannel:
+    def test_single_core_channel(self):
+        ch = LockstepChannel((2,))
+        assert ch.width == 1
+        assert ch.fault_effect() is FaultEffect.CORRUPTED
+
+    def test_dual_lockstep_detects(self):
+        ch = LockstepChannel((0, 1))
+        assert ch.fault_effect() is FaultEffect.SILENCED
+
+    def test_redundant_lockstep_masks(self):
+        ch = LockstepChannel((0, 1, 2, 3), voting=True)
+        assert ch.fault_effect() is FaultEffect.MASKED
+
+    def test_voting_needs_three_cores(self):
+        with pytest.raises(ValueError, match="voting"):
+            LockstepChannel((0, 1), voting=True)
+
+    def test_bad_widths(self):
+        with pytest.raises(ValueError):
+            LockstepChannel((0, 1, 2))  # 3-wide channels not offered
+
+    def test_duplicate_cores(self):
+        with pytest.raises(ValueError):
+            LockstepChannel((0, 0))
+
+    def test_bad_core_index(self):
+        with pytest.raises(ValueError):
+            LockstepChannel((5,))
+
+    def test_contains(self):
+        ch = LockstepChannel((2, 3))
+        assert ch.contains(3)
+        assert not ch.contains(0)
+
+
+class TestChecker:
+    def test_configure_and_classify_ft(self):
+        ck = Checker()
+        ck.configure(Mode.FT, layout_for(Mode.FT).channels)
+        for core in range(4):
+            idx, effect = ck.classify_fault(core)
+            assert idx == 0
+            assert effect is FaultEffect.MASKED
+
+    def test_classify_fs_maps_channels(self):
+        ck = Checker()
+        ck.configure(Mode.FS, layout_for(Mode.FS).channels)
+        assert ck.classify_fault(0)[0] == 0
+        assert ck.classify_fault(1)[0] == 0
+        assert ck.classify_fault(2)[0] == 1
+        assert ck.classify_fault(3)[0] == 1
+        assert ck.classify_fault(2)[1] is FaultEffect.SILENCED
+
+    def test_classify_nf_one_to_one(self):
+        ck = Checker()
+        ck.configure(Mode.NF, layout_for(Mode.NF).channels)
+        for core in range(4):
+            idx, effect = ck.classify_fault(core)
+            assert idx == core
+            assert effect is FaultEffect.CORRUPTED
+
+    def test_layout_must_cover_all_cores(self):
+        ck = Checker()
+        with pytest.raises(ValueError, match="exactly once"):
+            ck.configure(Mode.FS, (LockstepChannel((0, 1)),))
+
+    def test_unconfigured_checker_raises(self):
+        with pytest.raises(RuntimeError):
+            Checker().channel_of(0)
+
+    def test_mode_property_tracks_configuration(self):
+        ck = Checker()
+        assert ck.mode is None
+        ck.configure(Mode.NF, layout_for(Mode.NF).channels)
+        assert ck.mode is Mode.NF

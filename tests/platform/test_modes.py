@@ -1,0 +1,32 @@
+"""Unit tests for the canonical mode layouts."""
+
+from repro.model import Mode
+from repro.platform import layout_for
+
+
+class TestLayouts:
+    def test_ft_single_voting_channel(self):
+        layout = layout_for(Mode.FT)
+        assert layout.logical_processors == 1
+        assert layout.replication == 4
+        assert layout.channels[0].voting
+
+    def test_fs_two_dual_channels(self):
+        layout = layout_for(Mode.FS)
+        assert layout.logical_processors == 2
+        assert layout.replication == 2
+        assert all(not ch.voting for ch in layout.channels)
+
+    def test_nf_four_independent(self):
+        layout = layout_for(Mode.NF)
+        assert layout.logical_processors == 4
+        assert layout.replication == 1
+
+    def test_each_layout_covers_all_cores_once(self):
+        for mode in Mode:
+            cores = [c for ch in layout_for(mode).channels for c in ch.cores]
+            assert sorted(cores) == [0, 1, 2, 3]
+
+    def test_parallelism_matches_mode_enum(self):
+        for mode in Mode:
+            assert layout_for(mode).logical_processors == mode.parallelism

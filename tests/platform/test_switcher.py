@@ -1,0 +1,102 @@
+"""Unit tests for the mode-switch controller (Figure 2 timeline)."""
+
+import pytest
+
+from repro.core import Overheads, SlotSchedule
+from repro.model import Mode
+from repro.platform import ModeSwitchController, SegmentKind
+
+
+@pytest.fixture
+def schedule():
+    # P=3: FT [0,0.9) with overhead tail [0.8,0.9); FS [0.9,2.1) tail 0.1;
+    # NF [2.1,2.7) tail 0.1; idle [2.7,3).
+    return SlotSchedule(
+        3.0,
+        {Mode.FT: 0.9, Mode.FS: 1.2, Mode.NF: 0.6},
+        Overheads(0.1, 0.1, 0.1),
+    )
+
+
+@pytest.fixture
+def ctrl(schedule):
+    return ModeSwitchController(schedule)
+
+
+class TestSegments:
+    def test_one_cycle_structure(self, ctrl):
+        segs = [s for s in ctrl.segments(3.0)]
+        kinds = [(s.kind, s.mode) for s in segs]
+        assert kinds == [
+            (SegmentKind.USABLE, Mode.FT),
+            (SegmentKind.OVERHEAD, Mode.FT),
+            (SegmentKind.USABLE, Mode.FS),
+            (SegmentKind.OVERHEAD, Mode.FS),
+            (SegmentKind.USABLE, Mode.NF),
+            (SegmentKind.OVERHEAD, Mode.NF),
+            (SegmentKind.IDLE, None),
+        ]
+
+    def test_segments_are_contiguous(self, ctrl):
+        segs = list(ctrl.segments(9.0))
+        for a, b in zip(segs, segs[1:]):
+            assert a.end == pytest.approx(b.start)
+
+    def test_segments_clip_at_horizon(self, ctrl):
+        segs = list(ctrl.segments(1.0))
+        assert segs[-1].end <= 1.0 + 1e-9
+
+    def test_cycle_counter(self, ctrl):
+        segs = list(ctrl.segments(6.5))
+        assert {s.cycle for s in segs} == {0, 1, 2}
+
+    def test_durations_match_schedule(self, ctrl, schedule):
+        segs = [s for s in ctrl.segments(3.0) if s.kind is SegmentKind.USABLE]
+        durations = {s.mode: s.duration for s in segs}
+        for mode in Mode:
+            assert durations[mode] == pytest.approx(schedule.usable(mode))
+
+
+class TestUsableWindows:
+    def test_windows_repeat_per_cycle(self, ctrl):
+        w = ctrl.usable_windows(Mode.FS, 6.0)
+        assert len(w) == 2
+        assert w[0] == (pytest.approx(0.9), pytest.approx(2.0))
+        assert w[1] == (pytest.approx(3.9), pytest.approx(5.0))
+
+    def test_zero_quantum_mode_has_no_windows(self):
+        s = SlotSchedule(2.0, {Mode.NF: 1.0}, Overheads.zero())
+        c = ModeSwitchController(s)
+        assert c.usable_windows(Mode.FT, 10.0) == []
+
+
+class TestSegmentAt:
+    def test_start_of_cycle(self, ctrl):
+        seg = ctrl.segment_at(0.0)
+        assert seg.mode is Mode.FT and seg.kind is SegmentKind.USABLE
+
+    def test_overhead_instant(self, ctrl):
+        seg = ctrl.segment_at(0.85)
+        assert seg.kind is SegmentKind.OVERHEAD and seg.mode is Mode.FT
+
+    def test_idle_instant(self, ctrl):
+        assert ctrl.segment_at(2.8).kind is SegmentKind.IDLE
+
+    def test_second_cycle(self, ctrl):
+        seg = ctrl.segment_at(3.0 + 1.0)
+        assert seg.mode is Mode.FS and seg.cycle == 1
+
+    def test_boundary_belongs_to_starting_segment(self, ctrl):
+        seg = ctrl.segment_at(0.9)
+        assert seg.mode is Mode.FS and seg.kind is SegmentKind.USABLE
+
+    def test_mode_at_helper(self, ctrl):
+        assert ctrl.mode_at(0.5) is Mode.FT
+        assert ctrl.mode_at(2.8) is None
+
+    def test_negative_time_rejected(self, ctrl):
+        with pytest.raises(ValueError):
+            ctrl.segment_at(-0.1)
+
+    def test_layout_lookup(self, ctrl):
+        assert ctrl.layout_at(Mode.FS).logical_processors == 2

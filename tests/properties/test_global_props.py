@@ -1,0 +1,86 @@
+"""Property-based tests for the global scheduling simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.globalsched import simulate_global
+from repro.model import Task, TaskSet
+from repro.util import EPS
+
+
+@st.composite
+def integer_tasksets(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    tasks = []
+    for i in range(n):
+        period = draw(st.integers(min_value=3, max_value=12))
+        wcet = draw(st.integers(min_value=1, max_value=max(period // 2, 1)))
+        tasks.append(Task(f"t{i}", float(wcet), float(period)))
+    return TaskSet(tasks)
+
+
+ms = st.integers(min_value=1, max_value=4)
+
+
+def _horizon(ts):
+    return min(float(ts.hyperperiod()) * 2, 200.0)
+
+
+@given(integer_tasksets(), ms)
+@settings(max_examples=40, deadline=None)
+def test_no_job_runs_on_two_processors_at_once(ts, m):
+    h = _horizon(ts)
+    res = simulate_global(ts, "EDF", m, [(0.0, h)], h)
+    by_job: dict[str, list] = {}
+    for s in res.trace.slices:
+        by_job.setdefault(s.job, []).append(s)
+    for slices in by_job.values():
+        slices.sort(key=lambda s: s.start)
+        for a, b in zip(slices, slices[1:]):
+            if a.processor != b.processor:
+                assert b.start >= a.end - EPS
+
+
+@given(integer_tasksets(), ms)
+@settings(max_examples=40, deadline=None)
+def test_at_most_m_processors_busy(ts, m):
+    h = _horizon(ts)
+    res = simulate_global(ts, "EDF", m, [(0.0, h)], h)
+    procs = {s.processor for s in res.trace.slices}
+    assert len(procs) <= m
+
+
+@given(integer_tasksets(), ms)
+@settings(max_examples=40, deadline=None)
+def test_executed_equals_consumed_work(ts, m):
+    h = _horizon(ts)
+    res = simulate_global(ts, "EDF", m, [(0.0, h)], h)
+    executed = res.trace.busy_time()
+    consumed = sum(j.task.wcet - j.remaining for j in res.jobs)
+    assert abs(executed - consumed) < 1e-6
+
+
+@given(integer_tasksets(), ms)
+@settings(max_examples=40, deadline=None)
+def test_more_processors_never_hurt(ts, m):
+    # Global EDF miss count is monotone non-increasing in m for these
+    # synchronous integer sets over the same horizon.
+    h = _horizon(ts)
+    misses_m = len(simulate_global(ts, "EDF", m, [(0.0, h)], h).misses)
+    misses_m1 = len(simulate_global(ts, "EDF", m + 1, [(0.0, h)], h).misses)
+    assert misses_m1 <= misses_m
+
+
+@given(integer_tasksets())
+@settings(max_examples=40, deadline=None)
+def test_m_equal_one_matches_uniproc_sim(ts):
+    from repro.sim import make_policy, simulate_uniproc
+
+    h = _horizon(ts)
+    glob = simulate_global(ts, "EDF", 1, [(0.0, h)], h)
+    uni = simulate_uniproc(ts, make_policy(ts, "EDF"), [(0.0, h)], h)
+    assert len(glob.misses) == len(uni.misses)
+    assert glob.trace.busy_time() == pytest.approx(uni.trace.busy_time())
+
+
+import pytest  # noqa: E402  (used by the approx above)

@@ -1,0 +1,130 @@
+"""Deep tests of the fail-silent and corruption fault paths."""
+
+import pytest
+
+from repro.core import Overheads, PlatformConfig, SlotSchedule
+from repro.faults import Fault, FaultOutcome
+from repro.model import Mode, PartitionedTaskSet, Task, TaskSet
+from repro.sim import MulticoreSim
+from repro.sim.trace import SimEventKind
+
+
+@pytest.fixture
+def busy_platform():
+    """A platform whose FS[0] channel is almost always busy.
+
+    fs_busy has C=1.8 per T=4 inside an FS window of 2.0 per cycle of 4.0 —
+    the channel is executing for 90% of every window, so a mid-window fault
+    deterministically hits a running job.
+    """
+    ts = TaskSet(
+        [
+            Task("ft_t", 0.2, 8, mode=Mode.FT),
+            Task("fs_busy", 1.8, 4, mode=Mode.FS),
+            Task("nf_busy", 0.9, 4, mode=Mode.NF),
+        ]
+    )
+    part = PartitionedTaskSet(
+        {
+            Mode.FT: [ts.subset(["ft_t"])],
+            Mode.FS: [ts.subset(["fs_busy"])],
+            Mode.NF: [ts.subset(["nf_busy"])],
+        }
+    )
+    schedule = SlotSchedule(
+        4.0,
+        {Mode.FT: 0.5, Mode.FS: 2.0, Mode.NF: 1.2},
+        Overheads.zero(),
+    )
+    return part, PlatformConfig(schedule, "EDF")
+
+
+class TestFailSilentPath:
+    def test_victim_recorded_and_aborted(self, busy_platform):
+        part, cfg = busy_platform
+        a, b = cfg.schedule.usable_window(Mode.FS)
+        fault_t = (a + b) / 2  # mid FS window of cycle 0: fs_busy is running
+        sim = MulticoreSim(part, cfg)
+        res = sim.run(horizon=40.0, faults=[Fault(fault_t, core=0)])
+        rec = res.fault_records[0]
+        assert rec.outcome is FaultOutcome.SILENCED
+        assert rec.victim == "fs_busy#0"
+        assert "fs_busy#0" in res.aborted_jobs()
+
+    def test_channel_blackout_until_slot_end(self, busy_platform):
+        part, cfg = busy_platform
+        a, b = cfg.schedule.usable_window(Mode.FS)
+        fault_t = (a + b) / 2
+        sim = MulticoreSim(part, cfg)
+        res = sim.run(horizon=40.0, faults=[Fault(fault_t, core=1)])
+        # No FS execution between the fault and the end of that slot.
+        for s in res.processors["FS[0]"].trace.slices:
+            assert not (fault_t + 1e-9 < s.end <= b + 1e-9 and s.start >= fault_t)
+        # Service resumes in the next cycle.
+        next_window_start = a + cfg.period
+        assert any(
+            s.start >= next_window_start - 1e-9
+            for s in res.processors["FS[0]"].trace.slices
+        )
+
+    def test_aborted_job_is_not_a_deadline_miss(self, busy_platform):
+        part, cfg = busy_platform
+        a, b = cfg.schedule.usable_window(Mode.FS)
+        sim = MulticoreSim(part, cfg)
+        res = sim.run(horizon=40.0, faults=[Fault((a + b) / 2, core=0)])
+        # fail-silent semantics: silence, not lateness.
+        assert not any(
+            e.who.startswith("fs_busy#0") for e in res.misses
+        )
+
+    def test_fs_fault_event_logged_in_merged_trace(self, busy_platform):
+        part, cfg = busy_platform
+        a, b = cfg.schedule.usable_window(Mode.FS)
+        sim = MulticoreSim(part, cfg)
+        res = sim.run(horizon=40.0, faults=[Fault((a + b) / 2, core=0)])
+        fault_events = res.trace.events_of(SimEventKind.FAULT)
+        assert len(fault_events) == 1
+        assert "silenced" in fault_events[0].detail
+
+
+class TestCorruptionPath:
+    def test_running_nf_job_corrupted(self, busy_platform):
+        part, cfg = busy_platform
+        a, b = cfg.schedule.usable_window(Mode.NF)
+        fault_t = (a + b) / 2
+        sim = MulticoreSim(part, cfg)
+        res = sim.run(horizon=40.0, faults=[Fault(fault_t, core=0)])
+        rec = res.fault_records[0]
+        assert rec.outcome is FaultOutcome.CORRUPTED
+        assert rec.victim == "nf_busy#0"
+        victim_job = next(
+            j for j in res.processors["NF[0]"].jobs if j.name == rec.victim
+        )
+        assert victim_job.corrupted
+
+    def test_corrupted_job_still_completes_on_time(self, busy_platform):
+        # Silent data corruption does not change timing.
+        part, cfg = busy_platform
+        a, b = cfg.schedule.usable_window(Mode.NF)
+        sim = MulticoreSim(part, cfg)
+        res = sim.run(horizon=40.0, faults=[Fault((a + b) / 2, core=0)])
+        assert res.miss_count == 0
+
+    def test_idle_nf_core_fault_harmless(self, busy_platform):
+        part, cfg = busy_platform
+        a, b = cfg.schedule.usable_window(Mode.NF)
+        # core 3 hosts no tasks (only NF[0] is populated).
+        sim = MulticoreSim(part, cfg)
+        res = sim.run(horizon=40.0, faults=[Fault((a + b) / 2, core=3)])
+        assert res.fault_records[0].outcome is FaultOutcome.HARMLESS
+
+    def test_timing_identical_with_and_without_nf_fault(self, busy_platform):
+        part, cfg = busy_platform
+        a, b = cfg.schedule.usable_window(Mode.NF)
+        clean = MulticoreSim(part, cfg).run(horizon=40.0)
+        faulty = MulticoreSim(part, cfg).run(
+            horizon=40.0, faults=[Fault((a + b) / 2, core=0)]
+        )
+        assert clean.trace.busy_time("NF[0]") == pytest.approx(
+            faulty.trace.busy_time("NF[0]")
+        )

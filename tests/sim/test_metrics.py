@@ -1,0 +1,84 @@
+"""Tests for post-simulation metrics."""
+
+import pytest
+
+from repro.model import Mode
+from repro.sim import MulticoreSim
+from repro.sim.metrics import (
+    mode_service,
+    response_statistics,
+    summarize,
+    time_accounting,
+)
+
+
+@pytest.fixture(scope="module")
+def run(paper_part, paper_config_b):
+    sim = MulticoreSim(paper_part, paper_config_b)
+    return sim.run(horizon=paper_config_b.period * 40)
+
+
+class TestResponseStatistics:
+    def test_all_tasks_present(self, run, paper_ts):
+        stats = response_statistics(run)
+        assert set(stats) == set(paper_ts.names)
+
+    def test_worst_at_most_deadline(self, run):
+        for s in response_statistics(run).values():
+            assert s.worst <= s.deadline + 1e-9
+            assert s.worst_case_laxity >= -1e-9
+
+    def test_mean_at_most_worst(self, run):
+        for s in response_statistics(run).values():
+            assert s.mean <= s.worst + 1e-12
+
+    def test_counts_positive(self, run):
+        for s in response_statistics(run).values():
+            assert s.completed > 0
+
+    def test_normalised_in_unit_interval(self, run):
+        for s in response_statistics(run).values():
+            assert 0.0 < s.normalised_worst <= 1.0 + 1e-9
+
+
+class TestModeService:
+    def test_delivered_alpha_close_to_promise(self, run, paper_config_b):
+        for mode, svc in mode_service(run, paper_config_b).items():
+            # Whole cycles in the horizon: delivered == promised exactly.
+            assert svc.delivered_alpha == pytest.approx(
+                svc.promised_alpha, rel=1e-6
+            )
+
+    def test_window_use_bounded(self, run, paper_config_b):
+        for svc in mode_service(run, paper_config_b).values():
+            assert 0.0 <= svc.mode_utilization <= 1.0 + 1e-9
+
+    def test_busy_time_below_capacity(self, run, paper_config_b):
+        for svc in mode_service(run, paper_config_b).values():
+            assert svc.busy_time <= svc.capacity + 1e-6
+            assert svc.capacity == pytest.approx(
+                svc.window_time * svc.mode.parallelism
+            )
+
+
+class TestTimeAccounting:
+    def test_partition_of_horizon(self, run):
+        acct = time_accounting(run)
+        assert acct.usable + acct.overhead + acct.idle == pytest.approx(
+            acct.horizon
+        )
+
+    def test_overhead_bandwidth_matches_design(self, run, paper_config_b):
+        acct = time_accounting(run)
+        assert acct.overhead_bandwidth == pytest.approx(
+            paper_config_b.schedule.overheads.total / paper_config_b.period,
+            rel=1e-6,
+        )
+
+
+class TestSummary:
+    def test_summary_mentions_key_figures(self, run, paper_config_b):
+        text = summarize(run, paper_config_b)
+        assert "misses 0" in text
+        assert "tightest task" in text
+        assert "FT" in text

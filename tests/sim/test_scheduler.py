@@ -1,0 +1,86 @@
+"""Unit tests for scheduling policies."""
+
+import pytest
+
+from repro.model import Job, Task, TaskSet
+from repro.sim import EDFPolicy, FixedPriorityPolicy, make_policy
+
+
+@pytest.fixture
+def tasks():
+    a = Task("a", 1, 4)
+    b = Task("b", 1, 6)
+    c = Task("c", 1, 12)
+    return a, b, c
+
+
+class TestFixedPriority:
+    def test_highest_priority_wins(self, tasks):
+        a, b, c = tasks
+        pol = FixedPriorityPolicy([a, b, c])
+        jobs = [Job(b, 0, 0), Job(a, 0, 0), Job(c, 0, 0)]
+        assert pol.select(jobs).task.name == "a"
+
+    def test_ignores_inactive_jobs(self, tasks):
+        a, b, _ = tasks
+        pol = FixedPriorityPolicy([a, b])
+        ja, jb = Job(a, 0, 0), Job(b, 0, 0)
+        ja.execute(1.0)  # exhausted
+        assert pol.select([ja, jb]).task.name == "b"
+
+    def test_empty_returns_none(self, tasks):
+        a, *_ = tasks
+        assert FixedPriorityPolicy([a]).select([]) is None
+
+    def test_unknown_task_raises(self, tasks):
+        a, b, _ = tasks
+        pol = FixedPriorityPolicy([a])
+        with pytest.raises(KeyError):
+            pol.select([Job(b, 0, 0)])
+
+    def test_tie_broken_by_release(self, tasks):
+        a, *_ = tasks
+        pol = FixedPriorityPolicy([a])
+        j0, j1 = Job(a, 0, 0), Job(a, 4, 1)
+        assert pol.select([j1, j0]) is j0
+
+
+class TestEDF:
+    def test_earliest_deadline_wins(self, tasks):
+        a, b, _ = tasks
+        pol = EDFPolicy()
+        # a released later but tighter deadline
+        ja = Job(a, 2, 0)   # deadline 6
+        jb = Job(b, 1, 0)   # deadline 7
+        assert pol.select([jb, ja]) is ja
+
+    def test_tie_broken_deterministically(self, tasks):
+        a, _, _ = tasks
+        other = Task("z", 1, 4)
+        pol = EDFPolicy()
+        ja, jz = Job(a, 0, 0), Job(other, 0, 0)
+        assert pol.select([jz, ja]) is ja  # name order
+
+    def test_empty_returns_none(self):
+        assert EDFPolicy().select([]) is None
+
+
+class TestMakePolicy:
+    def test_edf(self, tasks):
+        ts = TaskSet(tasks)
+        assert isinstance(make_policy(ts, "EDF"), EDFPolicy)
+
+    def test_rm_order(self, tasks):
+        ts = TaskSet(tasks)
+        pol = make_policy(ts, "RM")
+        assert pol.rank_of("a") == 0
+        assert pol.rank_of("c") == 2
+
+    def test_dm_uses_deadlines(self):
+        ts = TaskSet([Task("x", 1, 10, deadline=3), Task("y", 1, 5)])
+        pol = make_policy(ts, "DM")
+        assert pol.rank_of("x") == 0
+
+    def test_unknown_rejected(self, tasks):
+        with pytest.raises(ValueError):
+            make_policy(TaskSet(tasks), "LLF")

@@ -1,0 +1,78 @@
+"""Unit tests for trace recording and rendering."""
+
+import pytest
+
+from repro.sim import ExecutionSlice, SimEventKind, SimTrace
+
+
+@pytest.fixture
+def trace():
+    t = SimTrace(horizon=10.0)
+    t.add_slice(ExecutionSlice("P0", "a#0", "a", 0.0, 1.0))
+    t.add_slice(ExecutionSlice("P0", "a#0", "a", 1.0, 2.0))  # contiguous
+    t.add_slice(ExecutionSlice("P0", "b#0", "b", 2.0, 3.0))
+    t.add_slice(ExecutionSlice("P1", "c#0", "c", 0.5, 2.5))
+    t.log(1.0, SimEventKind.COMPLETION, "a#0")
+    t.log(3.5, SimEventKind.DEADLINE_MISS, "b#0")
+    return t
+
+
+class TestSlices:
+    def test_contiguous_slices_merge(self, trace):
+        p0 = trace.slices_on("P0")
+        assert p0[0].start == 0.0 and p0[0].end == 2.0
+
+    def test_non_contiguous_not_merged(self, trace):
+        assert len(trace.slices_on("P0")) == 2
+
+    def test_busy_time(self, trace):
+        assert trace.busy_time("P0") == pytest.approx(3.0)
+        assert trace.busy_time() == pytest.approx(5.0)
+
+    def test_task_execution(self, trace):
+        assert trace.task_execution("a") == pytest.approx(2.0)
+
+    def test_duration_property(self):
+        s = ExecutionSlice("P", "j", "t", 1.5, 4.0)
+        assert s.duration == pytest.approx(2.5)
+
+
+class TestEvents:
+    def test_events_of_kind(self, trace):
+        assert len(trace.events_of(SimEventKind.COMPLETION)) == 1
+
+    def test_misses_query(self, trace):
+        assert [e.who for e in trace.misses()] == ["b#0"]
+
+    def test_merge_combines_and_sorts(self, trace):
+        other = SimTrace(horizon=10.0)
+        other.log(0.5, SimEventKind.RELEASE, "x#0")
+        trace.merge(other)
+        assert trace.events[0].who == "x#0"
+
+    def test_event_repr(self, trace):
+        assert "deadline_miss" in repr(trace.misses()[0])
+
+
+class TestGantt:
+    def test_gantt_contains_processor_rows(self, trace):
+        g = trace.gantt(width=20)
+        assert "P0" in g and "P1" in g
+
+    def test_gantt_marks_execution(self, trace):
+        g = trace.gantt(width=10, end=10.0)
+        row_p0 = [l for l in g.splitlines() if l.startswith("P0")][0]
+        assert "a" in row_p0 or "b" in row_p0
+
+    def test_gantt_idle_shows_dots(self, trace):
+        g = trace.gantt(width=10)
+        row_p1 = [l for l in g.splitlines() if l.startswith("P1")][0]
+        assert "." in row_p1
+
+    def test_gantt_empty_range_rejected(self, trace):
+        with pytest.raises(ValueError):
+            trace.gantt(start=5.0, end=5.0)
+
+    def test_gantt_processor_filter(self, trace):
+        g = trace.gantt(width=10, processors=["P0"])
+        assert "P1" not in g

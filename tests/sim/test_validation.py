@@ -1,0 +1,65 @@
+"""Analysis/simulation cross-validation tests."""
+
+import pytest
+
+from repro.core import Overheads, SlotSchedule, PlatformConfig
+from repro.model import Mode
+from repro.sim import MulticoreSim, measured_mode_supply, validate_design
+from repro.sim.validation import supply_dominates_guarantee
+
+
+class TestValidateDesign:
+    def test_paper_design_b_validates(self, paper_part, paper_config_b):
+        report = validate_design(
+            paper_part, paper_config_b,
+            horizon=paper_config_b.period * 41,
+        )
+        assert report.ok
+        assert set(report.miss_counts) == {"zero", "critical"}
+        assert all(v == 0 for v in report.miss_counts.values())
+        assert all(report.supply_ok.values())
+
+    def test_paper_design_c_validates(self, paper_part, paper_config_c):
+        report = validate_design(
+            paper_part, paper_config_c,
+            horizon=paper_config_c.period * 150,
+        )
+        assert report.ok
+
+    def test_starved_schedule_fails_validation(self, paper_part, paper_config_b):
+        # Shrink the FT quantum far below its binding value: tau10..13 miss.
+        s = paper_config_b.schedule
+        bad = SlotSchedule(
+            s.period,
+            {
+                Mode.FT: s.quantum(Mode.FT) * 0.3,
+                Mode.FS: s.quantum(Mode.FS),
+                Mode.NF: s.quantum(Mode.NF),
+            },
+            s.overheads,
+        )
+        bad_cfg = PlatformConfig(bad, "EDF")
+        report = validate_design(
+            paper_part, bad_cfg,
+            horizon=s.period * 41, check_supply=False,
+        )
+        assert not report.ok
+        assert any(c > 0 for c in report.miss_counts.values())
+        assert report.notes
+
+    def test_measured_supply_dominates_guarantee(
+        self, paper_part, paper_config_b
+    ):
+        sim = MulticoreSim(paper_part, paper_config_b)
+        res = sim.run(horizon=paper_config_b.period * 30)
+        for mode in Mode:
+            assert supply_dominates_guarantee(res, paper_config_b, mode)
+
+    def test_measured_mode_supply_properties(self, paper_part, paper_config_b):
+        sim = MulticoreSim(paper_part, paper_config_b)
+        res = sim.run(horizon=paper_config_b.period * 30)
+        m = measured_mode_supply(res, Mode.FS)
+        # the long-run measured rate equals Q̃/P exactly (static slots)
+        assert m.alpha == pytest.approx(
+            paper_config_b.schedule.alpha(Mode.FS), rel=1e-6
+        )

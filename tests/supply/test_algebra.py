@@ -1,0 +1,67 @@
+"""Unit tests for supply comparison helpers."""
+
+import pytest
+
+from repro.supply import (
+    DedicatedSupply,
+    LinearSupply,
+    PeriodicSlotSupply,
+    dominates,
+    equivalent_on,
+    linear_bound_of,
+    NullSupply,
+)
+
+
+class TestDominates:
+    def test_dedicated_dominates_everything(self):
+        z = PeriodicSlotSupply(4.0, 2.0)
+        assert dominates(DedicatedSupply(), z, horizon=40.0)
+
+    def test_figure3_linear_bound_is_safe(self):
+        # The core safety claim of Eq. 3 / Figure 3: Z' <= Z.
+        for P, Q in [(4.0, 2.0), (3.0, 0.5), (10.0, 9.0)]:
+            exact = PeriodicSlotSupply(P, Q)
+            linear = LinearSupply.from_slot(P, Q)
+            assert dominates(exact, linear, horizon=10 * P), (P, Q)
+
+    def test_not_dominates_when_crossing(self):
+        a = LinearSupply(0.9, 3.0)
+        b = LinearSupply(0.5, 0.0)
+        assert not dominates(a, b, horizon=10.0)
+        assert not dominates(b, a, horizon=100.0)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            dominates(DedicatedSupply(), NullSupply(), horizon=0.0)
+
+
+class TestEquivalentOn:
+    def test_self_equivalence(self):
+        z = PeriodicSlotSupply(4.0, 2.0)
+        assert equivalent_on(z, PeriodicSlotSupply(4.0, 2.0), horizon=40.0)
+
+    def test_distinct_not_equivalent(self):
+        assert not equivalent_on(
+            PeriodicSlotSupply(4.0, 2.0), PeriodicSlotSupply(4.0, 2.5), 40.0
+        )
+
+
+class TestLinearBoundOf:
+    def test_of_periodic_matches_eq3(self):
+        z = PeriodicSlotSupply(4.0, 1.5)
+        lb = linear_bound_of(z)
+        assert lb.alpha == pytest.approx(1.5 / 4.0)
+        assert lb.delta == pytest.approx(2.5)
+
+    def test_of_null_is_zero(self):
+        lb = linear_bound_of(NullSupply())
+        assert lb.alpha == 0.0
+
+    def test_bound_touches_exact_at_ramp_starts(self):
+        # Z'((j+1)P - Q) = jQ = Z at those corners (tightness of Eq. 3).
+        z = PeriodicSlotSupply(4.0, 1.5)
+        lb = linear_bound_of(z)
+        for j in range(4):
+            t = (j + 1) * 4.0 - 1.5
+            assert lb.supply(t) == pytest.approx(z.supply(t), abs=1e-9)

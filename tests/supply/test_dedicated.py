@@ -1,0 +1,47 @@
+"""Unit tests for the trivial supplies."""
+
+import numpy as np
+import pytest
+
+from repro.supply import DedicatedSupply, NullSupply
+
+
+class TestDedicated:
+    def test_identity(self):
+        z = DedicatedSupply()
+        assert z.supply(3.7) == 3.7
+
+    def test_alpha_delta(self):
+        z = DedicatedSupply()
+        assert z.alpha == 1.0
+        assert z.delta == 0.0
+
+    def test_inverse_identity(self):
+        assert DedicatedSupply().inverse(5.0) == 5.0
+
+    def test_array(self):
+        ts = np.array([0.0, 1.5, 9.0])
+        assert np.allclose(DedicatedSupply().supply_array(ts), ts)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DedicatedSupply().supply(-0.1)
+
+
+class TestNull:
+    def test_always_zero(self):
+        z = NullSupply()
+        assert z.supply(1e9) == 0.0
+
+    def test_alpha_zero_delta_inf(self):
+        z = NullSupply()
+        assert z.alpha == 0.0
+        assert z.delta == float("inf")
+
+    def test_not_feasible_budget(self):
+        assert not NullSupply().is_feasible_budget()
+        assert DedicatedSupply().is_feasible_budget()
+
+    def test_inverse_raises(self):
+        with pytest.raises(ValueError):
+            NullSupply().inverse(1.0)

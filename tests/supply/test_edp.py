@@ -1,0 +1,71 @@
+"""Unit tests for the EDP / periodic-server resource models."""
+
+import numpy as np
+import pytest
+
+from repro.supply import EDPSupply, PeriodicServerSupply, PeriodicSlotSupply
+from repro.supply.algebra import dominates
+
+
+class TestEDP:
+    def test_blackout_formula(self):
+        z = EDPSupply(period=10.0, budget=3.0, deadline=6.0)
+        assert z.delta == pytest.approx(10.0 + 6.0 - 6.0)  # Π + D − 2Θ
+
+    def test_zero_before_blackout(self):
+        z = EDPSupply(10.0, 3.0, 6.0)
+        assert z.supply(z.delta) == pytest.approx(0.0)
+        assert z.supply(z.delta - 1.0) == 0.0
+
+    def test_ramp_after_blackout(self):
+        z = EDPSupply(10.0, 3.0, 6.0)
+        assert z.supply(z.delta + 2.0) == pytest.approx(2.0)
+        assert z.supply(z.delta + 3.0) == pytest.approx(3.0)
+
+    def test_plateau_between_ramps(self):
+        z = EDPSupply(10.0, 3.0, 6.0)
+        assert z.supply(z.delta + 5.0) == pytest.approx(3.0)
+
+    def test_second_ramp(self):
+        z = EDPSupply(10.0, 3.0, 6.0)
+        assert z.supply(z.delta + 10.0 + 1.0) == pytest.approx(4.0)
+
+    def test_alpha(self):
+        assert EDPSupply(10.0, 3.0, 6.0).alpha == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EDPSupply(10.0, 7.0, 6.0)  # budget > deadline
+        with pytest.raises(ValueError):
+            EDPSupply(10.0, 3.0, 11.0)  # deadline > period
+
+    def test_inverse_pseudo(self):
+        z = EDPSupply(10.0, 3.0, 6.0)
+        for w in np.linspace(0.1, 7.0, 30):
+            t = z.inverse(float(w))
+            assert z.supply(t) == pytest.approx(w, abs=1e-6)
+
+    def test_zero_budget(self):
+        z = EDPSupply(10.0, 0.0, 6.0)
+        assert z.supply(100.0) == 0.0
+        assert z.delta == float("inf")
+
+
+class TestPeriodicServer:
+    def test_is_edp_with_deadline_period(self):
+        s = PeriodicServerSupply(8.0, 2.0)
+        e = EDPSupply(8.0, 2.0, 8.0)
+        ts = np.linspace(0, 40, 401)
+        assert np.allclose(s.supply_array(ts), e.supply_array(ts))
+
+    def test_shin_lee_blackout(self):
+        s = PeriodicServerSupply(8.0, 2.0)
+        assert s.delta == pytest.approx(2 * (8.0 - 2.0))
+
+    def test_fixed_slot_dominates_floating_server(self):
+        # Lemma 1 (static slot) has blackout P−Q; the floating server 2(P−Q).
+        slot = PeriodicSlotSupply(8.0, 2.0)
+        server = PeriodicServerSupply(8.0, 2.0)
+        assert dominates(slot, server, horizon=80.0)
+        # and strictly so somewhere:
+        assert slot.supply(8.0) > server.supply(8.0)

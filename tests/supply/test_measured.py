@@ -1,0 +1,60 @@
+"""Unit tests for measured (empirical) supply functions."""
+
+import numpy as np
+import pytest
+
+from repro.supply import MeasuredSupply, PeriodicSlotSupply, availability_to_supply
+
+
+class TestMeasured:
+    def test_total_available(self):
+        m = MeasuredSupply([(0, 1), (3, 5)], horizon=10.0)
+        assert m.total_available() == pytest.approx(3.0)
+
+    def test_alpha(self):
+        m = MeasuredSupply([(0, 5)], horizon=10.0)
+        assert m.alpha == pytest.approx(0.5)
+
+    def test_delta_includes_edges(self):
+        m = MeasuredSupply([(4, 5)], horizon=10.0)
+        assert m.delta == pytest.approx(5.0)  # trailing gap [5,10]
+
+    def test_supply_zero_window(self):
+        m = MeasuredSupply([(0, 2), (8, 10)], horizon=10.0)
+        # A window of length 6 starting at 2 sees nothing... [2,8) = 0
+        assert m.supply(6.0) == pytest.approx(0.0)
+
+    def test_supply_beyond_horizon_rejected(self):
+        m = MeasuredSupply([(0, 1)], horizon=10.0)
+        with pytest.raises(ValueError):
+            m.supply(11.0)
+
+    def test_windows_merged(self):
+        m = MeasuredSupply([(0, 1), (1, 2)], horizon=5.0)
+        assert m.windows == [(0.0, 2.0)]
+
+    def test_window_outside_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            MeasuredSupply([(0, 11)], horizon=10.0)
+
+    def test_empty_trace(self):
+        m = MeasuredSupply([], horizon=5.0)
+        assert m.supply(5.0) == 0.0
+        assert m.delta == float("inf")
+
+    def test_periodic_trace_dominates_analytic_guarantee(self):
+        # A perfect periodic slot trace must lie at or above Lemma 1.
+        P, Q, cycles = 4.0, 1.5, 10
+        windows = [(k * P, k * P + Q) for k in range(cycles)]
+        m = availability_to_supply(windows, horizon=cycles * P)
+        z = PeriodicSlotSupply(P, Q)
+        for t in np.linspace(0, cycles * P / 2, 100):
+            assert m.supply(float(t)) >= z.supply(float(t)) - 1e-7
+
+    def test_periodic_trace_matches_analytic_exactly_in_steady_state(self):
+        P, Q, cycles = 4.0, 1.5, 10
+        windows = [(k * P + (P - Q), (k + 1) * P) for k in range(cycles)]
+        m = availability_to_supply(windows, horizon=cycles * P)
+        z = PeriodicSlotSupply(P, Q)
+        for t in np.linspace(0.0, 2 * P, 50):
+            assert m.supply(float(t)) == pytest.approx(z.supply(float(t)), abs=1e-7)

@@ -1,0 +1,109 @@
+"""Unit tests for the exact Lemma-1 supply (PeriodicSlotSupply)."""
+
+import numpy as np
+import pytest
+
+from repro.supply import PeriodicSlotSupply
+
+
+@pytest.fixture
+def z():
+    return PeriodicSlotSupply(period=4.0, budget=1.5)
+
+
+class TestLemma1Values:
+    def test_zero_at_zero(self, z):
+        assert z.supply(0.0) == 0.0
+
+    def test_blackout_portion(self, z):
+        # First supply only after P - Q = 2.5.
+        assert z.supply(2.0) == 0.0
+        assert z.supply(2.5) == pytest.approx(0.0)
+
+    def test_ramp_portion(self, z):
+        assert z.supply(3.0) == pytest.approx(0.5)
+        assert z.supply(4.0 - 1e-9) == pytest.approx(1.5, abs=1e-6)
+
+    def test_plateau_after_full_slot(self, z):
+        # t in [4, 6.5): exactly one full slot seen.
+        assert z.supply(4.0) == pytest.approx(1.5)
+        assert z.supply(6.0) == pytest.approx(1.5)
+
+    def test_second_cycle_ramp(self, z):
+        assert z.supply(7.0) == pytest.approx(2.0)
+        assert z.supply(8.0) == pytest.approx(3.0)
+
+    def test_many_cycles_rate(self, z):
+        # Z(kP) = k*Q exactly.
+        for k in (1, 5, 20):
+            assert z.supply(k * 4.0) == pytest.approx(k * 1.5)
+
+    def test_lemma1_formula_directly(self, z):
+        # Spot-check the branch structure of Eq. 1.
+        import math
+
+        for t in np.linspace(0, 30, 301):
+            j = math.floor(t / 4.0 + 1e-9)
+            if t < (j + 1) * 4.0 - 1.5 - 1e-9:
+                expected = j * 1.5
+            else:
+                expected = t - (j + 1) * (4.0 - 1.5)
+            assert z.supply(float(t)) == pytest.approx(expected, abs=1e-7), t
+
+
+class TestParametersAndEdges:
+    def test_alpha_delta(self, z):
+        assert z.alpha == pytest.approx(1.5 / 4.0)
+        assert z.delta == pytest.approx(2.5)
+
+    def test_full_budget_is_dedicated(self):
+        z = PeriodicSlotSupply(3.0, 3.0)
+        for t in (0.0, 1.3, 7.9):
+            assert z.supply(t) == pytest.approx(t)
+
+    def test_zero_budget(self):
+        z = PeriodicSlotSupply(3.0, 0.0)
+        assert z.supply(100.0) == 0.0
+        assert z.alpha == 0.0
+
+    def test_budget_above_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicSlotSupply(3.0, 3.1)
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicSlotSupply(0.0, 0.0)
+
+    def test_negative_t_rejected(self, z):
+        with pytest.raises(ValueError):
+            z.supply(-1.0)
+
+    def test_supply_array_matches_scalar(self, z):
+        ts = np.linspace(0, 20, 401)
+        arr = z.supply_array(ts)
+        expected = [z.supply(float(t)) for t in ts]
+        assert np.allclose(arr, expected)
+
+
+class TestInverse:
+    def test_inverse_zero(self, z):
+        assert z.inverse(0.0) == 0.0
+
+    def test_inverse_in_first_ramp(self, z):
+        assert z.inverse(0.5) == pytest.approx(3.0)
+
+    def test_inverse_full_budget_hits_period(self, z):
+        assert z.inverse(1.5) == pytest.approx(4.0)
+
+    def test_inverse_second_cycle(self, z):
+        assert z.inverse(2.0) == pytest.approx(7.0)
+
+    def test_inverse_is_true_pseudo_inverse(self, z):
+        for w in np.linspace(0.01, 6.0, 50):
+            t = z.inverse(float(w))
+            assert z.supply(t) == pytest.approx(w, abs=1e-6)
+            assert z.supply(t - 1e-4) < w
+
+    def test_inverse_zero_budget_raises(self):
+        with pytest.raises(ValueError):
+            PeriodicSlotSupply(3.0, 0.0).inverse(0.5)

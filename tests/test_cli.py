@@ -1,0 +1,94 @@
+"""CLI tests (direct main() invocation, no subprocess)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import paper_taskset
+from repro.model import taskset_to_json
+
+
+@pytest.fixture
+def ts_file(tmp_path):
+    path = tmp_path / "paper.json"
+    path.write_text(taskset_to_json(paper_taskset()))
+    return str(path)
+
+
+class TestAnalyze:
+    def test_analyze_ok(self, ts_file, capsys):
+        assert main(["analyze", ts_file]) == 0
+        out = capsys.readouterr().out
+        assert "13 tasks" in out
+        assert "FT[0]" in out
+
+    def test_analyze_rm(self, ts_file, capsys):
+        assert main(["analyze", ts_file, "--alg", "RM"]) == 0
+
+
+class TestDesign:
+    def test_design_human_output(self, ts_file, capsys):
+        assert main(["design", ts_file, "--otot", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "min-overhead-bandwidth" in out
+        assert "2.96" in out  # the paper period
+
+    def test_design_json_output(self, ts_file, capsys):
+        assert main(["design", ts_file, "--otot", "0.05", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["period"] == pytest.approx(2.966, abs=2e-3)
+        assert set(data["usable"]) == {"FT", "FS", "NF"}
+
+    def test_design_max_slack(self, ts_file, capsys):
+        assert main(
+            ["design", ts_file, "--otot", "0.05", "--goal", "max-slack"]
+        ) == 0
+        assert "max-slack" in capsys.readouterr().out
+
+    def test_design_infeasible_overhead(self, ts_file, capsys):
+        assert main(["design", ts_file, "--otot", "0.9"]) == 1
+        assert "failed" in capsys.readouterr().out
+
+
+class TestRegion:
+    def test_region_plot_and_points(self, ts_file, capsys):
+        assert main(["region", ts_file, "--otot", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "P (period)" in out
+        assert "max admissible Otot" in out
+
+
+class TestSimulate:
+    def test_simulate_clean(self, ts_file, capsys):
+        assert main(
+            ["simulate", ts_file, "--otot", "0.05", "--cycles", "30"]
+        ) == 0
+        assert "0 deadline misses" in capsys.readouterr().out
+
+    def test_simulate_with_faults(self, ts_file, capsys):
+        rc = main(
+            [
+                "simulate", ts_file, "--otot", "0.05", "--cycles", "30",
+                "--fault-rate", "0.05", "--seed", "1",
+            ]
+        )
+        assert rc == 0
+        assert "faults injected" in capsys.readouterr().out
+
+
+class TestPaper:
+    def test_paper_command(self, capsys):
+        assert main(["paper"]) == 0
+        out = capsys.readouterr().out
+        assert "3.176" in out and "Table 2" in out
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["analyze", str(tmp_path / "nope.json")])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,85 @@
+"""Unit tests for argument validation helpers."""
+
+import pytest
+
+from repro.util import (
+    check_finite,
+    check_in_range,
+    check_nonneg,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_match(self):
+        check_type("x", 1, int)
+
+    def test_accepts_tuple(self):
+        check_type("x", 1.5, (int, float))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "nope", int)
+
+    def test_message_names_all_alternatives(self):
+        with pytest.raises(TypeError, match="int or float"):
+            check_type("x", "nope", (int, float))
+
+
+class TestCheckFinite:
+    def test_accepts_numbers(self):
+        check_finite("x", 0.0)
+        check_finite("x", -3)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite("x", float("inf"))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite("x", float("nan"))
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            check_finite("x", True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_finite("x", "1.0")
+
+
+class TestCheckSign:
+    def test_positive_accepts(self):
+        check_positive("x", 0.1)
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="> 0"):
+            check_positive("x", 0.0)
+
+    def test_positive_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+    def test_nonneg_accepts_zero(self):
+        check_nonneg("x", 0.0)
+
+    def test_nonneg_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_nonneg("x", -0.001)
+
+
+class TestCheckInRange:
+    def test_closed_interval(self):
+        check_in_range("x", 0.0, 0.0, 1.0)
+        check_in_range("x", 1.0, 0.0, 1.0)
+
+    def test_open_bounds_reject_endpoints(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, lo_open=True)
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 0.0, 1.0, hi_open=True)
+
+    def test_out_of_range_message_shows_interval(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_in_range("x", 2.0, 0, 1)

@@ -1,0 +1,31 @@
+"""Text table formatting tests."""
+
+from repro.viz import format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        out = format_table(["name", "value"], [["a", 1.0], ["bb", 2.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert len(set(len(l) for l in lines)) == 1  # equal widths
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.235" in out
+
+    def test_custom_float_format(self):
+        out = format_table(["x"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in out
+
+    def test_bools_and_none_rendered_as_str(self):
+        out = format_table(["a", "b"], [[True, None]])
+        assert "True" in out and "None" in out
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+    def test_wide_cell_expands_column(self):
+        out = format_table(["c"], [["averyverylongvalue"]])
+        assert "averyverylongvalue" in out
