@@ -1,0 +1,31 @@
+"""Campaign engine — parallel fan-out of a synthetic schedulability grid.
+
+Benchmarks the ``repro.runner`` process-pool path on a small utilization x
+replication grid and asserts the engine's determinism contract: pooled
+results are bit-identical to the inline (``workers=1``) run.
+"""
+
+from repro.runner import sweep
+
+from bench_util import report
+
+AXES = {"u_total": [0.5, 1.0, 1.5, 2.0], "n": [8], "rep": [0, 1, 2]}
+
+
+def test_campaign_parallel_determinism(benchmark):
+    pooled = benchmark(
+        lambda: sweep("schedulability", AXES, workers=2, master_seed=11)
+    )
+    inline = sweep("schedulability", AXES, workers=1, master_seed=11)
+
+    assert pooled.to_json() == inline.to_json()
+    assert pooled.stats.computed == len(pooled.specs)
+
+    accepted = sum(r["feasible"] for r in pooled.results)
+    report(
+        "CAMPAIGN ENGINE — schedulability grid (12 points, 2 workers)",
+        f"accepted {accepted}/{len(pooled.results)} points; "
+        f"pooled == inline: {pooled.to_json() == inline.to_json()}",
+    )
+    benchmark.extra_info["points"] = len(pooled.results)
+    benchmark.extra_info["accepted"] = accepted

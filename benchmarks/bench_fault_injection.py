@@ -51,28 +51,33 @@ def test_fault_campaign_mode_contracts(benchmark, paper_part, config_b):
 
 
 def test_fault_rate_sweep(benchmark, paper_part, config_b):
-    """Corruption exposure grows with fault rate only through NF slots."""
+    """Corruption exposure grows with fault rate only through NF slots.
 
-    def sweep():
-        out = []
-        for rate in (0.02, 0.05, 0.1, 0.2):
-            camp = FaultCampaign(paper_part, config_b, rate=rate)
-            res = camp.run(horizon=config_b.period * 41, seed=3)
-            out.append((rate, res))
-        return out
+    The former ad-hoc serial loop now runs as a ``fault-injection`` grid
+    through the campaign engine — per-rate results are deterministic in the
+    campaign master seed and identical for any worker count.
+    """
+    from repro.runner import sweep
 
-    results = benchmark(sweep)
+    campaign = benchmark(
+        lambda: sweep(
+            "fault-injection",
+            {"rate": [0.02, 0.05, 0.1, 0.2]},
+            base_params={"cycles": 41},
+            master_seed=3,
+        )
+    )
 
     rows = [
         [
-            rate,
-            res.injected,
-            res.rate(FaultOutcome.MASKED),
-            res.rate(FaultOutcome.SILENCED),
-            res.rate(FaultOutcome.CORRUPTED),
-            res.ft_misses,
+            spec.params["rate"],
+            res["injected"],
+            res["outcome_rates"]["masked"],
+            res["outcome_rates"]["silenced"],
+            res["outcome_rates"]["corrupted"],
+            res["ft_misses"],
         ]
-        for rate, res in results
+        for spec, res in campaign.rows()
     ]
     report(
         "FAULT RATE SWEEP — outcome shares vs Poisson rate",
@@ -81,4 +86,4 @@ def test_fault_rate_sweep(benchmark, paper_part, config_b):
             rows,
         ),
     )
-    assert all(res.ft_misses == 0 for _rate, res in results)
+    assert all(res["ft_misses"] == 0 for res in campaign.results)

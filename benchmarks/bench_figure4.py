@@ -2,7 +2,9 @@
 
 Regenerates the plotted curves (Eq. 15 LHS vs ``P``) and the five annotated
 points, renders the figure in ASCII, asserts the points at the paper's
-3-decimal precision, and benchmarks the vectorised region sweep.
+3-decimal precision, and benchmarks the vectorised region sweep. The five
+points run as ``figure4-point`` campaign specs through
+:func:`repro.runner.run_campaign`.
 """
 
 import numpy as np

@@ -3,7 +3,8 @@
 Regenerates the paper's design table for the Table 1 task set at
 ``O_tot = 0.05`` under EDF and asserts every printed value at the paper's
 3-decimal precision. The benchmark times the full design pipeline (region
-sweep + both goals).
+sweep + both goals), which since the campaign migration runs as three
+``table2-*`` points through :func:`repro.runner.run_campaign`.
 """
 
 import pytest

@@ -15,6 +15,14 @@ Commands
     injection; prints miss/fault statistics.
 ``paper``
     Reproduce the paper's evaluation (Figure 4 points + Table 2) in one go.
+``campaign <preset> [--workers N] [--seed S] [--cache-dir D] [--axis k=v,..]``
+    Run an experiment campaign through the parallel runner
+    (:mod:`repro.runner`). Presets: ``table2``, ``figure4``, ``ablations``
+    (the paper artifacts as campaign points), ``sched`` (synthetic
+    schedulability grid) and ``faults`` (fault-injection grid). Results are
+    bit-identical for any ``--workers`` value; with ``--cache-dir`` a re-run
+    recomputes nothing and ``--out`` writes the canonical spec/result JSON
+    (what CI diffs to guard determinism). See docs/campaigns.md.
 
 Task-set JSON is the :mod:`repro.model.serialization` format::
 
@@ -176,6 +184,172 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if result.miss_count == 0 else 1
 
 
+#: Default grids of the synthetic campaign presets (overridable via --axis).
+_SCHED_AXES: dict = {
+    "u_total": [0.5, 1.0, 1.5, 2.0],
+    "n": [8],
+    "rep": list(range(5)),
+}
+_FAULTS_AXES: dict = {
+    "rate": [0.01, 0.02, 0.05, 0.1],
+    "cycles": [50],
+    "rep": list(range(3)),
+}
+_AXIS_PRESETS = ("sched", "faults")
+
+
+def _campaign_specs(args: argparse.Namespace):
+    """Resolve a preset name (+ --axis overrides) to the spec list."""
+    from repro.experiments.ablations import ablation_specs
+    from repro.experiments.figure4 import figure4_specs
+    from repro.experiments.table2 import table2_specs
+    from repro.runner import grid_specs, parse_axes
+
+    if args.axis and args.preset not in _AXIS_PRESETS:
+        raise SystemExit(
+            f"--axis only applies to the {'/'.join(_AXIS_PRESETS)} presets"
+        )
+    if args.preset == "table2":
+        return table2_specs()
+    if args.preset == "figure4":
+        return figure4_specs()
+    if args.preset == "ablations":
+        return ablation_specs()
+    defaults = _SCHED_AXES if args.preset == "sched" else _FAULTS_AXES
+    experiment = "schedulability" if args.preset == "sched" else "fault-injection"
+    axes = {**defaults, **parse_axes(args.axis or [])}
+    return grid_specs(experiment, axes)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True)
+    return str(value)
+
+
+def _render_campaign(campaign) -> str:
+    """Generic per-experiment tables of a campaign's rows."""
+    groups: dict[str, list] = {}
+    for spec, result in campaign.rows():
+        groups.setdefault(spec.experiment, []).append((spec, result))
+    blocks = []
+    for experiment, rows in groups.items():
+        param_keys = sorted(
+            {
+                k
+                for spec, _ in rows
+                for k in spec.params
+                if k not in ("taskset", "partition")
+            }
+        )
+        result_keys = sorted(
+            {k for _, result in rows for k in result if isinstance(result, dict)}
+        )
+        table = format_table(
+            param_keys + result_keys,
+            [
+                [_fmt(spec.params.get(k, "")) for k in param_keys]
+                + [
+                    _fmt(result.get(k, "") if isinstance(result, dict) else result)
+                    for k in result_keys
+                ]
+                for spec, result in rows
+            ],
+        )
+        blocks.append(f"== {experiment} ({len(rows)} points) ==\n{table}")
+    return "\n\n".join(blocks)
+
+
+def _render_acceptance(campaign) -> str:
+    """Acceptance ratios of a ``schedulability`` campaign, grouped over reps."""
+    buckets: dict[tuple, list] = {}
+    for spec, result in campaign.rows():
+        if spec.experiment != "schedulability":
+            continue
+        key = tuple(
+            (k, v)
+            for k, v in sorted(spec.params.items())
+            if k not in ("rep", "taskset", "partition")
+        )
+        buckets.setdefault(key, []).append(result)
+    if not buckets:
+        return ""
+    keys = [k for k, _ in next(iter(buckets))]
+    rows = []
+    for key, results in buckets.items():
+        n = len(results)
+        rows.append(
+            [_fmt(v) for _, v in key]
+            + [
+                n,
+                f"{sum(r['partitioned'] for r in results) / n:.2f}",
+                f"{sum(r['feasible'] for r in results) / n:.2f}",
+            ]
+        )
+    return "acceptance ratios (over reps):\n" + format_table(
+        keys + ["reps", "partitioned", "feasible"], rows
+    )
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.figure4 import figure4_points_from_results
+    from repro.experiments.table2 import table2_from_results
+    from repro.runner import CampaignError, run_campaign
+
+    try:
+        specs = _campaign_specs(args)
+    except ValueError as exc:
+        print(f"campaign failed: {exc}")
+        return 1
+    show_progress = (
+        args.progress
+        if args.progress is not None
+        else sys.stderr.isatty()
+    )
+    try:
+        campaign = run_campaign(
+            specs,
+            workers=args.workers,
+            master_seed=args.seed,
+            cache_dir=args.cache_dir,
+            progress=show_progress,
+        )
+    except (CampaignError, OSError) as exc:
+        print(f"campaign failed: {exc}")
+        return 1
+    if args.out:
+        Path(args.out).write_text(campaign.to_json())
+    if args.json:
+        print(campaign.to_json())
+    elif args.preset == "table2":
+        print(table2_from_results(campaign.results).render())
+    elif args.preset == "figure4":
+        pts = figure4_points_from_results(campaign.results)
+        print("Figure 4 points (paper values in brackets):")
+        print(f"  1. max P, EDF, Otot=0    : {pts.point1_max_period_edf:.3f}  [3.176]")
+        print(f"  2. max P, RM,  Otot=0    : {pts.point2_max_period_rm:.3f}  [2.381]")
+        print(f"  3. max Otot, EDF         : {pts.point3_max_overhead_edf:.3f}  [0.201]")
+        print(f"  4. max Otot, RM          : {pts.point4_max_overhead_rm:.3f}  [0.129]")
+        print(f"  5. max P, EDF, Otot=0.05 : {pts.point5_max_period_edf_otot:.3f}  [2.966]")
+    else:
+        print(_render_campaign(campaign))
+        if args.preset == "sched":
+            print()
+            print(_render_acceptance(campaign))
+    s = campaign.stats
+    print(
+        f"[campaign] {s.total} points ({s.unique} unique): "
+        f"{s.computed} computed, {s.cached} cached in {s.elapsed:.2f}s "
+        f"with {s.workers} worker(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_paper(args: argparse.Namespace) -> int:
     from repro.experiments import compute_figure4_points, compute_table2
 
@@ -241,6 +415,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("paper", help="reproduce the paper's evaluation")
     p.set_defaults(func=cmd_paper)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run an experiment campaign through the parallel runner",
+    )
+    p.add_argument(
+        "preset",
+        choices=["table2", "figure4", "ablations", "sched", "faults"],
+        help="which campaign to run",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: cores - 1; results are identical "
+             "for any value)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk result cache; re-runs recompute only new points",
+    )
+    p.add_argument(
+        "--axis", action="append", metavar="KEY=V1,V2,...",
+        help="override/add a grid axis (sched/faults presets; repeatable)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write canonical spec/result JSON to this file",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the canonical JSON instead of tables",
+    )
+    p.add_argument(
+        "--progress", action="store_true", default=None,
+        help="force progress/ETA reporting on stderr (default: only on a tty)",
+    )
+    p.add_argument(
+        "--no-progress", action="store_false", dest="progress",
+        help="disable progress reporting",
+    )
+    p.set_defaults(func=cmd_campaign)
     return parser
 
 

@@ -19,8 +19,20 @@ from repro.experiments.paper import (
     paper_reference,
     paper_taskset,
 )
-from repro.experiments.figure4 import Figure4Points, compute_figure4_points, figure4_series
-from repro.experiments.table2 import Table2Row, compute_table2
+from repro.experiments.figure4 import (
+    Figure4Points,
+    compute_figure4_points,
+    figure4_points_from_results,
+    figure4_series,
+    figure4_specs,
+)
+from repro.experiments.table2 import (
+    Table2,
+    Table2Row,
+    compute_table2,
+    table2_from_results,
+    table2_specs,
+)
 
 __all__ = [
     "paper_taskset",
@@ -29,8 +41,13 @@ __all__ = [
     "PaperReference",
     "PAPER_OTOT",
     "figure4_series",
+    "figure4_specs",
+    "figure4_points_from_results",
     "compute_figure4_points",
     "Figure4Points",
     "compute_table2",
+    "table2_specs",
+    "table2_from_results",
+    "Table2",
     "Table2Row",
 ]

@@ -13,21 +13,36 @@ benchmark harness and tests:
   overhead grows (degenerating to infeasible at the Fig. 4 apex);
 * :func:`slot_splitting_gain` — the future-work idea of serving a mode with
   several smaller quanta per period (supply-delay improvement).
+
+All five are campaign grids: the former ad-hoc serial loops now expand into
+``ablate-*`` point specs evaluated by :func:`repro.runner.run_campaign`, so
+every study inherits the runner's parallelism, caching and per-point
+determinism. Pass ``workers``/``cache_dir`` to fan a study out.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
-import numpy as np
-
-from repro.core import FeasibleRegion, min_quantum, min_quantum_exact
-from repro.experiments.paper import paper_partition, paper_taskset
+from repro.experiments.paper import paper_partition
 from repro.model import Mode, PartitionedTaskSet, TaskSet
-from repro.partition import partition_by_modes
-from repro.supply import PeriodicSlotSupply
-from repro.supply.slots import evenly_split_slots
+from repro.runner import (
+    PointSpec,
+    grid_specs,
+    partition_params,
+    run_campaign,
+    taskset_params,
+)
+
+_CampaignKw = dict[str, Any]
+
+
+def _campaign_kwargs(
+    workers: int | None, cache_dir: str | os.PathLike | None
+) -> _CampaignKw:
+    return {"workers": workers, "cache_dir": cache_dir}
 
 
 @dataclass(frozen=True)
@@ -52,30 +67,51 @@ class ExactVsLinearRow:
         return self.gap / self.minq_exact
 
 
+def exact_vs_linear_specs(
+    partition: PartitionedTaskSet | None = None,
+    periods: Sequence[float] = (0.5, 1.0, 2.0, 2.966),
+    algorithm: str = "EDF",
+) -> list[PointSpec]:
+    """One ``ablate-minq-gap`` point per (period, non-empty mode bin)."""
+    resolved = partition or paper_partition()
+    base = {"algorithm": algorithm, **partition_params(partition)}
+    return [
+        PointSpec(
+            "ablate-minq-gap",
+            {**base, "period": period, "mode": str(mode), "bin": idx},
+        )
+        for period in periods
+        for mode in Mode
+        for idx, ts in enumerate(resolved.bins(mode))
+        if len(ts) > 0
+    ]
+
+
 def exact_vs_linear_gap(
     partition: PartitionedTaskSet | None = None,
     periods: Sequence[float] = (0.5, 1.0, 2.0, 2.966),
     algorithm: str = "EDF",
+    *,
+    workers: int | None = 1,
+    cache_dir: str | os.PathLike | None = None,
 ) -> list[ExactVsLinearRow]:
     """Per-mode minQ gap between linear-bound and exact supply analysis."""
-    partition = partition or paper_partition()
-    rows: list[ExactVsLinearRow] = []
-    for period in periods:
-        for mode in Mode:
-            for idx, ts in enumerate(partition.bins(mode)):
-                if len(ts) == 0:
-                    continue
-                lin = min_quantum(ts, algorithm, period)
-                exact = min_quantum_exact(ts, algorithm, period)
-                rows.append(
-                    ExactVsLinearRow(
-                        label=f"{mode}[{idx}]@P={period:g}",
-                        period=period,
-                        minq_linear=lin,
-                        minq_exact=exact,
-                    )
-                )
-    return rows
+    campaign = run_campaign(
+        exact_vs_linear_specs(partition, periods, algorithm),
+        **_campaign_kwargs(workers, cache_dir),
+    )
+    return [
+        ExactVsLinearRow(
+            label=(
+                f"{spec.params['mode']}[{spec.params['bin']}]"
+                f"@P={spec.params['period']:g}"
+            ),
+            period=spec.params["period"],
+            minq_linear=result["minq_linear"],
+            minq_exact=result["minq_exact"],
+        )
+        for spec, result in campaign.rows()
+    ]
 
 
 @dataclass(frozen=True)
@@ -87,22 +123,32 @@ class RegionComparison:
     max_admissible_overhead: float
 
 
+def edf_vs_rm_specs(
+    partition: PartitionedTaskSet | None = None,
+) -> list[PointSpec]:
+    """One ``ablate-region`` point per scheduling algorithm."""
+    return grid_specs(
+        "ablate-region",
+        {"algorithm": ["EDF", "RM"]},
+        base_params=partition_params(partition),
+    )
+
+
 def edf_vs_rm_regions(
     partition: PartitionedTaskSet | None = None,
+    *,
+    workers: int | None = 1,
+    cache_dir: str | os.PathLike | None = None,
 ) -> list[RegionComparison]:
     """EDF vs RM on the same partition (EDF must dominate, cf. Fig. 4)."""
-    partition = partition or paper_partition()
-    out = []
-    for alg in ("EDF", "RM"):
-        region = FeasibleRegion(partition, alg)
-        out.append(
-            RegionComparison(
-                algorithm=alg,
-                max_period_zero_overhead=region.max_feasible_period(0.0),
-                max_admissible_overhead=region.max_admissible_overhead().lhs,
-            )
-        )
-    return out
+    campaign = run_campaign(
+        edf_vs_rm_specs(partition),
+        **_campaign_kwargs(workers, cache_dir),
+    )
+    return [
+        RegionComparison(algorithm=spec.params["algorithm"], **result)
+        for spec, result in campaign.rows()
+    ]
 
 
 @dataclass(frozen=True)
@@ -126,39 +172,36 @@ class PartitionComparison:
         return self.max_period_zero_overhead is not None
 
 
+def partitioning_specs(
+    taskset: TaskSet | None = None,
+    algorithm: str = "EDF",
+    heuristics: Sequence[str] = ("worst-fit", "first-fit", "best-fit"),
+) -> list[PointSpec]:
+    """One ``ablate-partitioning`` point per strategy (manual + heuristics)."""
+    return grid_specs(
+        "ablate-partitioning",
+        {"strategy": ["manual (paper)", *heuristics]},
+        base_params={"algorithm": algorithm, **taskset_params(taskset)},
+    )
+
+
 def partitioning_comparison(
     taskset: TaskSet | None = None,
     algorithm: str = "EDF",
     heuristics: Sequence[str] = ("worst-fit", "first-fit", "best-fit"),
+    *,
+    workers: int | None = 1,
+    cache_dir: str | os.PathLike | None = None,
 ) -> list[PartitionComparison]:
     """Manual Section-4 partition vs automatic bin-packing heuristics."""
-    taskset = taskset or paper_taskset()
-    candidates: list[tuple[str, PartitionedTaskSet]] = [
-        ("manual (paper)", paper_partition())
+    campaign = run_campaign(
+        partitioning_specs(taskset, algorithm, heuristics),
+        **_campaign_kwargs(workers, cache_dir),
+    )
+    return [
+        PartitionComparison(strategy=spec.params["strategy"], **result)
+        for spec, result in campaign.rows()
     ]
-    for h in heuristics:
-        candidates.append(
-            (h, partition_by_modes(taskset, heuristic=h, admission="utilization"))
-        )
-    out = []
-    for label, part in candidates:
-        region = FeasibleRegion(part, algorithm)
-        peak = region.max_admissible_overhead()
-        try:
-            max_p = region.max_feasible_period(0.0)
-        except ValueError:
-            max_p = None  # the partition admits no feasible period
-        out.append(
-            PartitionComparison(
-                strategy=label,
-                max_period_zero_overhead=max_p,
-                max_admissible_overhead=peak.lhs,
-                max_bin_utilization={
-                    str(m): part.max_bin_utilization(m) for m in Mode
-                },
-            )
-        )
-    return out
 
 
 @dataclass(frozen=True)
@@ -169,21 +212,36 @@ class OverheadPoint:
     max_period: float | None
 
 
+def overhead_specs(
+    partition: PartitionedTaskSet | None = None,
+    algorithm: str = "EDF",
+    otots: Sequence[float] = (0.0, 0.025, 0.05, 0.1, 0.15, 0.2, 0.25),
+) -> list[PointSpec]:
+    """One ``ablate-overhead`` point per total-overhead level."""
+    return grid_specs(
+        "ablate-overhead",
+        {"otot": list(otots)},
+        base_params={"algorithm": algorithm, **partition_params(partition)},
+    )
+
+
 def overhead_sensitivity(
     partition: PartitionedTaskSet | None = None,
     algorithm: str = "EDF",
     otots: Sequence[float] = (0.0, 0.025, 0.05, 0.1, 0.15, 0.2, 0.25),
+    *,
+    workers: int | None = 1,
+    cache_dir: str | os.PathLike | None = None,
 ) -> list[OverheadPoint]:
     """Max feasible period as switching overhead grows (None = infeasible)."""
-    partition = partition or paper_partition()
-    region = FeasibleRegion(partition, algorithm)
-    out = []
-    for otot in otots:
-        try:
-            out.append(OverheadPoint(otot, region.max_feasible_period(otot)))
-        except ValueError:
-            out.append(OverheadPoint(otot, None))
-    return out
+    campaign = run_campaign(
+        overhead_specs(partition, algorithm, otots),
+        **_campaign_kwargs(workers, cache_dir),
+    )
+    return [
+        OverheadPoint(spec.params["otot"], result["max_period"])
+        for spec, result in campaign.rows()
+    ]
 
 
 @dataclass(frozen=True)
@@ -199,6 +257,9 @@ def slot_splitting_gain(
     period: float = 3.0,
     budget: float = 1.0,
     pieces_list: Sequence[int] = (1, 2, 3, 4),
+    *,
+    workers: int | None = 1,
+    cache_dir: str | os.PathLike | None = None,
 ) -> list[SlotSplitRow]:
     """The future-work multi-quantum extension: delay shrinks with splitting.
 
@@ -206,18 +267,35 @@ def slot_splitting_gain(
     ``P − Q̃`` towards ``(P − Q̃)/k``, enlarging the feasible space for
     short-deadline tasks.
     """
-    rows = []
-    for k in pieces_list:
-        supply = (
-            PeriodicSlotSupply(period, budget)
-            if k == 1
-            else evenly_split_slots(period, budget, k)
-        )
-        rows.append(
-            SlotSplitRow(
-                pieces=k,
-                delay=supply.delta,
-                supply_at_half_period=supply.supply(period / 2),
-            )
-        )
-    return rows
+    campaign = run_campaign(
+        slot_split_specs(period, budget, pieces_list),
+        **_campaign_kwargs(workers, cache_dir),
+    )
+    return [
+        SlotSplitRow(pieces=spec.params["pieces"], **result)
+        for spec, result in campaign.rows()
+    ]
+
+
+def slot_split_specs(
+    period: float = 3.0,
+    budget: float = 1.0,
+    pieces_list: Sequence[int] = (1, 2, 3, 4),
+) -> list[PointSpec]:
+    """One ``ablate-slot-split`` point per piece count."""
+    return grid_specs(
+        "ablate-slot-split",
+        {"pieces": list(pieces_list)},
+        base_params={"period": period, "budget": budget},
+    )
+
+
+def ablation_specs() -> list[PointSpec]:
+    """Every default ablation point — the ``repro campaign ablations`` preset."""
+    return [
+        *exact_vs_linear_specs(),
+        *edf_vs_rm_specs(),
+        *partitioning_specs(),
+        *overhead_specs(),
+        *slot_split_specs(),
+    ]

@@ -1,11 +1,16 @@
 """Figure 4: the feasible-period region for EDF and RM.
 
 Regenerates the two curves (Eq. 15 LHS vs. ``P``) and the five annotated
-points of the figure.
+points of the figure. The five points are evaluated as ``figure4-point``
+campaign specs through :func:`repro.runner.run_campaign` (deterministic, so
+results match the former serial computation exactly); the plotted series
+stays a single vectorised region sweep — there is no per-point loop to fan
+out.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -13,6 +18,11 @@ import numpy as np
 from repro.core import FeasibleRegion
 from repro.experiments.paper import PAPER_OTOT, paper_partition
 from repro.model import PartitionedTaskSet
+from repro.runner import PointSpec, partition_params, run_campaign
+
+#: Sweep parameters used by the paper's figure (and the annotated points).
+_P_MAX = 3.5
+_GRID = 4001
 
 
 @dataclass(frozen=True)
@@ -32,42 +42,67 @@ class Figure4Points:
     otot: float = PAPER_OTOT
 
 
-def _regions(
-    partition: PartitionedTaskSet | None = None,
-    *,
-    p_max: float = 3.5,
-    grid: int = 4001,
-) -> tuple[FeasibleRegion, FeasibleRegion]:
-    partition = partition or paper_partition()
-    edf = FeasibleRegion(partition, "EDF", p_max=p_max, grid=grid)
-    rm = FeasibleRegion(partition, "RM", p_max=p_max, grid=grid)
-    return edf, rm
-
-
 def figure4_series(
     partition: PartitionedTaskSet | None = None,
     *,
-    p_max: float = 3.5,
+    p_max: float = _P_MAX,
     n: int = 1401,
 ) -> dict[str, np.ndarray]:
     """The plotted series: ``P`` grid plus ``G(P)`` for EDF and RM."""
-    edf, rm = _regions(partition, p_max=p_max)
+    partition = partition or paper_partition()
+    edf = FeasibleRegion(partition, "EDF", p_max=p_max, grid=_GRID)
+    rm = FeasibleRegion(partition, "RM", p_max=p_max, grid=_GRID)
     ps, g_edf = edf.sweep(p_min=p_max / n, p_max=p_max, n=n)
     _, g_rm = rm.sweep(p_min=p_max / n, p_max=p_max, n=n)
     return {"P": ps, "EDF": g_edf, "RM": g_rm}
 
 
+def figure4_specs(
+    partition: PartitionedTaskSet | None = None,
+    otot: float = PAPER_OTOT,
+) -> list[PointSpec]:
+    """The five campaign points behind :func:`compute_figure4_points`."""
+    base = {"p_max": _P_MAX, "grid": _GRID, **partition_params(partition)}
+    return [
+        PointSpec(
+            "figure4-point",
+            {**base, "query": "max-period", "algorithm": "EDF", "otot": 0.0},
+        ),
+        PointSpec(
+            "figure4-point",
+            {**base, "query": "max-period", "algorithm": "RM", "otot": 0.0},
+        ),
+        PointSpec(
+            "figure4-point", {**base, "query": "max-overhead", "algorithm": "EDF"}
+        ),
+        PointSpec(
+            "figure4-point", {**base, "query": "max-overhead", "algorithm": "RM"}
+        ),
+        PointSpec(
+            "figure4-point",
+            {**base, "query": "max-period", "algorithm": "EDF", "otot": otot},
+        ),
+    ]
+
+
+def figure4_points_from_results(
+    results: list[dict], otot: float = PAPER_OTOT
+) -> Figure4Points:
+    """Rebuild the points from the :func:`figure4_specs` campaign results."""
+    return Figure4Points(*(r["value"] for r in results), otot=otot)
+
+
 def compute_figure4_points(
     partition: PartitionedTaskSet | None = None,
     otot: float = PAPER_OTOT,
+    *,
+    workers: int | None = 1,
+    cache_dir: str | os.PathLike | None = None,
 ) -> Figure4Points:
     """Compute the five annotated points of Figure 4."""
-    edf, rm = _regions(partition)
-    return Figure4Points(
-        point1_max_period_edf=edf.max_feasible_period(0.0),
-        point2_max_period_rm=rm.max_feasible_period(0.0),
-        point3_max_overhead_edf=edf.max_admissible_overhead().lhs,
-        point4_max_overhead_rm=rm.max_admissible_overhead().lhs,
-        point5_max_period_edf_otot=edf.max_feasible_period(otot),
-        otot=otot,
+    campaign = run_campaign(
+        figure4_specs(partition, otot),
+        workers=workers,
+        cache_dir=cache_dir,
     )
+    return figure4_points_from_results(campaign.results, otot=otot)

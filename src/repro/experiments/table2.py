@@ -3,22 +3,21 @@
 Row (a) lists the *required* per-mode utilizations
 ``max_i U(T_k^i)``; rows (b) and (c) are the two EDF designs at
 ``O_tot = 0.05`` produced by the min-overhead-bandwidth and max-slack goals.
+
+The rows are evaluated as campaign points (``table2-required`` /
+``table2-row``) through :func:`repro.runner.run_campaign`, so the table
+shares the runner's caching and parallelism; results are identical to the
+former in-process computation.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
-from repro.core import (
-    FeasibleRegion,
-    MaxSlackGoal,
-    MinOverheadBandwidthGoal,
-    Overheads,
-    PlatformConfig,
-    design_platform,
-)
-from repro.experiments.paper import PAPER_OTOT, paper_partition
-from repro.model import Mode, PartitionedTaskSet
+from repro.experiments.paper import PAPER_OTOT
+from repro.model import PartitionedTaskSet
+from repro.runner import PointSpec, partition_params, run_campaign
 
 
 @dataclass(frozen=True)
@@ -37,24 +36,6 @@ class Table2Row:
     slack: float
     slack_ratio: float
     overhead_bandwidth: float
-
-    @classmethod
-    def from_config(cls, label: str, config: PlatformConfig) -> "Table2Row":
-        s = config.schedule
-        return cls(
-            label=label,
-            period=s.period,
-            otot=s.overheads.total,
-            q_ft=s.usable(Mode.FT),
-            q_fs=s.usable(Mode.FS),
-            q_nf=s.usable(Mode.NF),
-            alloc_ft=s.alpha(Mode.FT),
-            alloc_fs=s.alpha(Mode.FS),
-            alloc_nf=s.alpha(Mode.NF),
-            slack=config.slack,
-            slack_ratio=config.slack_ratio,
-            overhead_bandwidth=s.overheads.total / s.period,
-        )
 
 
 @dataclass(frozen=True)
@@ -91,25 +72,44 @@ class Table2:
         return "\n".join(lines)
 
 
+def table2_specs(
+    partition: PartitionedTaskSet | None = None,
+    otot: float = PAPER_OTOT,
+    algorithm: str = "EDF",
+) -> list[PointSpec]:
+    """The three campaign points behind :func:`compute_table2`."""
+    base = {"algorithm": algorithm, "otot": otot, **partition_params(partition)}
+    return [
+        PointSpec("table2-required", {k: v for k, v in base.items() if k != "otot"}),
+        PointSpec("table2-row", {**base, "goal": "min-overhead-bandwidth"}),
+        PointSpec("table2-row", {**base, "goal": "max-slack"}),
+    ]
+
+
+def table2_from_results(results: list[dict]) -> Table2:
+    """Rebuild the table from the :func:`table2_specs` campaign results."""
+    req, row_b, row_c = results
+    return Table2(
+        req_util_ft=req["FT"],
+        req_util_fs=req["FS"],
+        req_util_nf=req["NF"],
+        row_b=Table2Row(label="(b)", **row_b),
+        row_c=Table2Row(label="(c)", **row_c),
+    )
+
+
 def compute_table2(
     partition: PartitionedTaskSet | None = None,
     otot: float = PAPER_OTOT,
     algorithm: str = "EDF",
+    *,
+    workers: int | None = 1,
+    cache_dir: str | os.PathLike | None = None,
 ) -> Table2:
     """Reproduce Table 2 for the given partition (default: the paper's)."""
-    partition = partition or paper_partition()
-    overheads = Overheads.uniform(otot)
-    region = FeasibleRegion(partition, algorithm)
-    cfg_b = design_platform(
-        partition, algorithm, overheads, MinOverheadBandwidthGoal(), region=region
+    campaign = run_campaign(
+        table2_specs(partition, otot, algorithm),
+        workers=workers,
+        cache_dir=cache_dir,
     )
-    cfg_c = design_platform(
-        partition, algorithm, overheads, MaxSlackGoal(), region=region
-    )
-    return Table2(
-        req_util_ft=partition.max_bin_utilization(Mode.FT),
-        req_util_fs=partition.max_bin_utilization(Mode.FS),
-        req_util_nf=partition.max_bin_utilization(Mode.NF),
-        row_b=Table2Row.from_config("(b)", cfg_b),
-        row_c=Table2Row.from_config("(c)", cfg_c),
-    )
+    return table2_from_results(campaign.results)

@@ -87,9 +87,14 @@ class FaultCampaign:
         *,
         horizon: float | None = None,
         faults: Sequence[Fault] | None = None,
-        seed: int = 0,
+        seed: int | np.random.SeedSequence = 0,
     ) -> FaultCampaignResult:
-        """Run the campaign (explicit fault list or Poisson generation)."""
+        """Run the campaign (explicit fault list or Poisson generation).
+
+        ``seed`` is anything :func:`numpy.random.default_rng` accepts — the
+        campaign runner passes a spawned :class:`~numpy.random.SeedSequence`
+        so fault streams stay deterministic under parallel fan-out.
+        """
         from repro.sim.multicore import MulticoreSim  # deferred: cycle guard
 
         sim = MulticoreSim(self.partition, self.config)

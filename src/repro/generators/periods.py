@@ -58,6 +58,48 @@ def loguniform_periods(
     )
 
 
+def hyperperiod_limited_periods(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    low: float = 10.0,
+    high: float = 1000.0,
+    hyperperiod: float = 3600.0,
+) -> np.ndarray:
+    """``n`` periods drawn from the divisors of ``hyperperiod`` in ``[low, high]``.
+
+    The Goossens-&-Macq-style limitation: every sampled period divides the
+    given ``hyperperiod``, so any subset of tasks has a hyperperiod that
+    divides it too. This keeps the EDF ``dlSet`` (and thus the vectorised
+    ``minQ`` curves behind the campaign sweeps) small and *exact* even for
+    wide period ranges, where free log-uniform integer periods make the LCM
+    explode. Divisors are weighted ``1/d`` to approximate the conventional
+    log-uniform spread across magnitudes.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1: got {n}")
+    check_positive("low", low)
+    if high <= low:
+        raise ValueError(f"empty range [{low}, {high}]")
+    base = int(round(hyperperiod))
+    if base < 1 or abs(hyperperiod - base) > 1e-9:
+        raise ValueError(f"hyperperiod must be a positive integer: got {hyperperiod}")
+    divs: set[int] = set()
+    for d in range(1, int(base**0.5) + 1):
+        if base % d == 0:
+            divs.add(d)
+            divs.add(base // d)
+    divisors = np.array(
+        sorted(d for d in divs if low <= d <= high), dtype=float
+    )
+    if len(divisors) < 2:
+        raise ValueError(
+            f"hyperperiod {base} has fewer than 2 divisors in [{low}, {high}]"
+        )
+    weights = 1.0 / divisors
+    return rng.choice(divisors, size=n, p=weights / weights.sum())
+
+
 def harmonic_periods(
     n: int,
     rng: np.random.Generator,

@@ -7,7 +7,11 @@ from typing import Mapping
 import numpy as np
 
 from repro.generators.modes import assign_modes_by_share
-from repro.generators.periods import loguniform_periods
+from repro.generators.periods import (
+    hyperperiod_limited_periods,
+    loguniform_periods,
+    uniform_periods,
+)
 from repro.generators.randfixedsum import randfixedsum
 from repro.generators.uunifast import uunifast_discard
 from repro.model import Mode, Task, TaskSet
@@ -25,6 +29,8 @@ def generate_taskset(
     u_max: float = 1.0,
     deadline_factor: float = 1.0,
     utilization_method: str = "uunifast-discard",
+    period_method: str = "loguniform",
+    period_hyperperiod: float = 3600.0,
     period_granularity: float | None = 1.0,
     name_prefix: str = "t",
 ) -> TaskSet:
@@ -37,9 +43,16 @@ def generate_taskset(
         ``0 < deadline_factor <= 1`` (1.0 = implicit deadlines).
     utilization_method:
         ``"uunifast-discard"`` or ``"randfixedsum"``.
+    period_method:
+        ``"loguniform"`` (Emberson et al., default), ``"uniform"``, or
+        ``"hyperperiod-limited"`` — divisors of ``period_hyperperiod``, the
+        choice that keeps exact EDF analysis tractable in large campaigns.
+    period_hyperperiod:
+        Common multiple all periods divide under ``"hyperperiod-limited"``.
     period_granularity:
         Round periods to multiples of this (keeps hyperperiods tractable);
-        None disables rounding.
+        None disables rounding. Ignored by ``"hyperperiod-limited"`` (its
+        samples are exact divisors already).
     """
     if n < 1:
         raise ValueError(f"n must be >= 1: got {n}")
@@ -52,9 +65,21 @@ def generate_taskset(
         utils = randfixedsum(n, u_total, rng, low=0.0, high=u_max)
     else:
         raise ValueError(f"unknown utilization_method {utilization_method!r}")
-    periods = loguniform_periods(
-        n, rng, low=period_low, high=period_high, granularity=period_granularity
-    )
+    if period_method == "loguniform":
+        periods = loguniform_periods(
+            n, rng, low=period_low, high=period_high, granularity=period_granularity
+        )
+    elif period_method == "uniform":
+        periods = uniform_periods(
+            n, rng, low=period_low, high=period_high, granularity=period_granularity
+        )
+    elif period_method == "hyperperiod-limited":
+        periods = hyperperiod_limited_periods(
+            n, rng, low=period_low, high=period_high,
+            hyperperiod=period_hyperperiod,
+        )
+    else:
+        raise ValueError(f"unknown period_method {period_method!r}")
     tasks = []
     for i, (u, p) in enumerate(zip(utils, periods), start=1):
         wcet = max(u * p, 1e-6)

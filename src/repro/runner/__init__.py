@@ -1,0 +1,72 @@
+"""Parallel, deterministic, cache-aware experiment campaign engine.
+
+This package is the subsystem behind ``repro campaign``: it fans a grid of
+experiment points — utilization x task count x fault rate x generator
+parameters, or the paper's own artifacts — out over a process pool while
+keeping the results exactly reproducible.
+
+Determinism contract
+--------------------
+* Every point is a :class:`PointSpec` (experiment name + JSON params) with
+  a canonical serialization and SHA-256 digest.
+* The point's random streams come from
+  ``SeedSequence(entropy=master_seed, spawn_key=digest_words)`` — the
+  ``spawn_key`` mechanism of :meth:`numpy.random.SeedSequence.spawn`, keyed
+  by spec *content* instead of spawn order. Points needing several
+  independent streams ``spawn()`` children from their own sequence.
+* Consequently ``--workers 1``, ``--workers 4``, shuffled submission order
+  and extended grids all yield bit-identical per-point results.
+
+Caching contract
+----------------
+* With a cache directory, each finished point is stored as one JSON file
+  keyed by ``(spec digest, master seed)`` with the full spec embedded
+  (collisions and stale layouts read as misses).
+* A re-run — or a grown sweep that shares old points — recomputes only the
+  points that are not on disk; everything else is served from cache.
+
+See ``docs/campaigns.md`` for the user-facing guide.
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.engine import (
+    CampaignError,
+    CampaignResult,
+    CampaignStats,
+    default_workers,
+    run_campaign,
+    sweep,
+)
+from repro.runner.grid import expand_grid, grid_specs, parse_axes, parse_axis
+from repro.runner.points import (
+    experiment,
+    experiments,
+    get_experiment,
+    partition_params,
+    taskset_params,
+)
+from repro.runner.progress import ProgressReporter
+from repro.runner.spec import PointSpec, canonical_json, point_seed
+
+__all__ = [
+    "CampaignError",
+    "CampaignResult",
+    "CampaignStats",
+    "PointSpec",
+    "ProgressReporter",
+    "ResultCache",
+    "canonical_json",
+    "default_workers",
+    "expand_grid",
+    "experiment",
+    "experiments",
+    "get_experiment",
+    "grid_specs",
+    "parse_axes",
+    "parse_axis",
+    "partition_params",
+    "point_seed",
+    "run_campaign",
+    "sweep",
+    "taskset_params",
+]

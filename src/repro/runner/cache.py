@@ -1,0 +1,76 @@
+"""On-disk JSON result cache for campaign points.
+
+One file per ``(spec, master_seed)`` pair under
+``<root>/<experiment>/<digest16>-s<master_seed>.json``. The stored record
+embeds the full spec, so a short-prefix collision or a stale file from an
+older spec layout is detected (canonical mismatch) and treated as a miss.
+Writes go through a temp file + :func:`os.replace` so concurrent campaigns
+sharing a cache directory never observe half-written records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any
+
+from repro.runner.spec import PointSpec
+
+#: Bump when the record layout changes; old records become misses.
+CACHE_SCHEMA = 1
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class ResultCache:
+    """Directory-backed cache mapping ``(spec, master_seed)`` to results."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def path(self, spec: PointSpec, master_seed: int) -> Path:
+        """Cache file for one point (deterministic, collision-checked on read)."""
+        bucket = _SAFE.sub("_", spec.experiment) or "_"
+        return self.root / bucket / f"{spec.digest[:16]}-s{master_seed}.json"
+
+    def get(self, spec: PointSpec, master_seed: int) -> Any | None:
+        """Stored result, or None on miss/corruption/spec mismatch."""
+        path = self.path(spec, master_seed)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            record.get("schema") != CACHE_SCHEMA
+            or record.get("canonical") != spec.canonical
+            or record.get("master_seed") != master_seed
+            or "result" not in record
+        ):
+            return None
+        return record["result"]
+
+    def put(
+        self,
+        spec: PointSpec,
+        master_seed: int,
+        result: Any,
+        *,
+        elapsed: float | None = None,
+    ) -> Path:
+        """Atomically persist one point's result; returns the cache path."""
+        path = self.path(spec, master_seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "schema": CACHE_SCHEMA,
+            "canonical": spec.canonical,
+            "spec": spec.to_dict(),
+            "master_seed": master_seed,
+            "result": result,
+            "elapsed": elapsed,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record, sort_keys=True))
+        os.replace(tmp, path)
+        return path

@@ -1,0 +1,252 @@
+"""The parallel campaign engine: fan points out, keep results deterministic.
+
+Execution contract
+------------------
+* **Determinism** — a point's result depends only on its spec and the
+  campaign master seed (content-keyed :func:`~repro.runner.spec.point_seed`),
+  never on worker count, completion order, or which other points run.
+  ``run_campaign(specs, workers=4)`` is bit-identical to ``workers=1``.
+* **Caching** — with a ``cache_dir``, finished points are persisted as JSON
+  keyed by ``(spec digest, master seed)``; a re-run (or an extended sweep
+  sharing old points) recomputes nothing that is already on disk.
+* **Dedup** — duplicate specs inside one campaign are evaluated once and
+  fanned back to every occurrence.
+* **Ordering** — ``CampaignResult.results[i]`` always corresponds to
+  ``specs[i]`` regardless of the order points actually finished in.
+
+Worker processes evaluate :func:`evaluate_point` on ``(experiment, params,
+master_seed)`` payloads — plain picklable tuples, resolved against the
+registry in :mod:`repro.runner.points` on the worker side.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, TextIO
+
+from repro.runner.cache import ResultCache
+from repro.runner.grid import grid_specs
+from repro.runner.points import get_experiment
+from repro.runner.progress import ProgressReporter
+from repro.runner.spec import PointSpec, canonical_json, point_seed
+
+
+class CampaignError(RuntimeError):
+    """A point raised during evaluation (carries the failing spec)."""
+
+    def __init__(self, spec: PointSpec, message: str):
+        super().__init__(f"{spec.experiment} point failed: {message}\n  spec: {spec.canonical}")
+        self.spec = spec
+
+
+@dataclass(frozen=True)
+class CampaignStats:
+    """Bookkeeping of one engine run (not part of the deterministic output)."""
+
+    total: int
+    unique: int
+    computed: int
+    cached: int
+    errors: int
+    elapsed: float
+    workers: int
+
+
+@dataclass
+class CampaignResult:
+    """Results aligned one-to-one with the submitted specs."""
+
+    specs: list[PointSpec]
+    results: list[Any]
+    stats: CampaignStats
+
+    def rows(self) -> list[tuple[PointSpec, Any]]:
+        """``(spec, result)`` pairs in submission order."""
+        return list(zip(self.specs, self.results))
+
+    def to_json(self) -> str:
+        """Canonical JSON of specs+results only — identical across worker
+        counts and cache states, which is what CI's determinism check diffs."""
+        return canonical_json(
+            [
+                {"spec": spec.to_dict(), "result": result}
+                for spec, result in self.rows()
+            ]
+        )
+
+
+def evaluate_point(
+    payload: tuple[str, Mapping[str, Any], int]
+) -> tuple[bool, Any, float]:
+    """Evaluate one ``(experiment, params, master_seed)`` payload.
+
+    Returns ``(ok, result_or_error_message, elapsed_seconds)``; exceptions
+    are flattened to strings so pool workers never die on a point failure.
+    """
+    experiment, params, master_seed = payload
+    spec = PointSpec(experiment, params)
+    fn = get_experiment(experiment)
+    start = time.perf_counter()
+    try:
+        result = fn(params, point_seed(spec, master_seed))
+    except Exception as exc:  # noqa: BLE001 - reported via CampaignError/on_error
+        return False, f"{type(exc).__name__}: {exc}", time.perf_counter() - start
+    return True, result, time.perf_counter() - start
+
+
+def default_workers() -> int:
+    """Default parallelism: every core but one (floor 1)."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def run_campaign(
+    specs: Iterable[PointSpec],
+    *,
+    workers: int | None = 1,
+    master_seed: int = 0,
+    cache_dir: str | os.PathLike | None = None,
+    progress: bool | ProgressReporter = False,
+    progress_stream: TextIO | None = None,
+    on_error: str = "raise",
+) -> CampaignResult:
+    """Run every point of a campaign and return aligned results.
+
+    Parameters
+    ----------
+    specs:
+        The experiment points. Duplicates are evaluated once.
+    workers:
+        Process-pool size; ``1`` (default) runs inline in this process with
+        identical results, ``None`` means :func:`default_workers`.
+    master_seed:
+        Campaign-level entropy for :func:`~repro.runner.spec.point_seed`.
+    cache_dir:
+        Optional on-disk :class:`~repro.runner.cache.ResultCache` root.
+    progress:
+        ``True`` for a stderr :class:`ProgressReporter`, or a pre-built
+        reporter (used by tests to capture snapshots).
+    on_error:
+        ``"raise"`` aborts on the first failing point;
+        ``"store"`` records ``{"error": message}`` as that point's result
+        (never cached) and keeps going.
+    """
+    if on_error not in ("raise", "store"):
+        raise ValueError(f"on_error must be 'raise' or 'store': got {on_error!r}")
+    specs = list(specs)
+    for spec in specs:
+        get_experiment(spec.experiment)  # fail fast on unknown experiments
+    workers = default_workers() if workers is None else max(1, int(workers))
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    start = time.monotonic()
+
+    # Deduplicate by digest; evaluation works on unique points only.
+    unique: dict[str, PointSpec] = {}
+    for spec in specs:
+        unique.setdefault(spec.digest, spec)
+
+    reporter: ProgressReporter | None
+    if isinstance(progress, ProgressReporter):
+        reporter = progress
+    elif progress:
+        reporter = ProgressReporter(len(unique), stream=progress_stream)
+    else:
+        reporter = None
+
+    results: dict[str, Any] = {}
+    cached = 0
+    if cache is not None:
+        for digest, spec in unique.items():
+            hit = cache.get(spec, master_seed)
+            if hit is not None:
+                results[digest] = hit
+                cached += 1
+                if reporter:
+                    reporter.update(cached=True)
+
+    todo = [spec for digest, spec in unique.items() if digest not in results]
+    errors = 0
+
+    def finish(spec: PointSpec, ok: bool, result: Any, elapsed: float) -> None:
+        nonlocal errors
+        if ok:
+            results[spec.digest] = result
+            if cache is not None:
+                cache.put(spec, master_seed, result, elapsed=elapsed)
+            if reporter:
+                reporter.update()
+            return
+        if on_error == "raise":
+            raise CampaignError(spec, result)
+        errors += 1
+        results[spec.digest] = {"error": result}
+        if reporter:
+            reporter.update(error=True)
+
+    if todo and (workers == 1 or len(todo) == 1):
+        for spec in todo:
+            ok, result, elapsed = evaluate_point(
+                (spec.experiment, spec.params, master_seed)
+            )
+            finish(spec, ok, result, elapsed)
+    elif todo:
+        with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
+            futures = {
+                pool.submit(
+                    evaluate_point, (spec.experiment, spec.params, master_seed)
+                ): spec
+                for spec in todo
+            }
+            pending = set(futures)
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        ok, result, elapsed = future.result()
+                        finish(futures[future], ok, result, elapsed)
+            except CampaignError:
+                # Don't let the context-manager exit block on the whole
+                # remaining campaign: drop every queued point first.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+    return CampaignResult(
+        specs=specs,
+        results=[results[spec.digest] for spec in specs],
+        stats=CampaignStats(
+            total=len(specs),
+            unique=len(unique),
+            computed=len(unique) - cached - errors,
+            cached=cached,
+            errors=errors,
+            elapsed=time.monotonic() - start,
+            workers=workers,
+        ),
+    )
+
+
+def sweep(
+    experiment: str,
+    axes: Mapping[str, Any],
+    *,
+    base_params: Mapping[str, Any] | None = None,
+    **campaign_kwargs: Any,
+) -> CampaignResult:
+    """Grid-expand ``axes`` and run the campaign in one call."""
+    return run_campaign(
+        grid_specs(experiment, axes, base_params=base_params),
+        **campaign_kwargs,
+    )
+
+
+__all__ = [
+    "CampaignError",
+    "CampaignResult",
+    "CampaignStats",
+    "default_workers",
+    "evaluate_point",
+    "run_campaign",
+    "sweep",
+]

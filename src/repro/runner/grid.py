@@ -1,0 +1,83 @@
+"""Cartesian grid expansion for campaign sweeps.
+
+An *axes* mapping describes a sweep: each key is a parameter name, each
+value either a sequence of settings or a scalar (a degenerate one-value
+axis). :func:`expand_grid` expands the cartesian product in a deterministic
+order — axes vary in insertion order with the **last** axis fastest, like
+nested ``for`` loops written in the same order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.runner.spec import PointSpec
+
+
+def _axis_values(value: Any) -> list[Any]:
+    if isinstance(value, (str, bytes, Mapping)) or not isinstance(
+        value, (Sequence, range)
+    ):
+        return [value]
+    values = list(value)
+    if not values:
+        raise ValueError("grid axes must not be empty")
+    return values
+
+
+def expand_grid(axes: Mapping[str, Any]) -> list[dict[str, Any]]:
+    """Expand ``axes`` into the full list of parameter dicts.
+
+    >>> expand_grid({"u": [0.5, 1.0], "n": 8})
+    [{'u': 0.5, 'n': 8}, {'u': 1.0, 'n': 8}]
+    """
+    names = list(axes)
+    value_lists = [_axis_values(axes[name]) for name in names]
+    return [
+        dict(zip(names, combo)) for combo in itertools.product(*value_lists)
+    ]
+
+
+def grid_specs(
+    experiment: str,
+    axes: Mapping[str, Any],
+    *,
+    base_params: Mapping[str, Any] | None = None,
+) -> list[PointSpec]:
+    """Build one :class:`PointSpec` per grid point (base params + axes)."""
+    base = dict(base_params or {})
+    overlap = set(base) & set(axes)
+    if overlap:
+        raise ValueError(f"axes shadow base params: {sorted(overlap)}")
+    return [
+        PointSpec(experiment, {**base, **point}) for point in expand_grid(axes)
+    ]
+
+
+def parse_axis(text: str) -> tuple[str, list[Any]]:
+    """Parse one ``key=v1,v2,...`` CLI axis (values JSON-decoded when possible).
+
+    >>> parse_axis("u_total=0.5,1.0")
+    ('u_total', [0.5, 1.0])
+    """
+    key, sep, rest = text.partition("=")
+    if not sep or not key or not rest:
+        raise ValueError(f"axis must look like key=v1,v2,...: got {text!r}")
+    values: list[Any] = []
+    for token in rest.split(","):
+        try:
+            values.append(json.loads(token))
+        except ValueError:
+            values.append(token)
+    return key, values
+
+
+def parse_axes(texts: Iterable[str]) -> dict[str, list[Any]]:
+    """Parse repeated ``--axis`` options into an axes mapping."""
+    axes: dict[str, list[Any]] = {}
+    for text in texts:
+        key, values = parse_axis(text)
+        axes[key] = values
+    return axes

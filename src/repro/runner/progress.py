@@ -1,0 +1,113 @@
+"""Structured progress and ETA reporting for campaign runs.
+
+The engine calls :meth:`ProgressReporter.update` once per finished point
+(computed or served from cache). Rendering is throttled and terminal-aware:
+on a TTY the reporter redraws one ``\\r`` status line; on a plain stream it
+emits at most ~10 full lines per campaign so CI logs stay readable. The
+:meth:`snapshot` dict is the machine-readable view used by tests and by the
+CLI's final summary.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, TextIO
+
+
+class ProgressReporter:
+    """Campaign progress: counts, elapsed wall-clock, and a rate-based ETA."""
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        stream: TextIO | None = None,
+        label: str = "campaign",
+        min_interval: float = 0.2,
+    ):
+        if total < 0:
+            raise ValueError(f"total must be >= 0: got {total}")
+        self.total = total
+        self.label = label
+        self.computed = 0
+        self.cached = 0
+        self.errors = 0
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval = min_interval
+        self._started = time.monotonic()
+        self._last_render = 0.0
+        self._line_step = max(1, total // 10)
+        self._is_tty = bool(getattr(self._stream, "isatty", lambda: False)())
+
+    @property
+    def done(self) -> int:
+        """Points finished so far (computed + cached + errored)."""
+        return self.computed + self.cached + self.errors
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the reporter was created."""
+        return time.monotonic() - self._started
+
+    def eta(self) -> float | None:
+        """Estimated seconds to completion (None before any computed point).
+
+        Cache hits are ~free, so the rate is based on *computed* points only;
+        a fully cached re-run reports an ETA of 0 as soon as anything lands.
+        """
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        if self.computed == 0:
+            return None if self.done == 0 else 0.0
+        return remaining * (self.elapsed / self.computed)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Machine-readable progress state."""
+        return {
+            "label": self.label,
+            "total": self.total,
+            "done": self.done,
+            "computed": self.computed,
+            "cached": self.cached,
+            "errors": self.errors,
+            "elapsed": self.elapsed,
+            "eta": self.eta(),
+        }
+
+    def update(self, *, cached: bool = False, error: bool = False) -> None:
+        """Record one finished point and maybe re-render the status line."""
+        if error:
+            self.errors += 1
+        elif cached:
+            self.cached += 1
+        else:
+            self.computed += 1
+        final = self.done >= self.total
+        now = time.monotonic()
+        if self._is_tty:
+            if not final and now - self._last_render < self._min_interval:
+                return
+            self._last_render = now
+            end = "\n" if final else ""
+            self._stream.write(f"\r{self._render()}{end}")
+        else:
+            if final or self.done % self._line_step == 0:
+                self._stream.write(f"{self._render()}\n")
+        self._stream.flush()
+
+    def _render(self) -> str:
+        pct = 100.0 * self.done / self.total if self.total else 100.0
+        eta = self.eta()
+        eta_s = "--" if eta is None else f"{eta:.1f}s"
+        bits = [
+            f"{self.label}: {self.done}/{self.total} ({pct:3.0f}%)",
+            f"elapsed {self.elapsed:.1f}s",
+            f"eta {eta_s}",
+        ]
+        if self.cached:
+            bits.append(f"cache {self.cached}")
+        if self.errors:
+            bits.append(f"errors {self.errors}")
+        return "  ".join(bits)

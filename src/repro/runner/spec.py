@@ -1,0 +1,99 @@
+"""Experiment-point specifications and their determinism contract.
+
+A *point* is one unit of campaign work: the name of a registered experiment
+function plus a JSON-serializable parameter mapping. Two properties make the
+whole runner deterministic and cacheable:
+
+* **Canonical form** — :attr:`PointSpec.canonical` serializes the spec with
+  sorted keys and no whitespace, so logically equal specs always produce the
+  same bytes, the same :attr:`PointSpec.digest`, and the same cache file.
+* **Content-keyed seeding** — :func:`point_seed` derives each point's
+  :class:`numpy.random.SeedSequence` from the campaign master seed with a
+  ``spawn_key`` taken from the spec digest. This is the same mechanism
+  ``SeedSequence.spawn`` uses internally (spawned children differ only in
+  their ``spawn_key``), but keyed by *content* instead of spawn order — so a
+  point's random stream never depends on grid enumeration order, worker
+  count, or which other points share the campaign. Points that need several
+  independent streams call ``seed.spawn(k)`` on their own sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to canonical JSON (sorted keys, no whitespace).
+
+    Raises ``TypeError``/``ValueError`` for values outside the JSON model
+    (including NaN/Infinity) — specs must be exactly representable so their
+    hash is stable across processes and Python versions.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+class PointSpec:
+    """One experiment point: registered experiment name + JSON parameters."""
+
+    __slots__ = ("experiment", "params", "_canonical")
+
+    def __init__(self, experiment: str, params: Mapping[str, Any] | None = None):
+        if not experiment or not isinstance(experiment, str):
+            raise ValueError(f"experiment must be a non-empty str: got {experiment!r}")
+        self.experiment = experiment
+        self.params: dict[str, Any] = dict(params or {})
+        # Canonicalize eagerly so malformed params fail at construction time,
+        # not in a worker process.
+        self._canonical = canonical_json(
+            {"experiment": self.experiment, "params": self.params}
+        )
+
+    @property
+    def canonical(self) -> str:
+        """Canonical JSON of the whole spec (the identity of this point)."""
+        return self._canonical
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 hex digest of :attr:`canonical`."""
+        return hashlib.sha256(self._canonical.encode("utf-8")).hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PointSpec):
+            return NotImplemented
+        return self._canonical == other._canonical
+
+    def __hash__(self) -> int:
+        return hash(self._canonical)
+
+    def __repr__(self) -> str:
+        return f"PointSpec({self.experiment!r}, {self.params!r})"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (used by caching and ``--out`` files)."""
+        return {"experiment": self.experiment, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PointSpec":
+        return cls(data["experiment"], data.get("params", {}))
+
+
+def point_seed(spec: PointSpec, master_seed: int = 0) -> np.random.SeedSequence:
+    """Derive the point's root :class:`~numpy.random.SeedSequence`.
+
+    The sequence is ``SeedSequence(entropy=master_seed, spawn_key=words)``
+    where ``words`` are the first 128 bits of the spec digest. Equal specs
+    under the same master seed always get identical streams; changing either
+    the master seed or any parameter changes the stream.
+    """
+    raw = hashlib.sha256(spec.canonical.encode("utf-8")).digest()
+    words = tuple(
+        int.from_bytes(raw[i : i + 4], "big") for i in range(0, 16, 4)
+    )
+    return np.random.SeedSequence(entropy=master_seed, spawn_key=words)

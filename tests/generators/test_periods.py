@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.generators import harmonic_periods, loguniform_periods, uniform_periods
+from repro.generators import (
+    harmonic_periods,
+    hyperperiod_limited_periods,
+    loguniform_periods,
+    uniform_periods,
+)
 
 
 class TestUniformPeriods:
@@ -59,3 +64,30 @@ class TestHarmonicPeriods:
     def test_rejects_negative_doublings(self, rng):
         with pytest.raises(ValueError):
             harmonic_periods(5, rng, max_doublings=-1)
+
+
+class TestHyperperiodLimitedPeriods:
+    def test_every_period_divides_the_hyperperiod(self, rng):
+        p = hyperperiod_limited_periods(200, rng, low=10, high=1000, hyperperiod=3600)
+        assert np.all((p >= 10) & (p <= 1000))
+        assert np.allclose(3600 % p, 0.0)
+
+    def test_any_subset_lcm_bounded(self, rng):
+        # The property the campaign sweeps rely on: per-bin hyperperiods
+        # (LCMs of arbitrary subsets) always divide the chosen bound.
+        p = hyperperiod_limited_periods(12, rng, hyperperiod=3600)
+        lcm = np.lcm.reduce(p.astype(int))
+        assert 3600 % lcm == 0
+
+    def test_deterministic_per_rng_seed(self):
+        a = hyperperiod_limited_periods(20, np.random.default_rng(5))
+        b = hyperperiod_limited_periods(20, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_rejects_non_integer_hyperperiod(self, rng):
+        with pytest.raises(ValueError):
+            hyperperiod_limited_periods(5, rng, hyperperiod=3600.5)
+
+    def test_rejects_range_with_too_few_divisors(self, rng):
+        with pytest.raises(ValueError):
+            hyperperiod_limited_periods(5, rng, low=11, high=11.5, hyperperiod=3600)

@@ -1,0 +1,80 @@
+"""Result-cache and progress-reporter unit tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.runner import PointSpec, ProgressReporter, ResultCache
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = PointSpec("x", {"u": 1.0})
+        assert cache.get(spec, 0) is None
+        cache.put(spec, 0, {"feasible": True}, elapsed=0.5)
+        assert cache.get(spec, 0) == {"feasible": True}
+
+    def test_keyed_by_master_seed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = PointSpec("x", {"u": 1.0})
+        cache.put(spec, 0, {"v": 1})
+        assert cache.get(spec, 1) is None
+
+    def test_keyed_by_params(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(PointSpec("x", {"u": 1.0}), 0, {"v": 1})
+        assert cache.get(PointSpec("x", {"u": 2.0}), 0) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = PointSpec("x", {})
+        path = cache.put(spec, 0, {"v": 1})
+        path.write_text("{not json")
+        assert cache.get(spec, 0) is None
+
+    def test_stale_spec_layout_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = PointSpec("x", {})
+        path = cache.put(spec, 0, {"v": 1})
+        record = json.loads(path.read_text())
+        record["canonical"] = "something else"
+        path.write_text(json.dumps(record))
+        assert cache.get(spec, 0) is None
+
+    def test_experiment_name_sanitized_in_path(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(PointSpec("a/b c", {}), 0, 1)
+        assert path.parent.name == "a_b_c"
+
+
+class TestProgressReporter:
+    def test_counts_and_snapshot(self):
+        rep = ProgressReporter(3, stream=io.StringIO())
+        rep.update()
+        rep.update(cached=True)
+        rep.update(error=True)
+        snap = rep.snapshot()
+        assert snap["done"] == 3
+        assert snap["computed"] == 1
+        assert snap["cached"] == 1
+        assert snap["errors"] == 1
+        assert snap["eta"] == 0.0
+
+    def test_eta_unknown_before_any_completion(self):
+        rep = ProgressReporter(5, stream=io.StringIO())
+        assert rep.eta() is None
+
+    def test_renders_to_stream(self):
+        out = io.StringIO()
+        rep = ProgressReporter(2, stream=out, label="t")
+        rep.update()
+        rep.update()
+        text = out.getvalue()
+        assert "t: 2/2" in text
+        assert "eta" in text
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(-1)

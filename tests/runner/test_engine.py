@@ -1,0 +1,124 @@
+"""Campaign engine tests: determinism, caching, dedup, error handling.
+
+Pool tests use the cheap ``ablate-slot-split`` / ``schedulability``
+experiments so the suite exercises real registry points without long
+computations.
+"""
+
+import pytest
+
+from repro.runner import (
+    CampaignError,
+    PointSpec,
+    ProgressReporter,
+    run_campaign,
+    sweep,
+)
+
+SPLIT_AXES = {"period": [3.0], "budget": [1.0], "pieces": [1, 2, 3, 4]}
+SCHED_AXES = {"u_total": [0.8, 1.6], "n": [6], "rep": [0, 1]}
+
+
+class TestRunCampaign:
+    def test_results_align_with_specs(self):
+        specs = [
+            PointSpec("ablate-slot-split", {"period": 3.0, "budget": 1.0, "pieces": k})
+            for k in (4, 1, 2)
+        ]
+        campaign = run_campaign(specs)
+        delays = [r["delay"] for r in campaign.results]
+        assert delays[1] > delays[2] > delays[0]  # k=1 worst, k=4 best
+
+    def test_unknown_experiment_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_campaign([PointSpec("no-such-experiment", {})])
+
+    def test_duplicates_evaluated_once(self):
+        spec = PointSpec("ablate-slot-split", {"period": 3.0, "budget": 1.0, "pieces": 2})
+        campaign = run_campaign([spec, spec, spec])
+        assert campaign.stats.total == 3
+        assert campaign.stats.unique == 1
+        assert campaign.results[0] == campaign.results[1] == campaign.results[2]
+
+    def test_pool_matches_inline(self):
+        inline = sweep("schedulability", SCHED_AXES, workers=1, master_seed=5)
+        pooled = sweep("schedulability", SCHED_AXES, workers=2, master_seed=5)
+        assert inline.to_json() == pooled.to_json()
+
+    def test_submission_order_does_not_change_results(self):
+        specs = [
+            PointSpec("schedulability", {"u_total": 0.8, "n": 6, "rep": r})
+            for r in range(3)
+        ]
+        forward = run_campaign(specs, master_seed=5)
+        backward = run_campaign(list(reversed(specs)), master_seed=5)
+        for spec, result in forward.rows():
+            assert backward.results[backward.specs.index(spec)] == result
+
+    def test_master_seed_changes_seeded_results(self):
+        a = sweep("schedulability", SCHED_AXES, master_seed=0)
+        b = sweep("schedulability", SCHED_AXES, master_seed=1)
+        assert a.to_json() != b.to_json()
+
+    def test_progress_reporter_sees_every_point(self):
+        import io
+
+        reporter = ProgressReporter(4, stream=io.StringIO())
+        sweep("ablate-slot-split", SPLIT_AXES, progress=reporter)
+        assert reporter.snapshot()["done"] == 4
+        assert reporter.snapshot()["computed"] == 4
+
+
+class TestCaching:
+    def test_rerun_computes_nothing(self, tmp_path):
+        first = sweep("schedulability", SCHED_AXES, master_seed=5, cache_dir=tmp_path)
+        again = sweep("schedulability", SCHED_AXES, master_seed=5, cache_dir=tmp_path)
+        assert first.stats.computed == 4
+        assert again.stats.computed == 0
+        assert again.stats.cached == 4
+        assert first.to_json() == again.to_json()
+
+    def test_extended_sweep_computes_only_new_points(self, tmp_path):
+        small = sweep("schedulability", SCHED_AXES, master_seed=5, cache_dir=tmp_path)
+        wider = sweep(
+            "schedulability",
+            {**SCHED_AXES, "u_total": [0.8, 1.6, 2.4]},
+            master_seed=5,
+            cache_dir=tmp_path,
+        )
+        assert wider.stats.cached == 4
+        assert wider.stats.computed == 2
+        # Old points keep their exact results inside the extended grid.
+        for spec, result in small.rows():
+            assert wider.results[wider.specs.index(spec)] == result
+
+    def test_cache_respects_master_seed(self, tmp_path):
+        sweep("schedulability", SCHED_AXES, master_seed=5, cache_dir=tmp_path)
+        other = sweep("schedulability", SCHED_AXES, master_seed=6, cache_dir=tmp_path)
+        assert other.stats.cached == 0
+        assert other.stats.computed == 4
+
+
+class TestErrors:
+    BAD = {"period": [3.0], "budget": [1.0], "pieces": [0]}  # 0 pieces: invalid
+
+    def test_raise_mode(self):
+        with pytest.raises(CampaignError, match="ablate-slot-split"):
+            sweep("ablate-slot-split", self.BAD)
+
+    def test_store_mode_keeps_going_and_never_caches(self, tmp_path):
+        axes = {"period": [3.0], "budget": [1.0], "pieces": [0, 2]}
+        campaign = sweep(
+            "ablate-slot-split", axes, on_error="store", cache_dir=tmp_path
+        )
+        assert "error" in campaign.results[0]
+        assert campaign.results[1]["delay"] > 0
+        assert campaign.stats.errors == 1
+        # The failing point is not cached; a re-run retries it.
+        again = sweep("ablate-slot-split", axes, on_error="store", cache_dir=tmp_path)
+        assert again.stats.cached == 1
+        assert again.stats.errors == 1
+
+    def test_bad_on_error_value(self):
+        with pytest.raises(ValueError):
+            run_campaign([], on_error="explode")

@@ -1,0 +1,139 @@
+"""Registered experiment points: contracts and spec plumbing."""
+
+import pytest
+
+from repro.experiments import paper_partition, paper_reference, paper_taskset
+from repro.runner import (
+    PointSpec,
+    experiments,
+    get_experiment,
+    partition_params,
+    point_seed,
+    run_campaign,
+    taskset_params,
+)
+
+
+def evaluate(experiment, params, master_seed=0):
+    spec = PointSpec(experiment, params)
+    return get_experiment(experiment)(params, point_seed(spec, master_seed))
+
+
+class TestRegistry:
+    def test_core_experiments_registered(self):
+        names = experiments()
+        for name in (
+            "table2-required",
+            "table2-row",
+            "figure4-point",
+            "ablate-minq-gap",
+            "ablate-region",
+            "ablate-partitioning",
+            "ablate-overhead",
+            "ablate-slot-split",
+            "schedulability",
+            "fault-injection",
+        ):
+            assert name in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("nope")
+
+
+class TestPaperPoints:
+    def test_table2_row_b_matches_reference(self):
+        ref = paper_reference()
+        row = evaluate(
+            "table2-row",
+            {"algorithm": "EDF", "otot": 0.05, "goal": "min-overhead-bandwidth"},
+        )
+        assert row["period"] == pytest.approx(ref.b_period, abs=1.5e-3)
+        assert row["q_ft"] == pytest.approx(ref.b_q_ft, abs=1.5e-3)
+
+    def test_figure4_point_matches_reference(self):
+        ref = paper_reference()
+        result = evaluate(
+            "figure4-point",
+            {
+                "query": "max-period",
+                "algorithm": "EDF",
+                "otot": 0.0,
+                "p_max": 3.5,
+                "grid": 4001,
+            },
+        )
+        assert result["value"] == pytest.approx(
+            ref.max_period_edf_zero_overhead, abs=1.5e-3
+        )
+
+    def test_figure4_unknown_query_rejected(self):
+        with pytest.raises(ValueError, match="query"):
+            evaluate("figure4-point", {"query": "median", "algorithm": "EDF"})
+
+    def test_explicit_partition_params_round_trip(self):
+        explicit = partition_params(paper_partition())
+        implicit = evaluate("table2-required", {"algorithm": "EDF"})
+        assert evaluate("table2-required", {"algorithm": "EDF", **explicit}) == implicit
+
+    def test_taskset_params_partitioned_automatically(self):
+        result = evaluate(
+            "ablate-partitioning",
+            {
+                "strategy": "worst-fit",
+                "algorithm": "EDF",
+                **taskset_params(paper_taskset()),
+            },
+        )
+        assert result["max_period_zero_overhead"] > 0
+
+
+class TestSyntheticPoints:
+    def test_low_utilization_is_feasible(self):
+        result = evaluate("schedulability", {"u_total": 0.5, "n": 6, "rep": 0})
+        assert result["partitioned"] and result["feasible"]
+        assert result["utilization"] == pytest.approx(0.5, abs=1e-9)
+        assert result["period"] > 0
+
+    def test_overload_is_infeasible(self):
+        result = evaluate("schedulability", {"u_total": 3.9, "n": 6, "rep": 0})
+        assert not result["feasible"]
+
+    def test_deterministic_in_seed_only(self):
+        params = {"u_total": 1.0, "n": 8, "rep": 0}
+        assert evaluate("schedulability", params, 3) == evaluate(
+            "schedulability", params, 3
+        )
+
+    def test_fault_injection_mode_contracts(self):
+        # FT faults never corrupt nor silence; FS faults never corrupt.
+        campaign = run_campaign(
+            [
+                PointSpec("fault-injection", {"rate": 0.1, "cycles": 41, "rep": r})
+                for r in range(3)
+            ],
+            master_seed=3,
+        )
+        for result in campaign.results:
+            assert result["ft_misses"] == 0
+            assert result["total_misses"] == 0
+        assert sum(r["injected"] for r in campaign.results) > 0
+
+    def test_fault_injection_generated_source(self):
+        result = evaluate(
+            "fault-injection",
+            {
+                "source": "generated",
+                "u_total": 1.0,
+                "n": 10,
+                "rate": 0.05,
+                "cycles": 30,
+            },
+        )
+        assert result["injected"] >= 0
+        assert set(result["outcomes"]) == {
+            "masked",
+            "silenced",
+            "corrupted",
+            "harmless",
+        }

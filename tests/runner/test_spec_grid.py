@@ -1,0 +1,126 @@
+"""Spec canonicalization, content-keyed seeding, and grid expansion."""
+
+import numpy as np
+import pytest
+
+from repro.runner import (
+    PointSpec,
+    canonical_json,
+    expand_grid,
+    grid_specs,
+    parse_axes,
+    parse_axis,
+    point_seed,
+)
+
+
+class TestPointSpec:
+    def test_key_order_does_not_matter(self):
+        a = PointSpec("x", {"u": 1.0, "n": 8})
+        b = PointSpec("x", {"n": 8, "u": 1.0})
+        assert a == b
+        assert a.digest == b.digest
+        assert hash(a) == hash(b)
+
+    def test_different_params_different_digest(self):
+        assert (
+            PointSpec("x", {"u": 1.0}).digest != PointSpec("x", {"u": 2.0}).digest
+        )
+        assert PointSpec("x", {}).digest != PointSpec("y", {}).digest
+
+    def test_nested_params_canonicalized(self):
+        a = PointSpec("x", {"shares": {"FT": 0.3, "NF": 0.7}})
+        b = PointSpec("x", {"shares": {"NF": 0.7, "FT": 0.3}})
+        assert a.digest == b.digest
+
+    def test_non_json_params_rejected_at_construction(self):
+        with pytest.raises(TypeError):
+            PointSpec("x", {"bad": object()})
+        with pytest.raises(ValueError):
+            PointSpec("x", {"bad": float("nan")})
+
+    def test_empty_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            PointSpec("")
+
+    def test_roundtrip_dict(self):
+        spec = PointSpec("x", {"u": 1.0})
+        assert PointSpec.from_dict(spec.to_dict()) == spec
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+
+class TestPointSeed:
+    def test_same_spec_same_stream(self):
+        spec = PointSpec("x", {"u": 1.0})
+        r1 = np.random.default_rng(point_seed(spec, 7)).random(4)
+        r2 = np.random.default_rng(point_seed(PointSpec("x", {"u": 1.0}), 7)).random(4)
+        assert np.array_equal(r1, r2)
+
+    def test_master_seed_changes_stream(self):
+        spec = PointSpec("x", {"u": 1.0})
+        r1 = np.random.default_rng(point_seed(spec, 0)).random(4)
+        r2 = np.random.default_rng(point_seed(spec, 1)).random(4)
+        assert not np.array_equal(r1, r2)
+
+    def test_params_change_stream(self):
+        r1 = np.random.default_rng(point_seed(PointSpec("x", {"rep": 0}), 0)).random(4)
+        r2 = np.random.default_rng(point_seed(PointSpec("x", {"rep": 1}), 0)).random(4)
+        assert not np.array_equal(r1, r2)
+
+    def test_spawnable(self):
+        children = point_seed(PointSpec("x", {}), 0).spawn(2)
+        a = np.random.default_rng(children[0]).random(2)
+        b = np.random.default_rng(children[1]).random(2)
+        assert not np.array_equal(a, b)
+
+
+class TestExpandGrid:
+    def test_product_last_axis_fastest(self):
+        grid = expand_grid({"a": [1, 2], "b": [10, 20]})
+        assert grid == [
+            {"a": 1, "b": 10},
+            {"a": 1, "b": 20},
+            {"a": 2, "b": 10},
+            {"a": 2, "b": 20},
+        ]
+
+    def test_scalar_axis(self):
+        assert expand_grid({"a": [1, 2], "n": 8}) == [
+            {"a": 1, "n": 8},
+            {"a": 2, "n": 8},
+        ]
+
+    def test_string_and_mapping_values_are_scalars(self):
+        grid = expand_grid({"alg": "EDF", "shares": {"FT": 1.0}})
+        assert grid == [{"alg": "EDF", "shares": {"FT": 1.0}}]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            expand_grid({"a": []})
+
+    def test_grid_specs_base_params(self):
+        specs = grid_specs("x", {"u": [1, 2]}, base_params={"n": 8})
+        assert [s.params for s in specs] == [{"n": 8, "u": 1}, {"n": 8, "u": 2}]
+
+    def test_grid_specs_shadowing_rejected(self):
+        with pytest.raises(ValueError):
+            grid_specs("x", {"n": [1]}, base_params={"n": 8})
+
+
+class TestParseAxis:
+    def test_numbers_and_strings(self):
+        assert parse_axis("u_total=0.5,1.0") == ("u_total", [0.5, 1.0])
+        assert parse_axis("heuristic=worst-fit,best-fit") == (
+            "heuristic",
+            ["worst-fit", "best-fit"],
+        )
+
+    def test_malformed_rejected(self):
+        for bad in ("nope", "=1", "k="):
+            with pytest.raises(ValueError):
+                parse_axis(bad)
+
+    def test_parse_axes_merges(self):
+        assert parse_axes(["a=1", "b=2,3"]) == {"a": [1], "b": [2, 3]}

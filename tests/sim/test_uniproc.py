@@ -36,6 +36,61 @@ class TestWindowHelpers:
     def test_subtract_no_overlap(self):
         assert subtract_blackouts([(0, 2)], [(5, 6)]) == [(0, 2)]
 
+    def test_merge_windows_touching_within_eps(self):
+        # Gap smaller than EPS counts as touching and merges.
+        from repro.util import EPS
+
+        out = merge_windows([(0.0, 2.0), (2.0 + EPS / 2, 4.0)], 10.0)
+        assert out == [(0.0, 4.0)]
+
+    def test_merge_windows_gap_just_beyond_eps_stays_split(self):
+        from repro.util import EPS
+
+        out = merge_windows([(0.0, 2.0), (2.0 + 10 * EPS, 4.0)], 10.0)
+        assert len(out) == 2
+
+    def test_merge_contained_window_absorbed(self):
+        assert merge_windows([(0, 10), (2, 4)], 20.0) == [(0.0, 10.0)]
+
+    def test_merge_drops_window_entirely_past_horizon(self):
+        assert merge_windows([(12, 15), (0, 2)], 10.0) == [(0.0, 2.0)]
+
+    def test_merge_negative_start_clipped_to_zero(self):
+        assert merge_windows([(-5, 3)], 10.0) == [(0.0, 3.0)]
+
+    def test_subtract_blackout_exactly_covers_window(self):
+        assert subtract_blackouts([(2, 5)], [(2, 5)]) == []
+
+    def test_subtract_blackout_straddles_window(self):
+        assert subtract_blackouts([(2, 5)], [(1, 6)]) == []
+
+    def test_subtract_blackout_straddles_left_boundary(self):
+        assert subtract_blackouts([(2, 8)], [(0, 4)]) == [(4, 8)]
+
+    def test_subtract_blackout_straddles_right_boundary(self):
+        assert subtract_blackouts([(2, 8)], [(6, 10)]) == [(2, 6)]
+
+    def test_subtract_zero_width_blackout_loses_no_time(self):
+        # A zero-width blackout may split the window but removes nothing.
+        out = subtract_blackouts([(0, 10)], [(4, 4)])
+        assert out == [(0, 4), (4, 10)]
+        assert sum(b - a for a, b in out) == 10
+
+    def test_subtract_eps_sliver_dropped(self):
+        # Remainder pieces narrower than EPS do not survive.
+        from repro.util import EPS
+
+        assert subtract_blackouts([(0.0, 4.0)], [(EPS / 2, 4.0)]) == []
+        assert subtract_blackouts([(0.0, 4.0)], [(0.0, 4.0 - EPS / 2)]) == []
+
+    def test_subtract_multiple_blackouts_slice_one_window(self):
+        out = subtract_blackouts([(0, 12)], [(2, 4), (6, 8), (10, 14)])
+        assert out == [(0, 2), (4, 6), (8, 10)]
+
+    def test_subtract_blackout_spanning_two_windows(self):
+        out = subtract_blackouts([(0, 4), (6, 10)], [(3, 7)])
+        assert out == [(0, 3), (7, 10)]
+
 
 class TestDedicatedExecution:
     def test_single_task_completes_every_period(self):

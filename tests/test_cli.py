@@ -84,6 +84,75 @@ class TestPaper:
         assert "3.176" in out and "Table 2" in out
 
 
+class TestCampaign:
+    def test_table2_preset(self, capsys):
+        assert main(["campaign", "table2", "--workers", "1", "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "(b) length" in out
+        assert "2.966" in out
+
+    def test_figure4_preset(self, capsys):
+        assert main(["campaign", "figure4", "--workers", "1", "--no-progress"]) == 0
+        assert "3.177" in capsys.readouterr().out
+
+    def test_sched_preset_with_axes_and_out(self, tmp_path, capsys):
+        out_file = tmp_path / "points.json"
+        args = [
+            "campaign", "sched",
+            "--axis", "u_total=0.5,2.5",
+            "--axis", "n=6",
+            "--axis", "rep=0,1",
+            "--seed", "9",
+            "--no-progress",
+            "--out", str(out_file),
+        ]
+        assert main(args + ["--workers", "1"]) == 0
+        text = capsys.readouterr().out
+        assert "acceptance ratios" in text
+        data = json.loads(out_file.read_text())
+        assert len(data) == 4
+        assert all("spec" in row and "result" in row for row in data)
+
+    def test_out_identical_across_worker_counts(self, tmp_path):
+        outs = []
+        for workers in ("1", "2"):
+            out_file = tmp_path / f"w{workers}.json"
+            assert main([
+                "campaign", "sched",
+                "--axis", "u_total=0.5,1.5", "--axis", "n=6", "--axis", "rep=0",
+                "--seed", "3", "--workers", workers,
+                "--no-progress", "--out", str(out_file),
+            ]) == 0
+            outs.append(out_file.read_text())
+        assert outs[0] == outs[1]
+
+    def test_cached_rerun_computes_nothing(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = [
+            "campaign", "sched", "--axis", "u_total=0.5", "--axis", "n=6",
+            "--axis", "rep=0,1", "--workers", "1", "--no-progress",
+            "--cache-dir", cache,
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        # stats line goes to stderr
+        assert "0 computed, 2 cached" in capsys.readouterr().err
+
+    def test_json_output(self, capsys):
+        assert main([
+            "campaign", "faults", "--axis", "rate=0.05", "--axis", "rep=0",
+            "--workers", "1", "--no-progress", "--json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["spec"]["experiment"] == "fault-injection"
+        assert data[0]["result"]["ft_misses"] == 0
+
+    def test_axis_rejected_for_paper_presets(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "table2", "--axis", "otot=0.1", "--no-progress"])
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
