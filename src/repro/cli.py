@@ -19,10 +19,15 @@ Commands
     Run an experiment campaign through the parallel runner
     (:mod:`repro.runner`). Presets: ``table2``, ``figure4``, ``ablations``
     (the paper artifacts as campaign points), ``sched`` (synthetic
-    schedulability grid) and ``faults`` (fault-injection grid). Results are
+    schedulability grid), ``faults`` (fault-injection grid) and ``weighted``
+    (the weighted-schedulability sweep over the generator parameter space).
+    Every preset streams into a mergeable aggregate
+    (:mod:`repro.runner.aggregate`): results and aggregates are
     bit-identical for any ``--workers`` value; with ``--cache-dir`` a re-run
-    recomputes nothing and ``--out`` writes the canonical spec/result JSON
-    (what CI diffs to guard determinism). See docs/campaigns.md.
+    recomputes nothing and resumes aggregation from a snapshot under
+    ``<cache-dir>/aggregates`` (override with ``--state``); ``--out`` writes
+    the canonical spec/result JSON and ``--agg-out`` the canonical aggregate
+    state (what CI diffs to guard determinism). See docs/campaigns.md.
 
 Task-set JSON is the :mod:`repro.model.serialization` format::
 
@@ -52,7 +57,7 @@ from repro.faults import FaultCampaign
 from repro.model import MODE_ORDER, Mode, TaskSet, taskset_from_json
 from repro.partition import PartitionError, partition_by_modes
 from repro.sim import MulticoreSim
-from repro.viz import format_table, render_region
+from repro.viz import axis_sort_token, format_table, render_region
 
 
 def _load_taskset(path: str) -> TaskSet:
@@ -195,7 +200,8 @@ _FAULTS_AXES: dict = {
     "cycles": [50],
     "rep": list(range(3)),
 }
-_AXIS_PRESETS = ("sched", "faults")
+_AXIS_PRESETS = ("sched", "faults", "weighted")
+_PRESETS = ("table2", "figure4", "ablations", "sched", "faults", "weighted")
 
 
 def _campaign_specs(args: argparse.Namespace):
@@ -203,6 +209,7 @@ def _campaign_specs(args: argparse.Namespace):
     from repro.experiments.ablations import ablation_specs
     from repro.experiments.figure4 import figure4_specs
     from repro.experiments.table2 import table2_specs
+    from repro.experiments.weighted import WEIGHTED_FAULT_AXES, weighted_specs
     from repro.runner import grid_specs, parse_axes
 
     if args.axis and args.preset not in _AXIS_PRESETS:
@@ -215,10 +222,71 @@ def _campaign_specs(args: argparse.Namespace):
         return figure4_specs()
     if args.preset == "ablations":
         return ablation_specs()
+    if args.preset == "weighted":
+        axes = parse_axes(args.axis or [])
+        return weighted_specs(
+            sched_axes={k: v for k, v in axes.items() if k != "rate"},
+            fault_axes={k: v for k, v in axes.items() if k in WEIGHTED_FAULT_AXES},
+        )
     defaults = _SCHED_AXES if args.preset == "sched" else _FAULTS_AXES
     experiment = "schedulability" if args.preset == "sched" else "fault-injection"
     axes = {**defaults, **parse_axes(args.axis or [])}
     return grid_specs(experiment, axes)
+
+
+def _sched_curve_key(params, result):
+    """Group sched points over reps: every non-rep, non-payload parameter."""
+    return sorted(
+        [k, v]
+        for k, v in params.items()
+        if k not in ("rep", "taskset", "partition")
+    )
+
+
+def _preset_aggregator(preset: str):
+    """The streaming aggregate each preset folds into."""
+    from repro.experiments.ablations import ablation_aggregator
+    from repro.experiments.figure4 import figure4_aggregator
+    from repro.experiments.table2 import table2_aggregator
+    from repro.experiments.weighted import weighted_aggregator
+    from repro.runner import Aggregator, curve_metric, mean_metric
+
+    if preset == "table2":
+        return table2_aggregator()
+    if preset == "figure4":
+        return figure4_aggregator()
+    if preset == "ablations":
+        return ablation_aggregator()
+    if preset == "weighted":
+        return weighted_aggregator()
+    if preset == "sched":
+        return Aggregator(
+            [
+                curve_metric(
+                    "acceptance_partitioned", _sched_curve_key, "partitioned",
+                    experiment="schedulability",
+                ),
+                curve_metric(
+                    "acceptance_feasible", _sched_curve_key, "feasible",
+                    experiment="schedulability",
+                ),
+                curve_metric(
+                    "weighted_feasible", _sched_curve_key, "feasible",
+                    weight="utilization", experiment="schedulability",
+                ),
+            ]
+        )
+    return Aggregator(
+        [
+            curve_metric(
+                "coverage",
+                _sched_curve_key,
+                lambda params, result: result["ft_misses"] == 0,
+                experiment="fault-injection",
+            ),
+            mean_metric("injected", "injected", experiment="fault-injection"),
+        ]
+    )
 
 
 def _fmt(value) -> str:
@@ -264,30 +332,28 @@ def _render_campaign(campaign) -> str:
     return "\n\n".join(blocks)
 
 
-def _render_acceptance(campaign) -> str:
-    """Acceptance ratios of a ``schedulability`` campaign, grouped over reps."""
-    buckets: dict[tuple, list] = {}
-    for spec, result in campaign.rows():
-        if spec.experiment != "schedulability":
-            continue
-        key = tuple(
-            (k, v)
-            for k, v in sorted(spec.params.items())
-            if k not in ("rep", "taskset", "partition")
-        )
-        buckets.setdefault(key, []).append(result)
-    if not buckets:
+def _render_acceptance(aggregator) -> str:
+    """Acceptance ratios of a ``schedulability`` campaign, grouped over reps.
+
+    Rendered from the streamed ``acceptance_*`` curve aggregates (exact
+    rational means), not from materialized per-point results.
+    """
+    feasible = aggregator["acceptance_feasible"]
+    partitioned = aggregator["acceptance_partitioned"]
+    items = sorted(
+        feasible.items(), key=lambda item: [axis_sort_token(v) for _, v in item[0]]
+    )
+    if not items:
         return ""
-    keys = [k for k, _ in next(iter(buckets))]
+    keys = [k for k, _ in items[0][0]]
     rows = []
-    for key, results in buckets.items():
-        n = len(results)
+    for key, acc in items:
         rows.append(
             [_fmt(v) for _, v in key]
             + [
-                n,
-                f"{sum(r['partitioned'] for r in results) / n:.2f}",
-                f"{sum(r['feasible'] for r in results) / n:.2f}",
+                acc.count,
+                f"{partitioned.bin(key).mean:.2f}",
+                f"{acc.mean:.2f}",
             ]
         )
     return "acceptance ratios (over reps):\n" + format_table(
@@ -295,56 +361,147 @@ def _render_acceptance(campaign) -> str:
     )
 
 
-def cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.experiments.figure4 import figure4_points_from_results
-    from repro.experiments.table2 import table2_from_results
-    from repro.runner import CampaignError, run_campaign
+def _render_weighted(aggregator) -> str:
+    """The weighted preset's paper-style curve tables + scalar summary."""
+    from repro.experiments.weighted import weighted_curve_rows
+    from repro.viz import format_curve_pivot
 
+    blocks = []
+    headers, rows = weighted_curve_rows(
+        aggregator, "weighted_feasible", ["u_total", "n", "H"]
+    )
+    if rows:
+        blocks.append(
+            "weighted schedulability (utilization-weighted acceptance):\n"
+            + format_curve_pivot(headers, rows, x="u_total")
+        )
+    headers, rows = weighted_curve_rows(
+        aggregator, "weighted_partitioned", ["u_total", "n", "H"]
+    )
+    if rows:
+        blocks.append(
+            "weighted partitioning success:\n"
+            + format_curve_pivot(headers, rows, x="u_total")
+        )
+    headers, rows = weighted_curve_rows(
+        aggregator, "fault_coverage", ["rate", "u_total"]
+    )
+    if rows:
+        blocks.append(
+            "weighted fault coverage (zero FT-miss campaigns):\n"
+            + format_curve_pivot(headers, rows, x="rate")
+        )
+    summary = aggregator.summary()
+    scalars = {
+        "feasible_ratio": summary["feasible_ratio"]["mean"],
+        "partitioned_ratio": summary["partitioned_ratio"]["mean"],
+        "slack_ratio_p50": summary["slack_ratio"]["p50"],
+        "max_period": summary["period"]["max"],
+    }
+    blocks.append(
+        "summary: "
+        + "  ".join(
+            f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in scalars.items()
+        )
+    )
+    return "\n\n".join(blocks)
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.figure4 import figure4_points_from_aggregate
+    from repro.experiments.table2 import table2_from_aggregate
+    from repro.runner import CampaignError, SnapshotError, stream_campaign
+
+    args.preset = args.preset_flag or args.preset_pos
+    if args.preset_pos and args.preset_flag and args.preset_pos != args.preset_flag:
+        raise SystemExit(
+            f"conflicting presets: {args.preset_pos!r} vs --preset "
+            f"{args.preset_flag!r}"
+        )
+    if args.preset is None:
+        raise SystemExit("campaign: a preset is required (see --help)")
     try:
         specs = _campaign_specs(args)
     except ValueError as exc:
         print(f"campaign failed: {exc}")
         return 1
+    aggregator = _preset_aggregator(args.preset)
+    # The per-point renderings (and --out/--json) need materialized rows;
+    # the aggregate-rendered presets stream in O(accumulators) memory.
+    collect = bool(args.out or args.json) or args.preset in (
+        "sched", "faults", "ablations"
+    )
+    state_path = args.state
+    if state_path is None and args.cache_dir is not None:
+        # The default snapshot is fingerprinted by the *spec set* too: a
+        # different --axis grid must not resume into (and render) bins
+        # folded by a previous grid. Deliberate incremental extension of a
+        # sweep uses an explicit --state path instead.
+        import hashlib
+
+        grid = hashlib.sha256(
+            "\n".join(sorted(s.digest for s in specs)).encode("utf-8")
+        ).hexdigest()[:16]
+        state_path = (
+            Path(args.cache_dir)
+            / "aggregates"
+            / f"{args.preset}-s{args.seed}"
+            f"-{aggregator.config_digest[:16]}-g{grid}.json"
+        )
     show_progress = (
         args.progress
         if args.progress is not None
         else sys.stderr.isatty()
     )
     try:
-        campaign = run_campaign(
+        streamed = stream_campaign(
             specs,
+            aggregator,
             workers=args.workers,
             master_seed=args.seed,
             cache_dir=args.cache_dir,
+            state_path=state_path,
+            collect=collect,
             progress=show_progress,
+            # The weighted sweep spans infeasible corners of the generator
+            # space (a generated set may not even partition); those points
+            # are recorded as errors and excluded from the aggregate.
+            on_error="store" if args.preset == "weighted" else "raise",
         )
-    except (CampaignError, OSError) as exc:
+    except (CampaignError, SnapshotError, OSError) as exc:
         print(f"campaign failed: {exc}")
         return 1
     if args.out:
-        Path(args.out).write_text(campaign.to_json())
+        Path(args.out).write_text(streamed.to_json())
+    if args.agg_out:
+        Path(args.agg_out).write_text(streamed.aggregate_json())
     if args.json:
-        print(campaign.to_json())
+        print(streamed.to_json())
     elif args.preset == "table2":
-        print(table2_from_results(campaign.results).render())
+        print(table2_from_aggregate(streamed.aggregator).render())
     elif args.preset == "figure4":
-        pts = figure4_points_from_results(campaign.results)
+        pts = figure4_points_from_aggregate(streamed.aggregator)
         print("Figure 4 points (paper values in brackets):")
         print(f"  1. max P, EDF, Otot=0    : {pts.point1_max_period_edf:.3f}  [3.176]")
         print(f"  2. max P, RM,  Otot=0    : {pts.point2_max_period_rm:.3f}  [2.381]")
         print(f"  3. max Otot, EDF         : {pts.point3_max_overhead_edf:.3f}  [0.201]")
         print(f"  4. max Otot, RM          : {pts.point4_max_overhead_rm:.3f}  [0.129]")
         print(f"  5. max P, EDF, Otot=0.05 : {pts.point5_max_period_edf_otot:.3f}  [2.966]")
+    elif args.preset == "weighted":
+        print(_render_weighted(streamed.aggregator))
     else:
-        print(_render_campaign(campaign))
+        print(_render_campaign(streamed))
         if args.preset == "sched":
             print()
-            print(_render_acceptance(campaign))
-    s = campaign.stats
+            print(_render_acceptance(streamed.aggregator))
+    s = streamed.stats
+    extra = f", {s.errors} failed" if s.errors else ""
     print(
         f"[campaign] {s.total} points ({s.unique} unique): "
         f"{s.computed} computed, {s.cached} cached in {s.elapsed:.2f}s "
-        f"with {s.workers} worker(s)",
+        f"with {s.workers} worker(s); aggregate: {s.folded} folded, "
+        f"{s.skipped} resumed{extra}",
         file=sys.stderr,
     )
     return 0
@@ -421,9 +578,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an experiment campaign through the parallel runner",
     )
     p.add_argument(
-        "preset",
-        choices=["table2", "figure4", "ablations", "sched", "faults"],
+        "preset_pos",
+        nargs="?",
+        metavar="preset",
+        choices=list(_PRESETS),
         help="which campaign to run",
+    )
+    p.add_argument(
+        "--preset", dest="preset_flag", choices=list(_PRESETS), default=None,
+        help="flag form of the positional preset",
     )
     p.add_argument(
         "--workers", type=int, default=None,
@@ -437,11 +600,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--axis", action="append", metavar="KEY=V1,V2,...",
-        help="override/add a grid axis (sched/faults presets; repeatable)",
+        help="override/add a grid axis (sched/faults/weighted presets; "
+             "repeatable)",
     )
     p.add_argument(
         "--out", default=None,
         help="write canonical spec/result JSON to this file",
+    )
+    p.add_argument(
+        "--agg-out", default=None,
+        help="write the canonical aggregate-state JSON to this file",
+    )
+    p.add_argument(
+        "--state", default=None,
+        help="aggregate snapshot for incremental resume (default: under "
+             "--cache-dir/aggregates)",
     )
     p.add_argument(
         "--json", action="store_true",

@@ -6,7 +6,10 @@
 * :mod:`repro.experiments.table2` — the three Table 2 rows;
 * :mod:`repro.experiments.ablations` — the extra studies indexed in
   DESIGN.md (exact supply vs linear bound, EDF vs RM, partitioning
-  heuristics, overhead sensitivity).
+  heuristics, overhead sensitivity);
+* :mod:`repro.experiments.weighted` — the weighted-schedulability sweep
+  over the generator parameter space, streamed through the aggregation
+  layer (:mod:`repro.runner.aggregate`).
 
 Examples, tests and benchmarks all call into this package so the numbers
 reported anywhere in the repository come from a single implementation.
@@ -22,6 +25,8 @@ from repro.experiments.paper import (
 from repro.experiments.figure4 import (
     Figure4Points,
     compute_figure4_points,
+    figure4_aggregator,
+    figure4_points_from_aggregate,
     figure4_points_from_results,
     figure4_series,
     figure4_specs,
@@ -30,8 +35,16 @@ from repro.experiments.table2 import (
     Table2,
     Table2Row,
     compute_table2,
+    table2_aggregator,
+    table2_from_aggregate,
     table2_from_results,
     table2_specs,
+)
+from repro.experiments.weighted import (
+    compute_weighted,
+    weighted_aggregator,
+    weighted_curve_rows,
+    weighted_specs,
 )
 
 __all__ = [
@@ -42,12 +55,20 @@ __all__ = [
     "PAPER_OTOT",
     "figure4_series",
     "figure4_specs",
+    "figure4_aggregator",
+    "figure4_points_from_aggregate",
     "figure4_points_from_results",
     "compute_figure4_points",
     "Figure4Points",
     "compute_table2",
+    "table2_aggregator",
+    "table2_from_aggregate",
     "table2_specs",
     "table2_from_results",
     "Table2",
     "Table2Row",
+    "compute_weighted",
+    "weighted_aggregator",
+    "weighted_curve_rows",
+    "weighted_specs",
 ]

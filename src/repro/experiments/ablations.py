@@ -14,10 +14,12 @@ benchmark harness and tests:
 * :func:`slot_splitting_gain` — the future-work idea of serving a mode with
   several smaller quanta per period (supply-delay improvement).
 
-All five are campaign grids: the former ad-hoc serial loops now expand into
-``ablate-*`` point specs evaluated by :func:`repro.runner.run_campaign`, so
-every study inherits the runner's parallelism, caching and per-point
-determinism. Pass ``workers``/``cache_dir`` to fan a study out.
+All five are campaign grids: the former ad-hoc serial loops expand into
+``ablate-*`` point specs streamed through
+:func:`repro.runner.stream_campaign`, so every study inherits the runner's
+parallelism, caching and per-point determinism and folds into the shared
+:func:`ablation_aggregator` summary. Pass ``workers``/``cache_dir`` to fan
+a study out.
 """
 
 from __future__ import annotations
@@ -29,20 +31,101 @@ from typing import Any, Mapping, Sequence
 from repro.experiments.paper import paper_partition
 from repro.model import Mode, PartitionedTaskSet, TaskSet
 from repro.runner import (
+    Aggregator,
     PointSpec,
+    StreamResult,
+    curve_metric,
     grid_specs,
+    mean_metric,
     partition_params,
-    run_campaign,
+    slot_metric,
+    stream_campaign,
     taskset_params,
 )
 
-_CampaignKw = dict[str, Any]
+
+def ablation_aggregator() -> Aggregator:
+    """Streaming summary of the ablation studies.
+
+    Every driver folds its points through these metrics (each filtered to
+    its own experiment, so partial spec lists fold cleanly): the mean
+    linear-vs-exact quantum over-allocation, the max-period-vs-overhead
+    curve, the per-pieces slot-splitting delay curve, and named slots for
+    the per-algorithm region figures and per-strategy partitioning quality.
+    """
+
+    def gap_ratio(params: dict, result: Any) -> float | None:
+        exact = result["minq_exact"]
+        if exact <= 0:
+            return None
+        return (result["minq_linear"] - exact) / exact
+
+    return Aggregator(
+        [
+            mean_metric(
+                "minq_gap_ratio", gap_ratio, experiment="ablate-minq-gap"
+            ),
+            curve_metric(
+                "overhead_curve", "otot", "max_period",
+                experiment="ablate-overhead",
+            ),
+            curve_metric(
+                "slot_split_delay", "pieces", "delay",
+                experiment="ablate-slot-split",
+            ),
+            slot_metric(
+                "regions",
+                lambda spec: spec.params["algorithm"],
+                experiment="ablate-region",
+            ),
+            slot_metric(
+                "partitioning",
+                lambda spec: spec.params["strategy"],
+                experiment="ablate-partitioning",
+            ),
+        ]
+    )
 
 
-def _campaign_kwargs(
-    workers: int | None, cache_dir: str | os.PathLike | None
-) -> _CampaignKw:
-    return {"workers": workers, "cache_dir": cache_dir}
+def ablation_summary(
+    *,
+    workers: int | None = 1,
+    cache_dir: str | os.PathLike | None = None,
+    state_path: str | os.PathLike | None = None,
+) -> Aggregator:
+    """Stream every default ablation point into the summary aggregate.
+
+    The O(accumulators) companion to the per-row drivers below: no point
+    results are materialized, and with ``state_path`` the fold resumes
+    incrementally (this is also what the CLI ``ablations`` preset folds).
+    """
+    return stream_campaign(
+        ablation_specs(),
+        ablation_aggregator(),
+        workers=workers,
+        cache_dir=cache_dir,
+        state_path=state_path,
+    ).aggregator
+
+
+def _stream(
+    specs: list[PointSpec],
+    workers: int | None,
+    cache_dir: str | os.PathLike | None,
+) -> StreamResult:
+    """Run one ablation campaign, materializing its rows.
+
+    The drivers' public API is per-row dataclasses, so they collect; the
+    aggregator is empty here — aggregate consumers go through
+    :func:`ablation_summary` instead of paying for folds nobody reads.
+    """
+    return stream_campaign(
+        specs,
+        Aggregator([]),
+        workers=workers,
+        cache_dir=cache_dir,
+        collect=True,
+    )
 
 
 @dataclass(frozen=True)
@@ -96,10 +179,7 @@ def exact_vs_linear_gap(
     cache_dir: str | os.PathLike | None = None,
 ) -> list[ExactVsLinearRow]:
     """Per-mode minQ gap between linear-bound and exact supply analysis."""
-    campaign = run_campaign(
-        exact_vs_linear_specs(partition, periods, algorithm),
-        **_campaign_kwargs(workers, cache_dir),
-    )
+    campaign = _stream(exact_vs_linear_specs(partition, periods, algorithm), workers, cache_dir)
     return [
         ExactVsLinearRow(
             label=(
@@ -141,10 +221,7 @@ def edf_vs_rm_regions(
     cache_dir: str | os.PathLike | None = None,
 ) -> list[RegionComparison]:
     """EDF vs RM on the same partition (EDF must dominate, cf. Fig. 4)."""
-    campaign = run_campaign(
-        edf_vs_rm_specs(partition),
-        **_campaign_kwargs(workers, cache_dir),
-    )
+    campaign = _stream(edf_vs_rm_specs(partition), workers, cache_dir)
     return [
         RegionComparison(algorithm=spec.params["algorithm"], **result)
         for spec, result in campaign.rows()
@@ -194,10 +271,7 @@ def partitioning_comparison(
     cache_dir: str | os.PathLike | None = None,
 ) -> list[PartitionComparison]:
     """Manual Section-4 partition vs automatic bin-packing heuristics."""
-    campaign = run_campaign(
-        partitioning_specs(taskset, algorithm, heuristics),
-        **_campaign_kwargs(workers, cache_dir),
-    )
+    campaign = _stream(partitioning_specs(taskset, algorithm, heuristics), workers, cache_dir)
     return [
         PartitionComparison(strategy=spec.params["strategy"], **result)
         for spec, result in campaign.rows()
@@ -234,10 +308,7 @@ def overhead_sensitivity(
     cache_dir: str | os.PathLike | None = None,
 ) -> list[OverheadPoint]:
     """Max feasible period as switching overhead grows (None = infeasible)."""
-    campaign = run_campaign(
-        overhead_specs(partition, algorithm, otots),
-        **_campaign_kwargs(workers, cache_dir),
-    )
+    campaign = _stream(overhead_specs(partition, algorithm, otots), workers, cache_dir)
     return [
         OverheadPoint(spec.params["otot"], result["max_period"])
         for spec, result in campaign.rows()
@@ -267,10 +338,7 @@ def slot_splitting_gain(
     ``P − Q̃`` towards ``(P − Q̃)/k``, enlarging the feasible space for
     short-deadline tasks.
     """
-    campaign = run_campaign(
-        slot_split_specs(period, budget, pieces_list),
-        **_campaign_kwargs(workers, cache_dir),
-    )
+    campaign = _stream(slot_split_specs(period, budget, pieces_list), workers, cache_dir)
     return [
         SlotSplitRow(pieces=spec.params["pieces"], **result)
         for spec, result in campaign.rows()

@@ -18,7 +18,13 @@ import numpy as np
 from repro.core import FeasibleRegion
 from repro.experiments.paper import PAPER_OTOT, paper_partition
 from repro.model import PartitionedTaskSet
-from repro.runner import PointSpec, partition_params, run_campaign
+from repro.runner import (
+    Aggregator,
+    PointSpec,
+    partition_params,
+    slot_metric,
+    stream_campaign,
+)
 
 #: Sweep parameters used by the paper's figure (and the annotated points).
 _P_MAX = 3.5
@@ -92,6 +98,31 @@ def figure4_points_from_results(
     return Figure4Points(*(r["value"] for r in results), otot=otot)
 
 
+def _slot_key(spec: PointSpec) -> str:
+    p = spec.params
+    return f"{p['query']}/{p['algorithm']}/otot={p.get('otot', 'peak')}"
+
+
+def figure4_aggregator() -> Aggregator:
+    """Streaming aggregate of the figure: one named slot per point."""
+    return Aggregator([slot_metric("points", _slot_key)])
+
+
+def figure4_points_from_aggregate(
+    aggregator: Aggregator, otot: float = PAPER_OTOT
+) -> Figure4Points:
+    """Rebuild the five points from a folded :func:`figure4_aggregator`."""
+    points = aggregator["points"]
+    order = [
+        "max-period/EDF/otot=0.0",
+        "max-period/RM/otot=0.0",
+        "max-overhead/EDF/otot=peak",
+        "max-overhead/RM/otot=peak",
+        f"max-period/EDF/otot={otot}",
+    ]
+    return Figure4Points(*(points[k]["value"] for k in order), otot=otot)
+
+
 def compute_figure4_points(
     partition: PartitionedTaskSet | None = None,
     otot: float = PAPER_OTOT,
@@ -99,10 +130,15 @@ def compute_figure4_points(
     workers: int | None = 1,
     cache_dir: str | os.PathLike | None = None,
 ) -> Figure4Points:
-    """Compute the five annotated points of Figure 4."""
-    campaign = run_campaign(
+    """Compute the five annotated points of Figure 4.
+
+    Streams through the aggregation layer (named point slots), identical
+    results to the former materialized campaign.
+    """
+    streamed = stream_campaign(
         figure4_specs(partition, otot),
+        figure4_aggregator(),
         workers=workers,
         cache_dir=cache_dir,
     )
-    return figure4_points_from_results(campaign.results, otot=otot)
+    return figure4_points_from_aggregate(streamed.aggregator, otot=otot)

@@ -28,6 +28,23 @@ Caching contract
 See ``docs/campaigns.md`` for the user-facing guide.
 """
 
+from repro.runner.aggregate import (
+    Accumulator,
+    Aggregator,
+    CurveAccumulator,
+    ExtremaAccumulator,
+    HistogramSketch,
+    MeanAccumulator,
+    Metric,
+    SlotAccumulator,
+    WeightedMeanAccumulator,
+    accumulator_from_state,
+    curve_metric,
+    extrema_metric,
+    histogram_metric,
+    mean_metric,
+    slot_metric,
+)
 from repro.runner.cache import ResultCache
 from repro.runner.engine import (
     CampaignError,
@@ -47,26 +64,57 @@ from repro.runner.points import (
 )
 from repro.runner.progress import ProgressReporter
 from repro.runner.spec import PointSpec, canonical_json, point_seed
+from repro.runner.stream import (
+    SnapshotError,
+    StreamResult,
+    StreamStats,
+    fold_rows,
+    load_snapshot,
+    save_snapshot,
+    stream_campaign,
+)
 
 __all__ = [
+    "Accumulator",
+    "Aggregator",
     "CampaignError",
     "CampaignResult",
     "CampaignStats",
+    "CurveAccumulator",
+    "ExtremaAccumulator",
+    "HistogramSketch",
+    "MeanAccumulator",
+    "Metric",
     "PointSpec",
     "ProgressReporter",
     "ResultCache",
+    "SlotAccumulator",
+    "SnapshotError",
+    "StreamResult",
+    "StreamStats",
+    "WeightedMeanAccumulator",
+    "accumulator_from_state",
     "canonical_json",
+    "curve_metric",
     "default_workers",
     "expand_grid",
     "experiment",
     "experiments",
+    "extrema_metric",
+    "fold_rows",
     "get_experiment",
     "grid_specs",
+    "histogram_metric",
+    "load_snapshot",
+    "mean_metric",
     "parse_axes",
     "parse_axis",
     "partition_params",
     "point_seed",
     "run_campaign",
+    "save_snapshot",
+    "slot_metric",
+    "stream_campaign",
     "sweep",
     "taskset_params",
 ]

@@ -42,6 +42,12 @@ class ResultCache:
             record = json.loads(path.read_text())
         except (OSError, ValueError):
             return None
+        # A truncated or overwritten file can parse to a non-dict (e.g. a
+        # bare number cut from a larger record) — that's a miss too, so a
+        # corrupt entry is recomputed and overwritten mid-campaign instead
+        # of crashing it.
+        if not isinstance(record, dict):
+            return None
         if (
             record.get("schema") != CACHE_SCHEMA
             or record.get("canonical") != spec.canonical

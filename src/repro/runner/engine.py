@@ -25,9 +25,8 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, TextIO
+from typing import Any, Callable, Iterable, Mapping, TextIO
 
-from repro.runner.cache import ResultCache
 from repro.runner.grid import grid_specs
 from repro.runner.points import get_experiment
 from repro.runner.progress import ProgressReporter
@@ -102,6 +101,60 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
+def execute_points(
+    todo: list[PointSpec],
+    workers: int,
+    master_seed: int,
+    finish: "Callable[[PointSpec, bool, Any, float], None]",
+    on_abort: "Callable[[], None] | None" = None,
+) -> None:
+    """Evaluate ``todo`` sequentially or via a process pool.
+
+    The shared execution core of :func:`run_campaign` and
+    :func:`repro.runner.stream.stream_campaign`: calls ``finish(spec, ok,
+    result, elapsed)`` as each point completes (any order in pool mode).
+    If ``finish`` raises :class:`CampaignError`, queued points are
+    cancelled and ``on_abort`` runs before the error propagates — both
+    paths, so e.g. snapshot flushing behaves identically at any worker
+    count.
+    """
+    if not todo:
+        return
+    if workers == 1 or len(todo) == 1:
+        try:
+            for spec in todo:
+                ok, result, elapsed = evaluate_point(
+                    (spec.experiment, spec.params, master_seed)
+                )
+                finish(spec, ok, result, elapsed)
+        except CampaignError:
+            if on_abort is not None:
+                on_abort()
+            raise
+        return
+    with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
+        futures = {
+            pool.submit(
+                evaluate_point, (spec.experiment, spec.params, master_seed)
+            ): spec
+            for spec in todo
+        }
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    ok, result, elapsed = future.result()
+                    finish(futures[future], ok, result, elapsed)
+        except CampaignError:
+            # Don't let the context-manager exit block on the whole
+            # remaining campaign: drop every queued point first.
+            pool.shutdown(wait=False, cancel_futures=True)
+            if on_abort is not None:
+                on_abort()
+            raise
+
+
 def run_campaign(
     specs: Iterable[PointSpec],
     *,
@@ -133,97 +186,26 @@ def run_campaign(
         ``"store"`` records ``{"error": message}`` as that point's result
         (never cached) and keeps going.
     """
-    if on_error not in ("raise", "store"):
-        raise ValueError(f"on_error must be 'raise' or 'store': got {on_error!r}")
-    specs = list(specs)
-    for spec in specs:
-        get_experiment(spec.experiment)  # fail fast on unknown experiments
-    workers = default_workers() if workers is None else max(1, int(workers))
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
-    start = time.monotonic()
+    # A materialized campaign is a streamed one that folds into nothing
+    # and keeps every result; the streaming module owns the engine loop.
+    from repro.runner.aggregate import Aggregator
+    from repro.runner.stream import stream_campaign
 
-    # Deduplicate by digest; evaluation works on unique points only.
-    unique: dict[str, PointSpec] = {}
-    for spec in specs:
-        unique.setdefault(spec.digest, spec)
-
-    reporter: ProgressReporter | None
-    if isinstance(progress, ProgressReporter):
-        reporter = progress
-    elif progress:
-        reporter = ProgressReporter(len(unique), stream=progress_stream)
-    else:
-        reporter = None
-
-    results: dict[str, Any] = {}
-    cached = 0
-    if cache is not None:
-        for digest, spec in unique.items():
-            hit = cache.get(spec, master_seed)
-            if hit is not None:
-                results[digest] = hit
-                cached += 1
-                if reporter:
-                    reporter.update(cached=True)
-
-    todo = [spec for digest, spec in unique.items() if digest not in results]
-    errors = 0
-
-    def finish(spec: PointSpec, ok: bool, result: Any, elapsed: float) -> None:
-        nonlocal errors
-        if ok:
-            results[spec.digest] = result
-            if cache is not None:
-                cache.put(spec, master_seed, result, elapsed=elapsed)
-            if reporter:
-                reporter.update()
-            return
-        if on_error == "raise":
-            raise CampaignError(spec, result)
-        errors += 1
-        results[spec.digest] = {"error": result}
-        if reporter:
-            reporter.update(error=True)
-
-    if todo and (workers == 1 or len(todo) == 1):
-        for spec in todo:
-            ok, result, elapsed = evaluate_point(
-                (spec.experiment, spec.params, master_seed)
-            )
-            finish(spec, ok, result, elapsed)
-    elif todo:
-        with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
-            futures = {
-                pool.submit(
-                    evaluate_point, (spec.experiment, spec.params, master_seed)
-                ): spec
-                for spec in todo
-            }
-            pending = set(futures)
-            try:
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        ok, result, elapsed = future.result()
-                        finish(futures[future], ok, result, elapsed)
-            except CampaignError:
-                # Don't let the context-manager exit block on the whole
-                # remaining campaign: drop every queued point first.
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
-
+    streamed = stream_campaign(
+        specs,
+        Aggregator([]),
+        workers=workers,
+        master_seed=master_seed,
+        cache_dir=cache_dir,
+        collect=True,
+        progress=progress,
+        progress_stream=progress_stream,
+        on_error=on_error,
+    )
     return CampaignResult(
-        specs=specs,
-        results=[results[spec.digest] for spec in specs],
-        stats=CampaignStats(
-            total=len(specs),
-            unique=len(unique),
-            computed=len(unique) - cached - errors,
-            cached=cached,
-            errors=errors,
-            elapsed=time.monotonic() - start,
-            workers=workers,
-        ),
+        specs=streamed.specs,
+        results=streamed.results,
+        stats=streamed.stats,  # StreamStats is-a (frozen) CampaignStats
     )
 
 
@@ -247,6 +229,7 @@ __all__ = [
     "CampaignStats",
     "default_workers",
     "evaluate_point",
+    "execute_points",
     "run_campaign",
     "sweep",
 ]

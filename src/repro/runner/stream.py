@@ -1,0 +1,343 @@
+"""Streaming campaign execution: fold results as points complete.
+
+:func:`run_campaign` materializes every point result — fine for the paper's
+worked example, fatal for million-point sweeps. :func:`stream_campaign`
+runs the same deterministic engine but hands each finished point straight to
+an :class:`~repro.runner.aggregate.Aggregator` and forgets it, so peak
+memory is O(accumulators + in-flight points), not O(points).
+
+Because every accumulator is exact and order-insensitive (see
+:mod:`repro.runner.aggregate`), the final aggregate is **bit-identical**
+for any worker count, completion order, or cache state.
+
+Snapshot persistence
+--------------------
+With a ``state_path`` (the CLI defaults it to ``<cache-dir>/aggregates/``),
+the aggregate is periodically persisted as one canonical-JSON snapshot
+recording the accumulator states plus the digests of every point already
+folded. An interrupted or extended sweep resumes incrementally: points in
+the snapshot are *skipped outright* — no recomputation, no cache read, no
+re-fold — and only new points are evaluated and folded. Snapshots are keyed
+by the aggregator's config digest and the campaign master seed, so a stale
+snapshot (changed metrics, changed seed) is rejected instead of silently
+merged into.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, TextIO
+
+from repro.runner.aggregate import Aggregator
+from repro.runner.cache import ResultCache
+from repro.runner.engine import (
+    CampaignError,
+    CampaignStats,
+    default_workers,
+    execute_points,
+)
+from repro.runner.points import get_experiment
+from repro.runner.progress import ProgressReporter
+from repro.runner.spec import PointSpec, canonical_json
+
+#: Bump when the snapshot layout changes; old snapshots are rejected.
+SNAPSHOT_SCHEMA = 1
+
+#: Persist the snapshot at least every this many newly folded points. Each
+#: flush rewrites the whole snapshot (aggregate + folded digests), so the
+#: effective interval scales with campaign size — max(this, unique/64) —
+#: to keep total snapshot I/O linear-ish instead of quadratic in points.
+_FLUSH_EVERY = 256
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot exists but cannot be resumed into this campaign."""
+
+
+@dataclass(frozen=True)
+class StreamStats(CampaignStats):
+    """Engine bookkeeping plus the streaming-specific counters."""
+
+    folded: int = 0
+    skipped: int = 0
+
+
+@dataclass
+class StreamResult:
+    """What a streaming campaign returns: the aggregate, not the points."""
+
+    aggregator: Aggregator
+    stats: StreamStats
+    specs: list[PointSpec]
+    #: Per-spec results, only populated with ``collect=True`` (CLI ``--out``).
+    results: list[Any] | None = None
+
+    def rows(self) -> list[tuple[PointSpec, Any]]:
+        """``(spec, result)`` pairs — requires ``collect=True``."""
+        if self.results is None:
+            raise ValueError("stream_campaign(collect=False) kept no results")
+        return list(zip(self.specs, self.results))
+
+    def to_json(self) -> str:
+        """Canonical spec/result JSON (``collect=True`` runs only)."""
+        return canonical_json(
+            [{"spec": s.to_dict(), "result": r} for s, r in self.rows()]
+        )
+
+    def aggregate_json(self) -> str:
+        """Canonical JSON of the aggregate state — the bytes CI diffs."""
+        return canonical_json(self.aggregator.state_dict())
+
+
+def load_snapshot(
+    path: str | os.PathLike,
+    aggregator: Aggregator,
+    master_seed: int,
+) -> tuple[set[str], set[str]]:
+    """Resume ``aggregator`` from a snapshot; returns (folded, failed) digests.
+
+    A missing or unreadable/corrupt snapshot starts fresh (empty sets); a
+    *readable* snapshot with a mismatched schema, master seed, or aggregator
+    shape raises :class:`SnapshotError` — silently dropping or merging an
+    incompatible aggregate would corrupt the resumed campaign.
+    """
+    path = Path(path)
+    try:
+        snap = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return set(), set()
+    if not isinstance(snap, dict):
+        return set(), set()
+    if snap.get("schema") != SNAPSHOT_SCHEMA:
+        raise SnapshotError(
+            f"snapshot {path} has schema {snap.get('schema')!r}, "
+            f"expected {SNAPSHOT_SCHEMA}"
+        )
+    if snap.get("master_seed") != master_seed:
+        raise SnapshotError(
+            f"snapshot {path} was built with master seed "
+            f"{snap.get('master_seed')!r}, not {master_seed}"
+        )
+    if snap.get("config") != aggregator.config_digest:
+        raise SnapshotError(
+            f"snapshot {path} does not match this aggregator's shape "
+            f"(config digest mismatch)"
+        )
+    aggregator.load_state(snap["aggregate"])
+    return set(snap["folded"]), set(snap.get("failed", []))
+
+
+def save_snapshot(
+    path: str | os.PathLike,
+    aggregator: Aggregator,
+    master_seed: int,
+    folded: set[str],
+    failed: set[str] = frozenset(),  # type: ignore[assignment]
+) -> None:
+    """Atomically persist the aggregate + folded/failed point digests."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    snap = {
+        "schema": SNAPSHOT_SCHEMA,
+        "master_seed": master_seed,
+        "config": aggregator.config_digest,
+        "folded": sorted(folded),
+        "failed": sorted(failed),
+        "aggregate": aggregator.state_dict(),
+    }
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(canonical_json(snap))
+    os.replace(tmp, path)
+
+
+def stream_campaign(
+    specs: Iterable[PointSpec],
+    aggregator: Aggregator,
+    *,
+    workers: int | None = 1,
+    master_seed: int = 0,
+    cache_dir: str | os.PathLike | None = None,
+    state_path: str | os.PathLike | None = None,
+    collect: bool = False,
+    progress: bool | ProgressReporter = False,
+    progress_stream: TextIO | None = None,
+    on_error: str = "raise",
+) -> StreamResult:
+    """Run a campaign, folding each finished point into ``aggregator``.
+
+    Same execution contract as :func:`~repro.runner.engine.run_campaign`
+    (determinism, caching, dedup) with three differences:
+
+    * results are folded and dropped — set ``collect=True`` to also keep
+      the aligned per-spec result list (back to O(points) memory);
+    * with ``state_path``, aggregation itself is resumable: already-folded
+      points are skipped without touching cache or pool;
+    * failing points are never folded or cached. ``on_error="store"``
+      records ``{"error": ...}`` in the collected results (if any), keeps
+      going, and persists the failing digests in the snapshot — a resumed
+      ``store`` run skips known failures instead of re-evaluating them
+      (deterministic points fail identically every time).
+    """
+    if on_error not in ("raise", "store"):
+        raise ValueError(f"on_error must be 'raise' or 'store': got {on_error!r}")
+    specs = list(specs)
+    for spec in specs:
+        get_experiment(spec.experiment)  # fail fast on unknown experiments
+    workers = default_workers() if workers is None else max(1, int(workers))
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    start = time.monotonic()
+
+    unique: dict[str, PointSpec] = {}
+    for spec in specs:
+        unique.setdefault(spec.digest, spec)
+
+    folded: set[str] = set()
+    failed: set[str] = set()
+    if state_path is not None:
+        folded, failed = load_snapshot(state_path, aggregator, master_seed)
+    already_folded = folded & set(unique)
+    resumed_failed = 0
+
+    reporter: ProgressReporter | None
+    if isinstance(progress, ProgressReporter):
+        reporter = progress
+    elif progress:
+        reporter = ProgressReporter(len(unique), stream=progress_stream)
+    else:
+        reporter = None
+
+    collected: dict[str, Any] | None = {} if collect else None
+    cached = computed = errors = 0
+    new_folds = 0
+    flush_every = max(_FLUSH_EVERY, len(unique) // 64)
+
+    def flush(force: bool = False) -> None:
+        nonlocal new_folds
+        if state_path is None:
+            return
+        if force or new_folds >= flush_every:
+            save_snapshot(state_path, aggregator, master_seed, folded, failed)
+            new_folds = 0
+
+    def finish(spec: PointSpec, ok: bool, result: Any) -> None:
+        nonlocal errors, new_folds
+        if not ok:
+            if on_error == "raise":
+                raise CampaignError(spec, result)
+            errors += 1
+            if spec.digest not in failed:
+                failed.add(spec.digest)
+                new_folds += 1
+                flush()
+            if collected is not None:
+                collected[spec.digest] = {"error": result}
+            if reporter:
+                reporter.update(error=True)
+            return
+        if collected is not None:
+            collected[spec.digest] = result
+        if spec.digest not in folded:
+            aggregator.fold(spec, result)
+            folded.add(spec.digest)
+            new_folds += 1
+            flush()
+        if reporter:
+            reporter.update()
+
+    # Points already in the snapshot are done: no cache read, no compute,
+    # no re-fold. Known-failed points are skipped the same way in "store"
+    # mode (deterministic evaluation fails identically on every re-run).
+    # Both shortcuts are off when the caller wants the raw results back.
+    todo: list[PointSpec] = []
+    for digest, spec in unique.items():
+        if digest in folded and collected is None:
+            if reporter:
+                reporter.update(cached=True)
+            continue
+        if digest in failed and collected is None and on_error == "store":
+            errors += 1
+            resumed_failed += 1
+            if reporter:
+                reporter.update(error=True)
+            continue
+        hit = cache.get(spec, master_seed) if cache is not None else None
+        if hit is not None:
+            cached += 1
+            if collected is not None:
+                collected[digest] = hit
+            if digest not in folded:
+                aggregator.fold(spec, hit)
+                folded.add(digest)
+                new_folds += 1
+                flush()
+            if reporter:
+                reporter.update(cached=True)
+        else:
+            todo.append(spec)
+
+    def on_complete(spec: PointSpec, ok: bool, result: Any, elapsed: float) -> None:
+        if ok and cache is not None:
+            cache.put(spec, master_seed, result, elapsed=elapsed)
+        finish(spec, ok, result)
+
+    computed = len(todo)
+    execute_points(
+        todo,
+        workers,
+        master_seed,
+        on_complete,
+        # persist what has been folded so far even when a point aborts the
+        # campaign — a resumed run then skips everything already aggregated
+        on_abort=lambda: flush(force=True),
+    )
+
+    flush(force=True)
+    computed -= errors - resumed_failed
+
+    results: list[Any] | None = None
+    if collected is not None:
+        results = [collected[spec.digest] for spec in specs]
+
+    return StreamResult(
+        aggregator=aggregator,
+        specs=specs,
+        results=results,
+        stats=StreamStats(
+            total=len(specs),
+            unique=len(unique),
+            computed=computed,
+            cached=cached,
+            errors=errors,
+            elapsed=time.monotonic() - start,
+            workers=workers,
+            folded=len(folded & set(unique)) - len(already_folded),
+            skipped=len(already_folded) + resumed_failed,
+        ),
+    )
+
+
+def fold_rows(
+    aggregator: Aggregator, rows: Iterable[tuple[PointSpec, Any]]
+) -> Aggregator:
+    """Fold already-materialized ``(spec, result)`` pairs (post-hoc path)."""
+    for spec, result in rows:
+        if isinstance(result, dict) and "error" in result:
+            continue
+        aggregator.fold(spec, result)
+    return aggregator
+
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "SnapshotError",
+    "StreamResult",
+    "StreamStats",
+    "fold_rows",
+    "load_snapshot",
+    "save_snapshot",
+    "stream_campaign",
+]

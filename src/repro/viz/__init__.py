@@ -6,6 +6,13 @@ examples work in any terminal.
 """
 
 from repro.viz.ascii import ascii_plot, render_region, render_supply
-from repro.viz.tables import format_table
+from repro.viz.tables import axis_sort_token, format_curve_pivot, format_table
 
-__all__ = ["ascii_plot", "render_region", "render_supply", "format_table"]
+__all__ = [
+    "ascii_plot",
+    "render_region",
+    "render_supply",
+    "axis_sort_token",
+    "format_curve_pivot",
+    "format_table",
+]

@@ -34,3 +34,65 @@ def format_table(
     for row in cells:
         out.append(sep.join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(out)
+
+
+def axis_sort_token(value: Any) -> tuple:
+    """Sort key for mixed-type axis values: numbers numerically, then text.
+
+    Canonical-JSON key order is lexicographic (``"16" < "8"``); curve and
+    acceptance tables sort their rows through this token instead so numeric
+    axes come out in numeric order.
+    """
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (0, float(value), "")
+    return (1, 0.0, str(value))
+
+
+def format_curve_pivot(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    x: str,
+    value: str = "ratio",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Pivot flattened curve rows into the paper-style curve table.
+
+    ``rows`` are flat records under ``headers`` (one per curve bin, as
+    produced by ``weighted_curve_rows``): the ``x`` column becomes the
+    table's first column, every *other* key column left of ``value``'s
+    companion stats (``points``/``weight``/``value``) becomes one series
+    column, and cells hold the ``value`` entry — i.e. one weighted
+    acceptance-ratio curve per generator configuration, x running down.
+    """
+    if x not in headers or value not in headers:
+        raise ValueError(f"unknown x/value column: {x!r}/{value!r}")
+    xi = list(headers).index(x)
+    vi = list(headers).index(value)
+    stats = {"points", "weight", value}
+    series_idx = [
+        i
+        for i, h in enumerate(headers)
+        if i != xi and h not in stats
+    ]
+
+    def label(row: Sequence[Any]) -> str:
+        if not series_idx:
+            return value
+        return ",".join(f"{headers[i]}={row[i]:g}" if isinstance(row[i], float)
+                        else f"{headers[i]}={row[i]}" for i in series_idx)
+
+    xs: list[Any] = []
+    series: list[str] = []
+    cells: dict[tuple[Any, str], Any] = {}
+    for row in rows:
+        xv, lab = row[xi], label(row)
+        if xv not in xs:
+            xs.append(xv)
+        if lab not in series:
+            series.append(lab)
+        cells[(xv, lab)] = row[vi]
+    table_rows = [
+        [xv, *(cells.get((xv, lab), "") for lab in series)] for xv in xs
+    ]
+    return format_table([x, *series], table_rows, float_fmt=float_fmt)

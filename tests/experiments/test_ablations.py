@@ -67,3 +67,25 @@ class TestSlotSplitting:
     def test_supply_never_degrades(self):
         rows = slot_splitting_gain(period=3.0, budget=1.0, pieces_list=(1, 3))
         assert rows[1].supply_at_half_period >= rows[0].supply_at_half_period
+
+
+class TestAblationSummary:
+    def test_streams_all_studies_into_one_aggregate(self, tmp_path):
+        from repro.experiments.ablations import ablation_summary
+
+        agg = ablation_summary(
+            workers=1, state_path=tmp_path / "agg.json"
+        )
+        assert agg["minq_gap_ratio"].count > 0
+        assert agg["minq_gap_ratio"].mean >= 0
+        regions = agg["regions"]
+        assert (
+            regions["EDF"]["max_period_zero_overhead"]
+            > regions["RM"]["max_period_zero_overhead"]
+        )
+        curve = dict(agg["overhead_curve"].items())
+        assert curve[0.0].mean == pytest.approx(
+            regions["EDF"]["max_period_zero_overhead"]
+        )
+        # the snapshot makes a re-run skip every point
+        assert (tmp_path / "agg.json").exists()

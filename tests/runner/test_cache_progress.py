@@ -34,6 +34,27 @@ class TestResultCache:
         path.write_text("{not json")
         assert cache.get(spec, 0) is None
 
+    @pytest.mark.parametrize(
+        "corrupt", ["[1, 2]", '"a string"', "42", "null", "true", ""]
+    )
+    def test_non_dict_or_truncated_json_is_a_miss(self, tmp_path, corrupt):
+        # Truncation can leave a file that still parses as JSON, just not
+        # as a record dict; that must read as a miss, not an AttributeError.
+        cache = ResultCache(tmp_path)
+        spec = PointSpec("x", {})
+        path = cache.put(spec, 0, {"v": 1})
+        path.write_text(corrupt)
+        assert cache.get(spec, 0) is None
+
+    def test_corrupt_entry_overwritten_by_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = PointSpec("x", {})
+        path = cache.put(spec, 0, {"v": 1})
+        path.write_text("[]")
+        assert cache.get(spec, 0) is None
+        cache.put(spec, 0, {"v": 2})
+        assert cache.get(spec, 0) == {"v": 2}
+
     def test_stale_spec_layout_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = PointSpec("x", {})

@@ -1,0 +1,277 @@
+"""Streaming-campaign tests: determinism, resume, memory and cache repair.
+
+These pin the acceptance contract of the aggregation layer: aggregates are
+bit-identical across worker counts and cache states, snapshots resume
+without re-folding cached points, collect=False keeps no per-point results,
+and a corrupt cache entry is recomputed and overwritten mid-campaign.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    Aggregator,
+    PointSpec,
+    ResultCache,
+    SnapshotError,
+    curve_metric,
+    extrema_metric,
+    grid_specs,
+    mean_metric,
+    run_campaign,
+    stream_campaign,
+)
+
+SCHED_AXES = {"u_total": [0.8, 1.6], "n": [6], "rep": [0, 1]}
+SPLIT_AXES = {"period": [3.0], "budget": [1.0], "pieces": [1, 2, 3, 4]}
+
+
+def sched_aggregator():
+    return Aggregator(
+        [
+            mean_metric("feasible", "feasible", experiment="schedulability"),
+            curve_metric(
+                "weighted", "u_total", "feasible",
+                weight="utilization", experiment="schedulability",
+            ),
+            extrema_metric("period", "period", experiment="schedulability"),
+        ]
+    )
+
+
+def agg_bytes(result):
+    return result.aggregate_json()
+
+
+class TestDeterminism:
+    def test_workers_and_cache_states_are_bit_identical(self, tmp_path):
+        """workers=1 vs workers=4, cold vs warm cache: same aggregate bytes."""
+        specs = grid_specs("schedulability", SCHED_AXES)
+        cold_1 = stream_campaign(specs, sched_aggregator(), workers=1, master_seed=5)
+        cache = tmp_path / "cache"
+        cold_4 = stream_campaign(
+            specs, sched_aggregator(), workers=4, master_seed=5, cache_dir=cache
+        )
+        warm_1 = stream_campaign(
+            specs, sched_aggregator(), workers=1, master_seed=5, cache_dir=cache
+        )
+        assert cold_4.stats.computed == len(specs)
+        assert warm_1.stats.computed == 0
+        assert warm_1.stats.cached == len(specs)
+        assert agg_bytes(cold_1) == agg_bytes(cold_4) == agg_bytes(warm_1)
+
+    def test_matches_materialized_campaign(self):
+        """Streamed folds see exactly what run_campaign materializes."""
+        specs = grid_specs("schedulability", SCHED_AXES)
+        materialized = run_campaign(specs, workers=1, master_seed=5)
+        streamed = stream_campaign(
+            specs, sched_aggregator(), workers=1, master_seed=5, collect=True
+        )
+        assert streamed.results == materialized.results
+        assert streamed.to_json() == materialized.to_json()
+
+    def test_duplicates_fold_once(self):
+        spec = PointSpec(
+            "ablate-slot-split", {"period": 3.0, "budget": 1.0, "pieces": 2}
+        )
+        agg = Aggregator([mean_metric("delay", "delay")])
+        res = stream_campaign([spec, spec, spec], agg)
+        assert res.stats.total == 3
+        assert res.stats.unique == 1
+        assert agg["delay"].count == 1
+
+
+class TestMemoryContract:
+    def test_collect_false_keeps_no_results(self):
+        specs = grid_specs("ablate-slot-split", SPLIT_AXES)
+        res = stream_campaign(specs, Aggregator([mean_metric("d", "delay")]))
+        assert res.results is None
+        with pytest.raises(ValueError, match="kept no results"):
+            res.rows()
+
+
+class TestResume:
+    def test_extended_sweep_resumes_without_refolding(self, tmp_path):
+        state = tmp_path / "agg.json"
+        half = grid_specs("schedulability", {**SCHED_AXES, "rep": [0]})
+        full = grid_specs("schedulability", SCHED_AXES)
+
+        first = stream_campaign(
+            half, sched_aggregator(), master_seed=5, state_path=state
+        )
+        assert first.stats.folded == len(half)
+        resumed = stream_campaign(
+            full, sched_aggregator(), master_seed=5, state_path=state
+        )
+        # old points are skipped outright: no recomputation, no re-fold
+        assert resumed.stats.skipped == len(half)
+        assert resumed.stats.computed == len(full) - len(half)
+        assert resumed.stats.folded == len(full) - len(half)
+
+        fresh = stream_campaign(full, sched_aggregator(), master_seed=5)
+        assert agg_bytes(resumed) == agg_bytes(fresh)
+
+    def test_resume_from_warm_cache_without_snapshot(self, tmp_path):
+        """A cache warmed by a plain campaign folds without recomputing."""
+        cache = tmp_path / "cache"
+        specs = grid_specs("schedulability", SCHED_AXES)
+        run_campaign(specs, master_seed=5, cache_dir=cache)
+        streamed = stream_campaign(
+            specs, sched_aggregator(), master_seed=5, cache_dir=cache
+        )
+        assert streamed.stats.computed == 0
+        assert streamed.stats.cached == len(specs)
+        assert streamed.stats.folded == len(specs)
+
+    def test_snapshot_bytes_identical_across_worker_counts(self, tmp_path):
+        specs = grid_specs("schedulability", SCHED_AXES)
+        snaps = []
+        for w in (1, 4):
+            state = tmp_path / f"agg-w{w}.json"
+            stream_campaign(
+                specs, sched_aggregator(), workers=w, master_seed=5,
+                state_path=state,
+            )
+            snaps.append(state.read_bytes())
+        assert snaps[0] == snaps[1]
+
+    def test_corrupt_snapshot_starts_fresh(self, tmp_path):
+        state = tmp_path / "agg.json"
+        state.write_text("{truncated")
+        specs = grid_specs("ablate-slot-split", SPLIT_AXES)
+        res = stream_campaign(
+            specs, Aggregator([mean_metric("d", "delay")]), state_path=state
+        )
+        assert res.stats.folded == len(specs)
+        # and the snapshot was repaired in place
+        snap = json.loads(state.read_text())
+        assert len(snap["folded"]) == len(specs)
+
+    def test_mismatched_snapshot_is_rejected(self, tmp_path):
+        state = tmp_path / "agg.json"
+        specs = grid_specs("ablate-slot-split", SPLIT_AXES)
+        stream_campaign(
+            specs, Aggregator([mean_metric("d", "delay")]),
+            master_seed=5, state_path=state,
+        )
+        with pytest.raises(SnapshotError, match="master seed"):
+            stream_campaign(
+                specs, Aggregator([mean_metric("d", "delay")]),
+                master_seed=6, state_path=state,
+            )
+        with pytest.raises(SnapshotError, match="config digest"):
+            stream_campaign(
+                specs, Aggregator([mean_metric("other", "delay")]),
+                master_seed=5, state_path=state,
+            )
+
+
+class TestErrors:
+    BAD = PointSpec("ablate-slot-split", {"period": 3.0, "budget": 9.0, "pieces": 2})
+
+    def test_failing_points_are_never_folded(self):
+        specs = [
+            PointSpec("ablate-slot-split", {"period": 3.0, "budget": 1.0, "pieces": 2}),
+            self.BAD,  # budget > period: invalid supply
+        ]
+        agg = Aggregator([mean_metric("d", "delay")])
+        res = stream_campaign(specs, agg, on_error="store", collect=True)
+        assert res.stats.errors == 1
+        assert agg["d"].count == 1
+        assert "error" in res.results[1]
+
+    def test_raise_mode_propagates(self):
+        from repro.runner import CampaignError
+
+        with pytest.raises(CampaignError):
+            stream_campaign(
+                [self.BAD], Aggregator([mean_metric("d", "delay")])
+            )
+
+    def test_known_failures_are_skipped_on_resume(self, tmp_path):
+        """In store mode a failing digest is persisted, so a resumed run
+        neither re-evaluates nor re-reports it as computed."""
+        state = tmp_path / "agg.json"
+        good = PointSpec(
+            "ablate-slot-split", {"period": 3.0, "budget": 1.0, "pieces": 2}
+        )
+        first = stream_campaign(
+            [good, self.BAD], Aggregator([mean_metric("d", "delay")]),
+            on_error="store", state_path=state,
+        )
+        assert first.stats.errors == 1
+        assert self.BAD.digest in json.loads(state.read_text())["failed"]
+        again = stream_campaign(
+            [good, self.BAD], Aggregator([mean_metric("d", "delay")]),
+            on_error="store", state_path=state,
+        )
+        assert again.stats.computed == 0
+        assert again.stats.errors == 1  # still reported, not re-evaluated
+        assert again.stats.skipped == 2
+        assert agg_bytes(again) == agg_bytes(first)
+
+    def test_snapshot_flushed_when_a_point_aborts(self, tmp_path):
+        """Folds completed before a fatal point survive into the snapshot
+        (sequential and pool paths alike), so a resumed run skips them."""
+        from repro.runner import CampaignError
+
+        good = PointSpec(
+            "ablate-slot-split", {"period": 3.0, "budget": 1.0, "pieces": 2}
+        )
+        state = tmp_path / "agg.json"
+        with pytest.raises(CampaignError):
+            stream_campaign(
+                [good, self.BAD],
+                Aggregator([mean_metric("d", "delay")]),
+                workers=1,
+                state_path=state,
+            )
+        snap = json.loads(state.read_text())
+        assert good.digest in snap["folded"]
+
+
+class TestFoldRows:
+    def test_post_hoc_fold_matches_streaming(self):
+        from repro.runner import fold_rows
+
+        specs = grid_specs("schedulability", SCHED_AXES)
+        campaign = run_campaign(specs, workers=1, master_seed=5)
+        post_hoc = fold_rows(sched_aggregator(), campaign.rows())
+        streamed = stream_campaign(
+            specs, sched_aggregator(), workers=1, master_seed=5
+        )
+        assert post_hoc.state_dict() == streamed.aggregator.state_dict()
+
+    def test_error_rows_are_skipped(self):
+        from repro.runner import fold_rows, mean_metric
+
+        agg = Aggregator([mean_metric("d", "delay")])
+        spec = PointSpec("ablate-slot-split", {"pieces": 1})
+        fold_rows(agg, [(spec, {"delay": 1.0}), (spec, {"error": "boom"})])
+        assert agg["d"].count == 1
+
+
+class TestCacheRepair:
+    def test_corrupt_cache_entry_recomputed_and_overwritten(self, tmp_path):
+        """A truncated/corrupt cache file must not crash a campaign: the
+        point is recomputed and the entry rewritten."""
+        cache_dir = tmp_path / "cache"
+        spec = PointSpec(
+            "ablate-slot-split", {"period": 3.0, "budget": 1.0, "pieces": 2}
+        )
+        first = stream_campaign(
+            [spec], Aggregator([mean_metric("d", "delay")]), cache_dir=cache_dir
+        )
+        path = ResultCache(cache_dir).path(spec, 0)
+        for corrupt in ("{truncated", "[1, 2]", '"just a string"', ""):
+            path.write_text(corrupt)
+            again = stream_campaign(
+                [spec], Aggregator([mean_metric("d", "delay")]),
+                cache_dir=cache_dir,
+            )
+            assert again.stats.computed == 1
+            assert again.stats.cached == 0
+            assert agg_bytes(again) == agg_bytes(first)
+            # the corrupt entry was overwritten with a valid record
+            assert ResultCache(cache_dir).get(spec, 0) is not None

@@ -152,6 +152,67 @@ class TestCampaign:
         with pytest.raises(SystemExit):
             main(["campaign", "table2", "--axis", "otot=0.1", "--no-progress"])
 
+    def test_preset_flag_form(self, capsys):
+        assert main(
+            ["campaign", "--preset", "table2", "--workers", "1", "--no-progress"]
+        ) == 0
+        assert "(b) length" in capsys.readouterr().out
+
+    def test_missing_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--workers", "1", "--no-progress"])
+
+    def test_conflicting_presets_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "table2", "--preset", "figure4", "--no-progress"])
+
+
+WEIGHTED_TINY = [
+    "--axis", "u_total=0.6,1.8", "--axis", "n=6",
+    "--axis", "period_hyperperiod=720.0", "--axis", "rep=0,1",
+    "--axis", "rate=0.05",
+]
+
+
+class TestWeightedCampaign:
+    def test_renders_weighted_curves(self, capsys):
+        assert main(
+            ["campaign", "weighted", *WEIGHTED_TINY, "--workers", "1",
+             "--no-progress"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "weighted schedulability" in out
+        assert "weighted fault coverage" in out
+        assert "summary:" in out
+
+    def test_agg_out_identical_across_worker_counts(self, tmp_path):
+        outs = []
+        for workers in ("1", "4"):
+            agg_file = tmp_path / f"agg-w{workers}.json"
+            assert main(
+                ["campaign", "--preset", "weighted", *WEIGHTED_TINY,
+                 "--workers", workers, "--seed", "3", "--no-progress",
+                 "--agg-out", str(agg_file)]
+            ) == 0
+            outs.append(agg_file.read_bytes())
+        assert outs[0] == outs[1]
+
+    def test_warm_cache_resumes_without_refolding(self, tmp_path, capsys):
+        args = [
+            "campaign", "weighted", *WEIGHTED_TINY, "--workers", "1",
+            "--seed", "3", "--no-progress", "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(args + ["--agg-out", str(tmp_path / "a.json")]) == 0
+        capsys.readouterr()
+        assert main(args + ["--agg-out", str(tmp_path / "b.json")]) == 0
+        err = capsys.readouterr().err
+        assert "0 computed" in err
+        assert "0 folded" in err  # every point resumed from the snapshot
+        assert (tmp_path / "a.json").read_bytes() == (
+            tmp_path / "b.json"
+        ).read_bytes()
+
 
 class TestErrors:
     def test_missing_file(self, tmp_path):
