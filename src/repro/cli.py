@@ -27,7 +27,17 @@ Commands
     recomputes nothing and resumes aggregation from a snapshot under
     ``<cache-dir>/aggregates`` (override with ``--state``); ``--out`` writes
     the canonical spec/result JSON and ``--agg-out`` the canonical aggregate
-    state (what CI diffs to guard determinism). See docs/campaigns.md.
+    state (what CI diffs to guard determinism). ``--shard i/N`` runs one
+    deterministic digest-keyed shard of the grid (multi-host fan-out); its
+    snapshot carries a shard manifest for ``repro merge``. See
+    docs/campaigns.md.
+``merge <snapshot>... [--out F] [--preset P]``
+    Fold shard snapshots (:mod:`repro.runner.shard`) into the canonical
+    full-campaign aggregate snapshot — byte-identical to an unsharded run.
+    Mismatched configs/seeds/grids and missing, overlapping or incomplete
+    shards are refused with a report instead of producing partial curves.
+    ``--preset`` additionally renders the merged aggregate with that
+    preset's renderer (e.g. the weighted curve tables + ASCII plot).
 
 Task-set JSON is the :mod:`repro.model.serialization` format::
 
@@ -362,8 +372,11 @@ def _render_acceptance(aggregator) -> str:
 
 
 def _render_weighted(aggregator) -> str:
-    """The weighted preset's paper-style curve tables + scalar summary."""
-    from repro.experiments.weighted import weighted_curve_rows
+    """The weighted preset's curve tables, ASCII curve plot + summary."""
+    from repro.experiments.weighted import (
+        render_weighted_ascii,
+        weighted_curve_rows,
+    )
     from repro.viz import format_curve_pivot
 
     blocks = []
@@ -375,6 +388,9 @@ def _render_weighted(aggregator) -> str:
             "weighted schedulability (utilization-weighted acceptance):\n"
             + format_curve_pivot(headers, rows, x="u_total")
         )
+    plot = render_weighted_ascii(aggregator)
+    if plot:
+        blocks.append("weighted acceptance curves:\n" + plot)
     headers, rows = weighted_curve_rows(
         aggregator, "weighted_partitioned", ["u_total", "n", "H"]
     )
@@ -408,10 +424,46 @@ def _render_weighted(aggregator) -> str:
     return "\n\n".join(blocks)
 
 
-def cmd_campaign(args: argparse.Namespace) -> int:
+def _format_figure4(pts) -> str:
+    return "\n".join(
+        [
+            "Figure 4 points (paper values in brackets):",
+            f"  1. max P, EDF, Otot=0    : {pts.point1_max_period_edf:.3f}  [3.176]",
+            f"  2. max P, RM,  Otot=0    : {pts.point2_max_period_rm:.3f}  [2.381]",
+            f"  3. max Otot, EDF         : {pts.point3_max_overhead_edf:.3f}  [0.201]",
+            f"  4. max Otot, RM          : {pts.point4_max_overhead_rm:.3f}  [0.129]",
+            f"  5. max P, EDF, Otot=0.05 : {pts.point5_max_period_edf_otot:.3f}  [2.966]",
+        ]
+    )
+
+
+def _render_preset(preset: str, aggregator) -> str | None:
+    """Aggregate-based preset rendering, shared by ``campaign`` and
+    ``merge``. None for the presets rendered from materialized rows."""
     from repro.experiments.figure4 import figure4_points_from_aggregate
     from repro.experiments.table2 import table2_from_aggregate
-    from repro.runner import CampaignError, SnapshotError, stream_campaign
+
+    if preset == "table2":
+        return table2_from_aggregate(aggregator).render()
+    if preset == "figure4":
+        return _format_figure4(figure4_points_from_aggregate(aggregator))
+    if preset == "weighted":
+        return _render_weighted(aggregator)
+    if preset == "sched":
+        return _render_acceptance(aggregator)
+    return None
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.runner import (
+        CampaignError,
+        ShardManifest,
+        SnapshotError,
+        grid_digest,
+        parse_shard,
+        shard_specs,
+        stream_campaign,
+    )
 
     args.preset = args.preset_flag or args.preset_pos
     if args.preset_pos and args.preset_flag and args.preset_pos != args.preset_flag:
@@ -421,33 +473,55 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         )
     if args.preset is None:
         raise SystemExit("campaign: a preset is required (see --help)")
+    shard_index = shard_count = None
+    if args.shard is not None:
+        try:
+            shard_index, shard_count = parse_shard(args.shard)
+        except ValueError as exc:
+            raise SystemExit(f"campaign: {exc}")
     try:
         specs = _campaign_specs(args)
     except ValueError as exc:
         print(f"campaign failed: {exc}")
         return 1
+    shard = None
+    if shard_count is not None:
+        if args.state is None and args.cache_dir is None:
+            raise SystemExit(
+                "campaign: --shard needs --state or --cache-dir — the "
+                "manifest-tagged snapshot is the shard's whole output"
+            )
+        # Manifest first (it fingerprints the FULL grid), then narrow the
+        # spec list to this shard's digest-keyed subset.
+        shard = ShardManifest.for_shard(specs, shard_index, shard_count)
+        specs = shard_specs(specs, shard_index, shard_count)
     aggregator = _preset_aggregator(args.preset)
     # The per-point renderings (and --out/--json) need materialized rows;
     # the aggregate-rendered presets stream in O(accumulators) memory.
-    collect = bool(args.out or args.json) or args.preset in (
-        "sched", "faults", "ablations"
+    # Shard runs never render rows, so they stay streaming-only — which
+    # also keeps the snapshot's skip-outright resume shortcut active.
+    collect = bool(args.out or args.json) or (
+        shard is None and args.preset in ("sched", "faults", "ablations")
     )
     state_path = args.state
     if state_path is None and args.cache_dir is not None:
         # The default snapshot is fingerprinted by the *spec set* too: a
         # different --axis grid must not resume into (and render) bins
         # folded by a previous grid. Deliberate incremental extension of a
-        # sweep uses an explicit --state path instead.
-        import hashlib
-
-        grid = hashlib.sha256(
-            "\n".join(sorted(s.digest for s in specs)).encode("utf-8")
-        ).hexdigest()[:16]
+        # sweep uses an explicit --state path instead. Shards get their own
+        # snapshot next to the full run's (same grid fingerprint).
+        grid = (
+            shard.grid if shard is not None
+            else grid_digest(s.digest for s in specs)
+        )[:16]
+        shard_tag = (
+            f"-shard{shard.index}of{shard.count}" if shard is not None else ""
+        )
         state_path = (
             Path(args.cache_dir)
             / "aggregates"
             / f"{args.preset}-s{args.seed}"
-            f"-{aggregator.config_digest[:16]}-g{grid}.json"
+            f"-{aggregator.config_digest[:16]}-g{grid}{shard_tag}.json"
         )
     show_progress = (
         args.progress
@@ -468,6 +542,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             # space (a generated set may not even partition); those points
             # are recorded as errors and excluded from the aggregate.
             on_error="store" if args.preset == "weighted" else "raise",
+            shard=shard,
         )
     except (CampaignError, SnapshotError, OSError) as exc:
         print(f"campaign failed: {exc}")
@@ -478,27 +553,30 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         Path(args.agg_out).write_text(streamed.aggregate_json())
     if args.json:
         print(streamed.to_json())
-    elif args.preset == "table2":
-        print(table2_from_aggregate(streamed.aggregator).render())
-    elif args.preset == "figure4":
-        pts = figure4_points_from_aggregate(streamed.aggregator)
-        print("Figure 4 points (paper values in brackets):")
-        print(f"  1. max P, EDF, Otot=0    : {pts.point1_max_period_edf:.3f}  [3.176]")
-        print(f"  2. max P, RM,  Otot=0    : {pts.point2_max_period_rm:.3f}  [2.381]")
-        print(f"  3. max Otot, EDF         : {pts.point3_max_overhead_edf:.3f}  [0.201]")
-        print(f"  4. max Otot, RM          : {pts.point4_max_overhead_rm:.3f}  [0.129]")
-        print(f"  5. max P, EDF, Otot=0.05 : {pts.point5_max_period_edf_otot:.3f}  [2.966]")
-    elif args.preset == "weighted":
-        print(_render_weighted(streamed.aggregator))
-    else:
+    elif shard is not None:
+        # A shard's aggregate is deliberately partial; rendering it would
+        # show misleading curves (and the table2/figure4 renderers require
+        # the full point set). The snapshot is the product — merge all
+        # shards with `repro merge` to render the campaign.
+        print(
+            f"shard {shard.index}/{shard.count} snapshot written; render "
+            f"the full campaign with: repro merge <all shard snapshots> "
+            f"--preset {args.preset}"
+        )
+    elif args.preset in ("sched", "faults", "ablations"):
         print(_render_campaign(streamed))
         if args.preset == "sched":
             print()
-            print(_render_acceptance(streamed.aggregator))
+            print(_render_preset("sched", streamed.aggregator))
+    else:
+        print(_render_preset(args.preset, streamed.aggregator))
     s = streamed.stats
     extra = f", {s.errors} failed" if s.errors else ""
+    shard_tag = (
+        f"shard {shard.index}/{shard.count}: " if shard is not None else ""
+    )
     print(
-        f"[campaign] {s.total} points ({s.unique} unique): "
+        f"[campaign] {shard_tag}{s.total} points ({s.unique} unique): "
         f"{s.computed} computed, {s.cached} cached in {s.elapsed:.2f}s "
         f"with {s.workers} worker(s); aggregate: {s.folded} folded, "
         f"{s.skipped} resumed{extra}",
@@ -507,16 +585,55 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_merge(args: argparse.Namespace) -> int:
+    from repro.runner import (
+        MergeError,
+        atomic_write_text,
+        canonical_json,
+        merge_snapshot_files,
+    )
+
+    try:
+        merged = merge_snapshot_files(args.snapshots)
+    except MergeError as exc:
+        print(f"merge failed: {exc}")
+        return 1
+    text = canonical_json(merged)
+    aggregator = None
+    if args.preset:
+        # Validate before writing --out: a failed merge invocation must not
+        # leave a plausible-looking merged snapshot behind.
+        aggregator = _preset_aggregator(args.preset)
+        if aggregator.config_digest != merged["config"]:
+            print(
+                f"merge failed: snapshots were not built by the "
+                f"{args.preset!r} preset's aggregate (config digest mismatch)"
+            )
+            return 1
+        aggregator.load_state(merged["aggregate"])
+    if args.out:
+        atomic_write_text(Path(args.out), text)
+    if aggregator is not None:
+        rendered = _render_preset(args.preset, aggregator)
+        if rendered is None:  # row-rendered presets: summarize the aggregate
+            rendered = json.dumps(aggregator.summary(), indent=2, sort_keys=True)
+        print(rendered)
+    elif not args.out:
+        print(text)
+    manifest = merged["shard"]
+    print(
+        f"[merge] {len(args.snapshots)} shard snapshot(s): "
+        f"{len(merged['folded'])} folded, {len(merged['failed'])} failed "
+        f"over {len(manifest['points'])} points",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_paper(args: argparse.Namespace) -> int:
     from repro.experiments import compute_figure4_points, compute_table2
 
-    pts = compute_figure4_points()
-    print("Figure 4 points (paper values in brackets):")
-    print(f"  1. max P, EDF, Otot=0    : {pts.point1_max_period_edf:.3f}  [3.176]")
-    print(f"  2. max P, RM,  Otot=0    : {pts.point2_max_period_rm:.3f}  [2.381]")
-    print(f"  3. max Otot, EDF         : {pts.point3_max_overhead_edf:.3f}  [0.201]")
-    print(f"  4. max Otot, RM          : {pts.point4_max_overhead_rm:.3f}  [0.129]")
-    print(f"  5. max P, EDF, Otot=0.05 : {pts.point5_max_period_edf_otot:.3f}  [2.966]")
+    print(_format_figure4(compute_figure4_points()))
     print()
     print("Table 2:")
     print(compute_table2().render())
@@ -617,6 +734,11 @@ def build_parser() -> argparse.ArgumentParser:
              "--cache-dir/aggregates)",
     )
     p.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="run only shard I of N of the grid (digest-keyed, deterministic"
+             "); the snapshot records a manifest for 'repro merge'",
+    )
+    p.add_argument(
         "--json", action="store_true",
         help="print the canonical JSON instead of tables",
     )
@@ -629,6 +751,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable progress reporting",
     )
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "merge",
+        help="merge shard snapshots into the full-campaign aggregate",
+    )
+    p.add_argument(
+        "snapshots", nargs="+",
+        help="shard snapshot files (--state / --cache-dir outputs)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write the merged snapshot JSON here (default: stdout unless "
+             "--preset renders)",
+    )
+    p.add_argument(
+        "--preset", choices=list(_PRESETS), default=None,
+        help="also render the merged aggregate with this preset's renderer",
+    )
+    p.set_defaults(func=cmd_merge)
     return parser
 
 

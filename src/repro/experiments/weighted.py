@@ -33,11 +33,13 @@ from typing import Any, Mapping, Sequence
 from repro.runner import (
     Aggregator,
     PointSpec,
+    ShardManifest,
     curve_metric,
     extrema_metric,
     grid_specs,
     histogram_metric,
     mean_metric,
+    shard_specs,
     stream_campaign,
 )
 
@@ -142,21 +144,35 @@ def compute_weighted(
     master_seed: int = 0,
     cache_dir: str | os.PathLike | None = None,
     state_path: str | os.PathLike | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> Aggregator:
     """Run the weighted sweep and return the folded aggregate.
 
     Generated task sets that cannot even be designed (``fault-injection``
     at infeasible utilizations) are recorded as errors and excluded from
     the aggregate rather than aborting the sweep.
+
+    ``shard=(i, N)`` runs only shard ``i`` of ``N`` of the grid (see
+    :mod:`repro.runner.shard`): the returned aggregate then covers that
+    shard's points only, and the ``state_path`` snapshot is tagged with the
+    shard manifest so ``repro merge`` can later fold the N shard snapshots
+    into the full-campaign aggregate.
     """
+    specs = weighted_specs(sched_axes, fault_axes)
+    manifest = None
+    if shard is not None:
+        index, count = shard
+        manifest = ShardManifest.for_shard(specs, index, count)
+        specs = shard_specs(specs, index, count)
     result = stream_campaign(
-        weighted_specs(sched_axes, fault_axes),
+        specs,
         weighted_aggregator(),
         workers=workers,
         master_seed=master_seed,
         cache_dir=cache_dir,
         state_path=state_path,
         on_error="store",
+        shard=manifest,
     )
     return result.aggregator
 
@@ -182,10 +198,55 @@ def weighted_curve_rows(
     return [*axes, "points", "weight", "ratio"], rows
 
 
+def render_weighted_ascii(
+    aggregator: Aggregator,
+    metric: str = "weighted_feasible",
+    axes: Sequence[str] = ("u_total", "n", "period_hyperperiod"),
+    *,
+    width: int = 72,
+    height: int = 16,
+) -> str:
+    """ASCII plot of one weighted curve metric: ratio vs. the first axis.
+
+    Each combination of the remaining axes becomes its own series (markers
+    cycle, so any number of series renders), which is how the merged
+    full-campaign curves are eyeballed without matplotlib. Returns an empty
+    string when the metric has no bins (e.g. a shard that drew no
+    schedulability points).
+    """
+    from repro.viz import ascii_plot
+
+    curve = aggregator[metric]
+    series: dict[str, tuple[list[float], list[float]]] = {}
+    for key, acc in curve.items():  # type: ignore[attr-defined]
+        parts = list(key) if isinstance(key, list) else [key]
+        mean = acc.summary().get("mean")
+        if mean is None:
+            continue
+        name = (
+            ", ".join(f"{a}={p:g}" if isinstance(p, float) else f"{a}={p}"
+                      for a, p in zip(axes[1:], parts[1:]))
+            or metric
+        )
+        xs, ys = series.setdefault(name, ([], []))
+        xs.append(float(parts[0]))
+        ys.append(float(mean))
+    if not series:
+        return ""
+    return ascii_plot(
+        series,
+        width=width,
+        height=height,
+        x_label=axes[0],
+        y_label="weighted ratio",
+    )
+
+
 __all__ = [
     "WEIGHTED_FAULT_AXES",
     "WEIGHTED_SCHED_AXES",
     "compute_weighted",
+    "render_weighted_ascii",
     "weighted_aggregator",
     "weighted_curve_rows",
     "weighted_specs",

@@ -14,7 +14,7 @@ errors and aggregates what the paper's Section 2.2 promises qualitatively:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
@@ -86,7 +86,7 @@ class FaultCampaign:
         self,
         *,
         horizon: float | None = None,
-        faults: Sequence[Fault] | None = None,
+        faults: Iterable[Fault] | None = None,
         seed: int | np.random.SeedSequence = 0,
     ) -> FaultCampaignResult:
         """Run the campaign (explicit fault list or Poisson generation).
@@ -108,8 +108,11 @@ class FaultCampaign:
             )
             gen = PoissonFaultGenerator(self.rate, min_separation=sep)
             faults = gen.generate(horizon, np.random.default_rng(seed))
-        result = sim.run(horizon, faults=faults)
-        return _aggregate(result, len(list(faults)))
+        # Materialize once: a one-shot iterable would be drained by the sim,
+        # leaving the injected count at 0.
+        fault_list = list(faults)
+        result = sim.run(horizon, faults=fault_list)
+        return _aggregate(result, len(fault_list))
 
 
 def run_campaign(

@@ -43,9 +43,10 @@ from repro.runner.aggregate import (
     extrema_metric,
     histogram_metric,
     mean_metric,
+    merge_states,
     slot_metric,
 )
-from repro.runner.cache import ResultCache
+from repro.runner.cache import ResultCache, atomic_write_text
 from repro.runner.engine import (
     CampaignError,
     CampaignResult,
@@ -63,6 +64,16 @@ from repro.runner.points import (
     taskset_params,
 )
 from repro.runner.progress import ProgressReporter
+from repro.runner.shard import (
+    MergeError,
+    ShardManifest,
+    grid_digest,
+    merge_snapshot_files,
+    merge_snapshots,
+    parse_shard,
+    shard_of,
+    shard_specs,
+)
 from repro.runner.spec import PointSpec, canonical_json, point_seed
 from repro.runner.stream import (
     SnapshotError,
@@ -71,6 +82,7 @@ from repro.runner.stream import (
     fold_rows,
     load_snapshot,
     save_snapshot,
+    snapshot_dict,
     stream_campaign,
 )
 
@@ -84,16 +96,19 @@ __all__ = [
     "ExtremaAccumulator",
     "HistogramSketch",
     "MeanAccumulator",
+    "MergeError",
     "Metric",
     "PointSpec",
     "ProgressReporter",
     "ResultCache",
+    "ShardManifest",
     "SlotAccumulator",
     "SnapshotError",
     "StreamResult",
     "StreamStats",
     "WeightedMeanAccumulator",
     "accumulator_from_state",
+    "atomic_write_text",
     "canonical_json",
     "curve_metric",
     "default_workers",
@@ -103,17 +118,25 @@ __all__ = [
     "extrema_metric",
     "fold_rows",
     "get_experiment",
+    "grid_digest",
     "grid_specs",
     "histogram_metric",
     "load_snapshot",
     "mean_metric",
+    "merge_snapshot_files",
+    "merge_snapshots",
+    "merge_states",
     "parse_axes",
     "parse_axis",
+    "parse_shard",
     "partition_params",
     "point_seed",
     "run_campaign",
     "save_snapshot",
+    "shard_of",
+    "shard_specs",
     "slot_metric",
+    "snapshot_dict",
     "stream_campaign",
     "sweep",
     "taskset_params",

@@ -550,6 +550,30 @@ def _accumulator_from_config(config: Mapping[str, Any]) -> Accumulator:
     return cls(**kwargs)
 
 
+def merge_states(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Merge two ``Aggregator.state_dict()`` mappings metric-by-metric.
+
+    This is the cross-process merge path: shard snapshots carry serialized
+    accumulator states but no fold rules, so the merge works purely on
+    states — rebuild each side, merge (which validates kind and config
+    compatibility), serialize back. Exactness makes the result independent
+    of merge order and byte-identical to single-process folding.
+    """
+    if set(a) != set(b):
+        raise ValueError(
+            f"cannot merge aggregate states with different metrics: "
+            f"{sorted(a)} vs {sorted(b)}"
+        )
+    return {
+        name: accumulator_from_state(a[name])
+        .merge(accumulator_from_state(b[name]))
+        .state_dict()
+        for name in a
+    }
+
+
 # -- named-aggregate bundles ---------------------------------------------------
 
 
@@ -810,5 +834,6 @@ __all__ = [
     "extrema_metric",
     "histogram_metric",
     "mean_metric",
+    "merge_states",
     "slot_metric",
 ]

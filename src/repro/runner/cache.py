@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -22,6 +23,30 @@ from repro.runner.spec import PointSpec
 CACHE_SCHEMA = 1
 
 _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp + rename).
+
+    The temp name comes from :func:`tempfile.mkstemp`, so concurrent writers
+    — other processes *and* other threads of this process, which share a
+    PID — never collide on it; on any failure the temp file is removed
+    instead of being orphaned next to the cache forever.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 class ResultCache:
@@ -67,7 +92,6 @@ class ResultCache:
     ) -> Path:
         """Atomically persist one point's result; returns the cache path."""
         path = self.path(spec, master_seed)
-        path.parent.mkdir(parents=True, exist_ok=True)
         record = {
             "schema": CACHE_SCHEMA,
             "canonical": spec.canonical,
@@ -76,7 +100,5 @@ class ResultCache:
             "result": result,
             "elapsed": elapsed,
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(record, sort_keys=True))
-        os.replace(tmp, path)
+        atomic_write_text(path, json.dumps(record, sort_keys=True))
         return path

@@ -30,10 +30,10 @@ import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, TextIO
+from typing import Any, Iterable, Mapping, TextIO
 
 from repro.runner.aggregate import Aggregator
-from repro.runner.cache import ResultCache
+from repro.runner.cache import ResultCache, atomic_write_text
 from repro.runner.engine import (
     CampaignError,
     CampaignStats,
@@ -42,10 +42,12 @@ from repro.runner.engine import (
 )
 from repro.runner.points import get_experiment
 from repro.runner.progress import ProgressReporter
+from repro.runner.shard import ShardManifest
 from repro.runner.spec import PointSpec, canonical_json
 
 #: Bump when the snapshot layout changes; old snapshots are rejected.
-SNAPSHOT_SCHEMA = 1
+#: Schema 2 added the shard manifest (see :mod:`repro.runner.shard`).
+SNAPSHOT_SCHEMA = 2
 
 #: Persist the snapshot at least every this many newly folded points. Each
 #: flush rewrites the whole snapshot (aggregate + folded digests), so the
@@ -97,6 +99,7 @@ def load_snapshot(
     path: str | os.PathLike,
     aggregator: Aggregator,
     master_seed: int,
+    shard: ShardManifest | None = None,
 ) -> tuple[set[str], set[str]]:
     """Resume ``aggregator`` from a snapshot; returns (folded, failed) digests.
 
@@ -104,6 +107,13 @@ def load_snapshot(
     *readable* snapshot with a mismatched schema, master seed, or aggregator
     shape raises :class:`SnapshotError` — silently dropping or merging an
     incompatible aggregate would corrupt the resumed campaign.
+
+    When resuming a *sharded* campaign (``shard`` with ``count > 1``), the
+    snapshot's manifest must match the shard exactly — folding shard 1/3's
+    points into a snapshot claiming to be shard 2/3, or into a shard of a
+    different grid, would poison the eventual merge. Unsharded campaigns
+    stay permissive: extending a grid into an existing snapshot is the
+    documented incremental-resume path.
     """
     path = Path(path)
     try:
@@ -127,8 +137,44 @@ def load_snapshot(
             f"snapshot {path} does not match this aggregator's shape "
             f"(config digest mismatch)"
         )
+    if shard is not None and shard.count > 1:
+        stored = snap.get("shard")
+        stored_key = (
+            (stored.get("index"), stored.get("count"), stored.get("grid"))
+            if isinstance(stored, dict)
+            else None
+        )
+        if stored_key != (shard.index, shard.count, shard.grid):
+            raise SnapshotError(
+                f"snapshot {path} belongs to a different shard or grid "
+                f"(have {stored_key}, resuming shard "
+                f"{shard.index}/{shard.count} of grid {shard.grid[:16]}…)"
+            )
     aggregator.load_state(snap["aggregate"])
     return set(snap["folded"]), set(snap.get("failed", []))
+
+
+def snapshot_dict(
+    *,
+    config: str,
+    master_seed: int,
+    folded: set[str],
+    failed: set[str],
+    aggregate: Mapping[str, Any],
+    shard: ShardManifest,
+) -> dict[str, Any]:
+    """The canonical snapshot payload — the single layout both
+    :func:`save_snapshot` and :func:`repro.runner.shard.merge_snapshots`
+    emit, so a merged snapshot can be byte-compared against a live one."""
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "master_seed": master_seed,
+        "config": config,
+        "shard": shard.to_dict(),
+        "folded": sorted(folded),
+        "failed": sorted(failed),
+        "aggregate": dict(aggregate),
+    }
 
 
 def save_snapshot(
@@ -137,21 +183,26 @@ def save_snapshot(
     master_seed: int,
     folded: set[str],
     failed: set[str] = frozenset(),  # type: ignore[assignment]
+    shard: ShardManifest | None = None,
 ) -> None:
-    """Atomically persist the aggregate + folded/failed point digests."""
+    """Atomically persist the aggregate + folded/failed point digests.
+
+    Without an explicit ``shard`` manifest the snapshot records the trivial
+    0/1 manifest covering exactly the folded/failed points (direct callers;
+    :func:`stream_campaign` always passes the campaign's real manifest).
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    snap = {
-        "schema": SNAPSHOT_SCHEMA,
-        "master_seed": master_seed,
-        "config": aggregator.config_digest,
-        "folded": sorted(folded),
-        "failed": sorted(failed),
-        "aggregate": aggregator.state_dict(),
-    }
-    tmp = path.with_suffix(f".tmp.{os.getpid()}")
-    tmp.write_text(canonical_json(snap))
-    os.replace(tmp, path)
+    if shard is None:
+        shard = ShardManifest.full(set(folded) | set(failed))
+    snap = snapshot_dict(
+        config=aggregator.config_digest,
+        master_seed=master_seed,
+        folded=folded,
+        failed=failed,
+        aggregate=aggregator.state_dict(),
+        shard=shard,
+    )
+    atomic_write_text(path, canonical_json(snap))
 
 
 def stream_campaign(
@@ -166,6 +217,7 @@ def stream_campaign(
     progress: bool | ProgressReporter = False,
     progress_stream: TextIO | None = None,
     on_error: str = "raise",
+    shard: ShardManifest | None = None,
 ) -> StreamResult:
     """Run a campaign, folding each finished point into ``aggregator``.
 
@@ -181,6 +233,12 @@ def stream_campaign(
       going, and persists the failing digests in the snapshot — a resumed
       ``store`` run skips known failures instead of re-evaluating them
       (deterministic points fail identically every time).
+
+    ``shard`` declares that ``specs`` are one shard of a larger campaign
+    (see :mod:`repro.runner.shard`): the specs must match the manifest's
+    coverage exactly, and the snapshot is tagged with the manifest so
+    ``repro merge`` can validate it. Without ``shard`` the snapshot carries
+    the trivial 0/1 manifest over the campaign's own point set.
     """
     if on_error not in ("raise", "store"):
         raise ValueError(f"on_error must be 'raise' or 'store': got {on_error!r}")
@@ -195,10 +253,19 @@ def stream_campaign(
     for spec in specs:
         unique.setdefault(spec.digest, spec)
 
+    if shard is None:
+        shard = ShardManifest.full(unique)
+    elif set(unique) != set(shard.points):
+        raise ValueError(
+            f"specs do not match the shard manifest: got {len(unique)} "
+            f"unique point(s), manifest {shard.index}/{shard.count} covers "
+            f"{len(shard.points)}"
+        )
+
     folded: set[str] = set()
     failed: set[str] = set()
     if state_path is not None:
-        folded, failed = load_snapshot(state_path, aggregator, master_seed)
+        folded, failed = load_snapshot(state_path, aggregator, master_seed, shard)
     already_folded = folded & set(unique)
     resumed_failed = 0
 
@@ -220,7 +287,9 @@ def stream_campaign(
         if state_path is None:
             return
         if force or new_folds >= flush_every:
-            save_snapshot(state_path, aggregator, master_seed, folded, failed)
+            save_snapshot(
+                state_path, aggregator, master_seed, folded, failed, shard
+            )
             new_folds = 0
 
     def finish(spec: PointSpec, ok: bool, result: Any) -> None:
@@ -339,5 +408,6 @@ __all__ = [
     "fold_rows",
     "load_snapshot",
     "save_snapshot",
+    "snapshot_dict",
     "stream_campaign",
 ]

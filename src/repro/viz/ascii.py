@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -21,12 +22,15 @@ def ascii_plot(
 ) -> str:
     """Plot named ``(x, y)`` series on a shared character canvas.
 
-    Each series gets the next marker character; overlapping cells keep the
+    Each series gets the next marker character, cycling when there are more
+    series than markers so none are dropped; overlapping cells keep the
     first series' marker. ``hline`` draws a horizontal reference (e.g.
     ``O_tot``) with ``-``.
     """
     if not series:
         raise ValueError("no series to plot")
+    if not markers:
+        raise ValueError("markers must be a non-empty string")
     xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
     ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
     if hline is not None:
@@ -54,7 +58,7 @@ def ascii_plot(
         for c in range(width):
             if grid[r][c] == " ":
                 grid[r][c] = "."
-    for (name, (xs, ys)), marker in zip(series.items(), markers):
+    for (name, (xs, ys)), marker in zip(series.items(), itertools.cycle(markers)):
         for x, y in zip(xs, ys):
             r, c = cell(float(x), float(y))
             if grid[r][c] in (" ", ".", "-"):
@@ -63,7 +67,8 @@ def ascii_plot(
     lines.extend("|" + "".join(row) + "|" for row in grid)
     lines.append(f"{x_label} in [{x_min:.3f}, {x_max:.3f}]")
     legend = "  ".join(
-        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+        f"{marker}={name}"
+        for (name, _), marker in zip(series.items(), itertools.cycle(markers))
     )
     if hline is not None:
         legend += f"  -=ref({hline:g})"

@@ -64,6 +64,17 @@ class TestExplicitFaults:
         )
         assert res.injected == 2
 
+    def test_one_shot_fault_iterable_counted(self, paper_part, paper_config_b):
+        """A generator of faults must not read back as injected=0: the sim
+        drains the iterable, so the campaign has to materialize it once."""
+        camp = FaultCampaign(paper_part, paper_config_b)
+        res = camp.run(
+            horizon=paper_config_b.period * 5,
+            faults=iter([Fault(0.1, 0), Fault(2.0, 1)]),
+        )
+        assert res.injected == 2
+        assert res.injected == len(res.records)
+
     def test_run_campaign_facade(self, paper_part, paper_config_b):
         res = run_campaign(
             paper_part, paper_config_b,

@@ -69,6 +69,60 @@ class TestResultCache:
         path = cache.put(PointSpec("a/b c", {}), 0, 1)
         assert path.parent.name == "a_b_c"
 
+    def test_failed_put_leaves_no_files_behind(self, tmp_path):
+        """An unserializable result must not orphan a temp file next to the
+        cache entry (it used to live there forever as ``*.tmp.<pid>``)."""
+        cache = ResultCache(tmp_path)
+        spec = PointSpec("x", {})
+        with pytest.raises(TypeError):
+            cache.put(spec, 0, {"bad": {1, 2}})  # sets are not JSON
+        assert [p for p in tmp_path.rglob("*") if p.is_file()] == []
+        assert cache.get(spec, 0) is None
+
+    def test_concurrent_same_process_puts_do_not_collide(self, tmp_path):
+        """Two threads share a PID, so a pid-keyed temp name collides; the
+        mkstemp-based write must survive heavy same-entry contention."""
+        import threading
+
+        cache = ResultCache(tmp_path)
+        spec = PointSpec("x", {"u": 1.0})
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(100):
+                    cache.put(spec, 0, {"v": 1})
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert cache.get(spec, 0) == {"v": 1}
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+
+class TestAtomicWriteText:
+    def test_temp_file_removed_when_rename_fails(self, tmp_path):
+        from repro.runner import atomic_write_text
+
+        target = tmp_path / "out.json"
+        target.mkdir()  # os.replace onto a directory fails on POSIX
+        with pytest.raises(OSError):
+            atomic_write_text(target, "x")
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_writes_and_creates_parents(self, tmp_path):
+        from repro.runner import atomic_write_text
+
+        target = tmp_path / "deep" / "out.json"
+        atomic_write_text(target, "payload")
+        assert target.read_text() == "payload"
+        assert list(target.parent.iterdir()) == [target]
+
 
 class TestProgressReporter:
     def test_counts_and_snapshot(self):

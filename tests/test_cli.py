@@ -214,6 +214,142 @@ class TestWeightedCampaign:
         ).read_bytes()
 
 
+SCHED_TINY = ["--axis", "u_total=0.5,1.5", "--axis", "n=8", "--axis", "rep=0,1,2"]
+
+
+class TestShardMerge:
+    def test_weighted_shards_merge_to_unsharded_bytes(self, tmp_path, capsys):
+        """The PR's acceptance criterion, end to end on the CLI: 3 shards of
+        the weighted preset merge to the unsharded snapshot, byte for byte."""
+        base = [
+            "campaign", "weighted", *WEIGHTED_TINY, "--workers", "1",
+            "--seed", "3", "--no-progress",
+        ]
+        shard_files = [str(tmp_path / f"shard-{i}.json") for i in range(3)]
+        for i, state in enumerate(shard_files):
+            assert main(base + ["--shard", f"{i}/3", "--state", state]) == 0
+        assert main(base + ["--state", str(tmp_path / "full.json")]) == 0
+        capsys.readouterr()
+        merged = tmp_path / "merged.json"
+        assert main(
+            ["merge", *shard_files, "--out", str(merged), "--preset", "weighted"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "weighted schedulability" in captured.out
+        assert "weighted acceptance curves" in captured.out  # the ASCII plot
+        assert "3 shard snapshot(s)" in captured.err
+        assert merged.read_bytes() == (tmp_path / "full.json").read_bytes()
+
+    def test_default_shard_state_paths_under_cache_dir(self, tmp_path, capsys):
+        """--cache-dir gives every shard its own snapshot; merging them
+        reproduces the full run's default snapshot."""
+        cache = str(tmp_path / "cache")
+        base = [
+            "campaign", "sched", *SCHED_TINY, "--workers", "1",
+            "--seed", "7", "--no-progress", "--cache-dir", cache,
+        ]
+        for i in range(3):
+            assert main(base + ["--shard", f"{i}/3"]) == 0
+        assert main(base) == 0
+        aggregates = tmp_path / "cache" / "aggregates"
+        shard_files = sorted(str(p) for p in aggregates.glob("*shard*of3.json"))
+        full_files = [
+            p for p in aggregates.glob("*.json") if "shard" not in p.name
+        ]
+        assert len(shard_files) == 3 and len(full_files) == 1
+        capsys.readouterr()
+        merged = tmp_path / "merged.json"
+        assert main(["merge", *shard_files, "--out", str(merged)]) == 0
+        assert merged.read_bytes() == full_files[0].read_bytes()
+
+    def test_shard_tag_in_stats_line(self, tmp_path, capsys):
+        assert main(
+            ["campaign", "sched", *SCHED_TINY, "--workers", "1",
+             "--no-progress", "--shard", "0/2",
+             "--state", str(tmp_path / "s.json")]
+        ) == 0
+        assert "shard 0/2:" in capsys.readouterr().err
+
+    def test_sharded_rerun_resumes_from_snapshot(self, tmp_path, capsys):
+        """Shard runs stay streaming-only (no row collection), so a re-run
+        skips every snapshotted point instead of recomputing the shard."""
+        args = [
+            "campaign", "sched", *SCHED_TINY, "--workers", "1",
+            "--no-progress", "--shard", "0/2",
+            "--state", str(tmp_path / "s.json"),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "0 computed" in err
+        assert "aggregate: 0 folded" in err
+
+    def test_merge_reports_missing_shard(self, tmp_path, capsys):
+        base = [
+            "campaign", "sched", *SCHED_TINY, "--workers", "1",
+            "--seed", "7", "--no-progress",
+        ]
+        states = [str(tmp_path / f"s{i}.json") for i in range(2)]
+        for i, state in enumerate(states):
+            assert main(base + ["--shard", f"{i}/3", "--state", state]) == 0
+        capsys.readouterr()
+        assert main(["merge", *states, "--out", str(tmp_path / "m.json")]) == 1
+        assert "missing" in capsys.readouterr().out
+        assert not (tmp_path / "m.json").exists()
+
+    def test_merge_without_out_prints_snapshot(self, tmp_path, capsys):
+        state = str(tmp_path / "s.json")
+        assert main(
+            ["campaign", "sched", *SCHED_TINY, "--workers", "1",
+             "--no-progress", "--state", state]
+        ) == 0
+        capsys.readouterr()
+        assert main(["merge", state]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["shard"]["count"] == 1
+
+    def test_bad_shard_selector_rejected(self):
+        for bad in ("3/3", "x/2", "1"):
+            with pytest.raises(SystemExit):
+                main(["campaign", "sched", "--shard", bad,
+                      "--state", "/tmp/unused.json"])
+
+    def test_shard_without_snapshot_destination_rejected(self):
+        """A shard run's only output is its snapshot; running one with
+        nowhere to persist it would silently discard the work."""
+        with pytest.raises(SystemExit, match="--state or --cache-dir"):
+            main(["campaign", "sched", *SCHED_TINY, "--shard", "0/2",
+                  "--no-progress"])
+
+    def test_sharded_paper_preset_skips_rendering(self, tmp_path, capsys):
+        """table2/figure4 renderers need the full point set; a shard run
+        must not crash on the partial aggregate after computing it."""
+        assert main(
+            ["campaign", "table2", "--workers", "1", "--no-progress",
+             "--shard", "0/2", "--state", str(tmp_path / "t2.json")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro merge" in out
+        assert (tmp_path / "t2.json").exists()
+
+    def test_failed_merge_leaves_no_out_file(self, tmp_path, capsys):
+        """--preset validation runs before --out is written: a failed merge
+        must not leave a plausible-looking snapshot behind."""
+        state = str(tmp_path / "s.json")
+        assert main(
+            ["campaign", "sched", *SCHED_TINY, "--workers", "1",
+             "--no-progress", "--state", state]
+        ) == 0
+        capsys.readouterr()
+        out_file = tmp_path / "m.json"
+        assert main(
+            ["merge", state, "--out", str(out_file), "--preset", "weighted"]
+        ) == 1
+        assert "config digest mismatch" in capsys.readouterr().out
+        assert not out_file.exists()
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):

@@ -35,6 +35,26 @@ class TestAsciiPlot:
         with pytest.raises(ValueError):
             ascii_plot({})
 
+    def test_empty_markers_rejected(self):
+        xs = np.linspace(0, 1, 5)
+        with pytest.raises(ValueError, match="markers"):
+            ascii_plot({"s": (xs, xs)}, markers="")
+
+    def test_more_series_than_markers_all_render(self):
+        """Markers cycle: series 7+ used to be silently dropped from both
+        the canvas and the legend."""
+        xs = np.linspace(0, 1, 10)
+        series = {f"s{i}": (xs, xs * 0 + i) for i in range(8)}
+        out = ascii_plot(series, width=40, height=20)
+        legend = out.splitlines()[-1]
+        for i in range(8):
+            assert f"=s{i}" in legend
+        # the 7th series reuses the first marker and still hits the canvas
+        assert "*=s0" in legend and "*=s6" in legend
+        rows = [l for l in out.splitlines() if l.startswith("|")]
+        marked = sum(1 for row in rows if any(c != " " for c in row[1:-1]))
+        assert marked >= 8
+
     def test_flat_series_does_not_crash(self):
         xs = np.linspace(0, 1, 10)
         out = ascii_plot({"flat": (xs, np.zeros_like(xs))})
