@@ -1,0 +1,111 @@
+"""Batched-execution throughput: points/sec of the pool engine vs batch size.
+
+On cheap points the per-task cost of ``ProcessPoolExecutor`` — pickling a
+payload, waking a worker, pickling the result back — dominates wall-clock,
+which is exactly the scaling gap batching closes: one pool task carries a
+whole batch, so the IPC overhead is amortized over ``batch_size`` points.
+This script measures points/sec of the same cheap-point sweep at a range of
+batch sizes (including the auto-sizing default) and verifies along the way
+that every batched run folds to the byte-identical aggregate.
+
+Standalone on purpose (no pytest-benchmark dependency), so CI can run it as
+a smoke step and the points/sec table lands in the job log:
+
+    PYTHONPATH=src python benchmarks/bench_batching.py --smoke
+
+Exit code is non-zero when any batched run's aggregate bytes diverge from
+the batch-1 run (never acceptable), or when ``--min-speedup`` is given and
+the measured batch-64-vs-1 speedup falls short. The speedup gate is opt-in
+because wall-clock ratios flake on loaded shared runners; run it locally
+(`--min-speedup 3` is the acceptance bar) rather than in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.runner import Aggregator, grid_specs, mean_metric, stream_campaign
+
+#: The cheap point: one supply-delay evaluation (pure closed-form math), so
+#: per-task IPC overhead — not the experiment — is what gets measured. The
+#: free ``rep`` axis makes every point a distinct spec/digest, like a real
+#: replication sweep.
+CHEAP_AXES = {"period": [3.0], "budget": [1.0], "pieces": [1]}
+
+BATCH_SIZES: tuple[int | None, ...] = (1, 16, 64, 256, None)
+
+
+def run_once(
+    points: int, workers: int, batch: int | None
+) -> tuple[float, float, str, int]:
+    """One sweep; returns (points/sec, elapsed, aggregate bytes, batches)."""
+    specs = grid_specs(
+        "ablate-slot-split", {**CHEAP_AXES, "rep": list(range(points))}
+    )
+    aggregator = Aggregator([mean_metric("delay", "delay")])
+    start = time.perf_counter()
+    result = stream_campaign(
+        specs, aggregator, workers=workers, batch_size=batch
+    )
+    elapsed = time.perf_counter() - start
+    return points / elapsed, elapsed, result.aggregate_json(), result.stats.batches
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--points", type=int, default=20_000,
+        help="points per sweep (default: 20000)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="process-pool size (default: 2)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast run for CI logs (3000 points)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="fail unless batch-64 points/sec >= X * batch-1 points/sec",
+    )
+    args = parser.parse_args(argv)
+    points = 3_000 if args.smoke else args.points
+
+    print(
+        f"batched execution throughput — {points} cheap points "
+        f"(ablate-slot-split), {args.workers} workers"
+    )
+    print(f"{'batch':>6}  {'tasks':>6}  {'elapsed':>9}  {'points/sec':>11}")
+    rates: dict[int | None, float] = {}
+    baseline_agg: str | None = None
+    for batch in BATCH_SIZES:
+        rate, elapsed, agg, batches = run_once(points, args.workers, batch)
+        rates[batch] = rate
+        if baseline_agg is None:
+            baseline_agg = agg
+        elif agg != baseline_agg:
+            print(f"FATAL: batch={batch} changed the aggregate bytes")
+            return 2
+        label = "auto" if batch is None else str(batch)
+        print(f"{label:>6}  {batches:>6}  {elapsed:>8.2f}s  {rate:>11.0f}")
+
+    speedup = rates[64] / rates[1]
+    print(
+        f"speedup batch 64 vs 1: {speedup:.1f}x  "
+        f"(auto vs 1: {rates[None] / rates[1]:.1f}x); "
+        f"aggregates bit-identical across all batch sizes"
+    )
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.1f}x below required "
+            f"{args.min_speedup:.1f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

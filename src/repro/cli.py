@@ -29,15 +29,20 @@ Commands
     the canonical spec/result JSON and ``--agg-out`` the canonical aggregate
     state (what CI diffs to guard determinism). ``--shard i/N`` runs one
     deterministic digest-keyed shard of the grid (multi-host fan-out); its
-    snapshot carries a shard manifest for ``repro merge``. See
-    docs/campaigns.md.
-``merge <snapshot>... [--out F] [--preset P]``
+    snapshot carries a shard manifest for ``repro merge``. ``--batch N``
+    packs N points into each worker task (default: auto-sized) — batching
+    cuts IPC overhead on cheap-point sweeps without changing a single
+    output byte. See docs/campaigns.md.
+``merge <snapshot>... [--out F] [--preset P] [--allow-partial]``
     Fold shard snapshots (:mod:`repro.runner.shard`) into the canonical
     full-campaign aggregate snapshot — byte-identical to an unsharded run.
     Mismatched configs/seeds/grids and missing, overlapping or incomplete
-    shards are refused with a report instead of producing partial curves.
-    ``--preset`` additionally renders the merged aggregate with that
-    preset's renderer (e.g. the weighted curve tables + ASCII plot).
+    shards are refused with a report instead of producing partial curves;
+    ``--allow-partial`` downgrades *only* the completeness refusals to a
+    preview snapshot explicitly marked ``"partial": true`` with the
+    missing-shard list. ``--preset`` additionally renders the merged
+    aggregate with that preset's renderer (e.g. the weighted curve tables
+    + ASCII plot).
 
 Task-set JSON is the :mod:`repro.model.serialization` format::
 
@@ -543,6 +548,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             # are recorded as errors and excluded from the aggregate.
             on_error="store" if args.preset == "weighted" else "raise",
             shard=shard,
+            batch_size=args.batch,
         )
     except (CampaignError, SnapshotError, OSError) as exc:
         print(f"campaign failed: {exc}")
@@ -578,8 +584,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     print(
         f"[campaign] {shard_tag}{s.total} points ({s.unique} unique): "
         f"{s.computed} computed, {s.cached} cached in {s.elapsed:.2f}s "
-        f"with {s.workers} worker(s); aggregate: {s.folded} folded, "
-        f"{s.skipped} resumed{extra}",
+        f"with {s.workers} worker(s) x batch {s.batch_size}; "
+        f"aggregate: {s.folded} folded, {s.skipped} resumed{extra}",
         file=sys.stderr,
     )
     return 0
@@ -594,7 +600,9 @@ def cmd_merge(args: argparse.Namespace) -> int:
     )
 
     try:
-        merged = merge_snapshot_files(args.snapshots)
+        merged = merge_snapshot_files(
+            args.snapshots, allow_partial=args.allow_partial
+        )
     except MergeError as exc:
         print(f"merge failed: {exc}")
         return 1
@@ -621,10 +629,20 @@ def cmd_merge(args: argparse.Namespace) -> int:
     elif not args.out:
         print(text)
     manifest = merged["shard"]
+    partial_tag = ""
+    if merged.get("partial"):
+        reason = (
+            f"missing shards {merged['missing_shards']}"
+            if merged["missing_shards"]
+            else "incomplete shard(s) — some covered points not yet folded"
+        )
+        partial_tag = (
+            f" — PARTIAL PREVIEW ({reason}), not mergeable or resumable"
+        )
     print(
         f"[merge] {len(args.snapshots)} shard snapshot(s): "
         f"{len(merged['folded'])} folded, {len(merged['failed'])} failed "
-        f"over {len(manifest['points'])} points",
+        f"over {len(manifest['points'])} points{partial_tag}",
         file=sys.stderr,
     )
     return 0
@@ -739,6 +757,11 @@ def build_parser() -> argparse.ArgumentParser:
              "); the snapshot records a manifest for 'repro merge'",
     )
     p.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="points per worker task (default: auto-sized; results are "
+             "bit-identical for any value)",
+    )
+    p.add_argument(
         "--json", action="store_true",
         help="print the canonical JSON instead of tables",
     )
@@ -768,6 +791,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--preset", choices=list(_PRESETS), default=None,
         help="also render the merged aggregate with this preset's renderer",
+    )
+    p.add_argument(
+        "--allow-partial", action="store_true",
+        help="preview an incomplete shard set: the merged snapshot is "
+             "marked 'partial' with the missing-shard list instead of "
+             "being refused (previews cannot be merged or resumed)",
     )
     p.set_defaults(func=cmd_merge)
     return parser

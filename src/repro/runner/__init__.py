@@ -48,10 +48,15 @@ from repro.runner.aggregate import (
 )
 from repro.runner.cache import ResultCache, atomic_write_text
 from repro.runner.engine import (
+    MAX_AUTO_BATCH,
     CampaignError,
     CampaignResult,
     CampaignStats,
+    auto_batch_size,
     default_workers,
+    evaluate_batch,
+    evaluate_point,
+    execute_points,
     run_campaign,
     sweep,
 )
@@ -87,6 +92,7 @@ from repro.runner.stream import (
 )
 
 __all__ = [
+    "MAX_AUTO_BATCH",
     "Accumulator",
     "Aggregator",
     "CampaignError",
@@ -109,9 +115,13 @@ __all__ = [
     "WeightedMeanAccumulator",
     "accumulator_from_state",
     "atomic_write_text",
+    "auto_batch_size",
     "canonical_json",
     "curve_metric",
     "default_workers",
+    "evaluate_batch",
+    "evaluate_point",
+    "execute_points",
     "expand_grid",
     "experiment",
     "experiments",

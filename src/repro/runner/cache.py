@@ -15,7 +15,7 @@ import os
 import re
 import tempfile
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from repro.runner.spec import PointSpec
 
@@ -102,3 +102,20 @@ class ResultCache:
         }
         atomic_write_text(path, json.dumps(record, sort_keys=True))
         return path
+
+    def put_many(
+        self,
+        entries: Iterable[tuple[PointSpec, int, Any, float | None]],
+    ) -> list[Path]:
+        """Persist a batch of ``(spec, master_seed, result, elapsed)`` entries.
+
+        The batched engine's per-batch spelling of :meth:`put`: the
+        grouping is at the call layer (one call per completed batch), not
+        the I/O layer — every entry still lands as its own atomic file,
+        byte-identical to a per-point ``put``, so per-point resume and
+        cross-campaign cache sharing keep working unchanged.
+        """
+        return [
+            self.put(spec, master_seed, result, elapsed=elapsed)
+            for spec, master_seed, result, elapsed in entries
+        ]

@@ -14,9 +14,15 @@ Execution contract
 * **Ordering** — ``CampaignResult.results[i]`` always corresponds to
   ``specs[i]`` regardless of the order points actually finished in.
 
-Worker processes evaluate :func:`evaluate_point` on ``(experiment, params,
+Worker processes evaluate :func:`evaluate_batch` on ``(points,
 master_seed)`` payloads — plain picklable tuples, resolved against the
-registry in :mod:`repro.runner.points` on the worker side.
+registry in :mod:`repro.runner.points` on the worker side. Each pool task
+carries a whole *batch* of points (:func:`auto_batch_size` picks how many),
+so IPC and future bookkeeping are amortized over the batch instead of paid
+once per point — the difference between a million pool tasks and a few
+thousand on a million-point shard. Batching never changes results: every
+point is still seeded by its own content digest, and completions are folded
+through the same order-insensitive paths as unbatched runs.
 """
 
 from __future__ import annotations
@@ -52,6 +58,9 @@ class CampaignStats:
     errors: int
     elapsed: float
     workers: int
+    #: Points-per-task the engine resolved (the request, or the auto-sized
+    #: value) — informational, like ``workers``; results never depend on it.
+    batch_size: int = 1
 
 
 @dataclass
@@ -96,63 +105,158 @@ def evaluate_point(
     return True, result, time.perf_counter() - start
 
 
+def evaluate_batch(
+    payload: tuple[tuple[tuple[str, Mapping[str, Any]], ...], int]
+) -> list[tuple[bool, Any, float]]:
+    """Evaluate a whole ``((experiment, params), ...)`` batch in one task.
+
+    One pool task, one pickled payload, one result message — regardless of
+    how many points the batch holds. Outcomes are returned in batch order;
+    each point is evaluated independently (a failing point never poisons
+    its batch mates).
+    """
+    points, master_seed = payload
+    return [
+        evaluate_point((experiment, params, master_seed))
+        for experiment, params in points
+    ]
+
+
 def default_workers() -> int:
     """Default parallelism: every core but one (floor 1)."""
     return max(1, (os.cpu_count() or 2) - 1)
+
+
+#: Auto-sized batches never exceed this many points: snapshot flushes,
+#: progress updates and cache writes all happen at batch completion, so an
+#: unbounded batch would turn a resumable campaign into an all-or-nothing
+#: task per worker.
+MAX_AUTO_BATCH = 256
+
+#: Target number of batches handed to each worker over an auto-sized run —
+#: enough slack that an unlucky worker stuck with slow points doesn't
+#: serialize the tail of the campaign.
+_BATCHES_PER_WORKER = 8
+
+#: In-flight (submitted, unfinished) batches per worker. The engine submits
+#: lazily up to this window instead of materializing every pickled future
+#: up front — a million-point shard queues a handful of batches, not a
+#: million futures.
+_INFLIGHT_PER_WORKER = 4
+
+
+def auto_batch_size(points: int, workers: int) -> int:
+    """Heuristic batch size for ``points`` spread over ``workers``.
+
+    Aims for :data:`_BATCHES_PER_WORKER` batches per worker (so the pool
+    load-balances), capped at :data:`MAX_AUTO_BATCH` (so progress,
+    snapshots and caching stay responsive) with a floor of one point.
+    Small campaigns therefore keep per-point tasks; million-point sweeps
+    get maximal amortization.
+    """
+    if points <= 0 or workers <= 0:
+        return 1
+    return max(1, min(MAX_AUTO_BATCH, points // (workers * _BATCHES_PER_WORKER)))
 
 
 def execute_points(
     todo: list[PointSpec],
     workers: int,
     master_seed: int,
-    finish: "Callable[[PointSpec, bool, Any, float], None]",
+    finish_batch: "Callable[[list[tuple[PointSpec, bool, Any, float]]], None]",
     on_abort: "Callable[[], None] | None" = None,
-) -> None:
-    """Evaluate ``todo`` sequentially or via a process pool.
+    batch_size: int | None = None,
+) -> int:
+    """Evaluate ``todo`` sequentially or via a process pool, in batches.
 
     The shared execution core of :func:`run_campaign` and
-    :func:`repro.runner.stream.stream_campaign`: calls ``finish(spec, ok,
-    result, elapsed)`` as each point completes (any order in pool mode).
-    If ``finish`` raises :class:`CampaignError`, queued points are
+    :func:`repro.runner.stream.stream_campaign`: calls
+    ``finish_batch([(spec, ok, result, elapsed), ...])`` as each batch
+    completes (any batch order in pool mode; batch-internal order is
+    submission order). ``batch_size=None`` auto-sizes via
+    :func:`auto_batch_size`; returns the effective batch size. If
+    ``finish_batch`` raises :class:`CampaignError`, queued batches are
     cancelled and ``on_abort`` runs before the error propagates — both
     paths, so e.g. snapshot flushing behaves identically at any worker
     count.
+
+    Submission is windowed: at most ``workers *`` a small factor of
+    batches are in flight at once, so the pending-future set stays O(
+    workers) however many points the campaign holds.
     """
+    if batch_size is None:
+        batch_size = auto_batch_size(len(todo), workers)
+    batch_size = max(1, int(batch_size))
     if not todo:
-        return
+        return batch_size
+    batches = [
+        todo[i : i + batch_size] for i in range(0, len(todo), batch_size)
+    ]
     if workers == 1 or len(todo) == 1:
         try:
-            for spec in todo:
-                ok, result, elapsed = evaluate_point(
-                    (spec.experiment, spec.params, master_seed)
-                )
-                finish(spec, ok, result, elapsed)
+            for batch in batches:
+                done: list[tuple[PointSpec, bool, Any, float]] = []
+                for spec in batch:
+                    outcome = evaluate_point(
+                        (spec.experiment, spec.params, master_seed)
+                    )
+                    done.append((spec, *outcome))
+                    if not outcome[0]:
+                        # Surface failures immediately: inline execution
+                        # has no IPC to amortize, so an on_error="raise"
+                        # campaign must abort without evaluating the rest
+                        # of the batch first.
+                        finish_batch(done)
+                        done = []
+                if done:
+                    finish_batch(done)
         except CampaignError:
             if on_abort is not None:
                 on_abort()
             raise
-        return
-    with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
-        futures = {
-            pool.submit(
-                evaluate_point, (spec.experiment, spec.params, master_seed)
-            ): spec
-            for spec in todo
-        }
-        pending = set(futures)
+        return batch_size
+    with ProcessPoolExecutor(max_workers=min(workers, len(batches))) as pool:
+        window = workers * _INFLIGHT_PER_WORKER
+        queued = iter(batches)
+        pending: dict[Any, list[PointSpec]] = {}
+
+        def top_up() -> None:
+            while len(pending) < window:
+                batch = next(queued, None)
+                if batch is None:
+                    return
+                future = pool.submit(
+                    evaluate_batch,
+                    (
+                        tuple((s.experiment, s.params) for s in batch),
+                        master_seed,
+                    ),
+                )
+                pending[future] = batch
         try:
+            top_up()
             while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
                 for future in done:
-                    ok, result, elapsed = future.result()
-                    finish(futures[future], ok, result, elapsed)
+                    batch = pending.pop(future)
+                    outcomes = future.result()
+                    finish_batch(
+                        [
+                            (spec, ok, result, elapsed)
+                            for spec, (ok, result, elapsed) in zip(
+                                batch, outcomes
+                            )
+                        ]
+                    )
+                top_up()
         except CampaignError:
             # Don't let the context-manager exit block on the whole
-            # remaining campaign: drop every queued point first.
+            # remaining campaign: drop every queued batch first.
             pool.shutdown(wait=False, cancel_futures=True)
             if on_abort is not None:
                 on_abort()
             raise
+    return batch_size
 
 
 def run_campaign(
@@ -164,6 +268,7 @@ def run_campaign(
     progress: bool | ProgressReporter = False,
     progress_stream: TextIO | None = None,
     on_error: str = "raise",
+    batch_size: int | None = None,
 ) -> CampaignResult:
     """Run every point of a campaign and return aligned results.
 
@@ -185,6 +290,9 @@ def run_campaign(
         ``"raise"`` aborts on the first failing point;
         ``"store"`` records ``{"error": message}`` as that point's result
         (never cached) and keeps going.
+    batch_size:
+        Points per pool task; ``None`` (default) auto-sizes via
+        :func:`auto_batch_size`. Results are bit-identical for any value.
     """
     # A materialized campaign is a streamed one that folds into nothing
     # and keeps every result; the streaming module owns the engine loop.
@@ -201,6 +309,7 @@ def run_campaign(
         progress=progress,
         progress_stream=progress_stream,
         on_error=on_error,
+        batch_size=batch_size,
     )
     return CampaignResult(
         specs=streamed.specs,
@@ -224,10 +333,13 @@ def sweep(
 
 
 __all__ = [
+    "MAX_AUTO_BATCH",
     "CampaignError",
     "CampaignResult",
     "CampaignStats",
+    "auto_batch_size",
     "default_workers",
+    "evaluate_batch",
     "evaluate_point",
     "execute_points",
     "run_campaign",

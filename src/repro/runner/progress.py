@@ -51,16 +51,19 @@ class ProgressReporter:
         return time.monotonic() - self._started
 
     def eta(self) -> float | None:
-        """Estimated seconds to completion (None before any computed point).
+        """Estimated seconds to completion (None until a point is computed).
 
-        Cache hits are ~free, so the rate is based on *computed* points only;
-        a fully cached re-run reports an ETA of 0 as soon as anything lands.
+        Cache hits are ~free, so the rate is based on *computed* points
+        only. Until at least one point has actually been computed there is
+        no rate to extrapolate from, so the ETA is ``None`` (unknown) —
+        a warm-cache prefix must not report "eta 0.0s" while thousands of
+        never-computed points remain. A finished campaign reports 0.
         """
         remaining = self.total - self.done
         if remaining <= 0:
             return 0.0
         if self.computed == 0:
-            return None if self.done == 0 else 0.0
+            return None
         return remaining * (self.elapsed / self.computed)
 
     def snapshot(self) -> dict[str, Any]:
@@ -93,8 +96,12 @@ class ProgressReporter:
             end = "\n" if final else ""
             self._stream.write(f"\r{self._render()}{end}")
         else:
-            if final or self.done % self._line_step == 0:
-                self._stream.write(f"{self._render()}\n")
+            if not final and self.done % self._line_step != 0:
+                # Nothing rendered, nothing to flush: a throttled update
+                # must be free — one flush syscall per finished point adds
+                # up to real time on a million-point campaign.
+                return
+            self._stream.write(f"{self._render()}\n")
         self._stream.flush()
 
     def _render(self) -> str:

@@ -180,6 +180,12 @@ def read_shard_snapshot(path: str | os.PathLike) -> dict[str, Any]:
     for key in ("master_seed", "config", "shard", "folded", "failed", "aggregate"):
         if key not in snap:
             raise MergeError(f"snapshot {path} is missing {key!r}")
+    if snap.get("partial"):
+        raise MergeError(
+            f"snapshot {path} is a partial-merge preview (missing shards "
+            f"{snap.get('missing_shards')}); previews cannot be merged — "
+            f"merge the original shard snapshots instead"
+        )
     try:
         ShardManifest.from_dict(snap["shard"])
     except (KeyError, TypeError, ValueError) as exc:
@@ -190,6 +196,8 @@ def read_shard_snapshot(path: str | os.PathLike) -> dict[str, Any]:
 def merge_snapshots(
     snaps: Sequence[Mapping[str, Any]],
     sources: Sequence[str] | None = None,
+    *,
+    allow_partial: bool = False,
 ) -> dict[str, Any]:
     """Fold shard snapshots into the canonical full-campaign snapshot.
 
@@ -209,6 +217,16 @@ def merge_snapshots(
     of the aggregate states — byte-identical (via
     :func:`~repro.runner.spec.canonical_json`) to the snapshot an unsharded
     run of the same campaign writes.
+
+    ``allow_partial=True`` is the deliberate escape hatch for previewing a
+    campaign that is still in flight: missing and incomplete shards are
+    tolerated, and the result is a *preview* snapshot explicitly marked
+    ``"partial": true`` with the missing-shard list — previews are refused
+    both as future merge inputs and as campaign resume states, so they can
+    never masquerade as the finished campaign. Every consistency check
+    that does not concern completeness (seeds, configs, grids, overlaps,
+    stray folds) still applies. A complete shard set merged with
+    ``allow_partial=True`` yields the canonical (unmarked) snapshot.
     """
     if not snaps:
         raise MergeError("no snapshots to merge")
@@ -237,13 +255,15 @@ def merge_snapshots(
             )
         seen[manifest.index] = name
     missing = sorted(set(range(count)) - set(seen))
-    if missing:
+    if missing and not allow_partial:
         raise MergeError(
             f"missing shards: have {sorted(seen)} of {count}, "
             f"missing {missing}"
         )
 
+    incomplete = 0
     all_points: set[str] = set()
+    all_done: set[str] = set()
     for name, snap, manifest in zip(names, snaps, manifests):
         coverage = set(manifest.points)
         done = set(snap["folded"]) | set(snap["failed"])
@@ -255,21 +275,27 @@ def merge_snapshots(
             )
         unfinished = coverage - done
         if unfinished:
-            raise MergeError(
-                f"{name} is incomplete: {len(unfinished)} of "
-                f"{len(coverage)} points not yet folded — rerun that shard "
-                f"before merging"
-            )
+            if not allow_partial:
+                raise MergeError(
+                    f"{name} is incomplete: {len(unfinished)} of "
+                    f"{len(coverage)} points not yet folded — rerun that "
+                    f"shard before merging"
+                )
+            incomplete += 1
         if all_points & coverage:
             raise MergeError(
                 f"{name} covers points already claimed by another shard"
             )
         all_points |= coverage
+        all_done |= done
 
+    partial = bool(missing) or incomplete > 0
     # The manifests' own grid digest must re-derive from the union of their
     # coverage sets — a truncated/hand-edited points list would otherwise
     # pass every per-shard check and merge into a silently partial curve.
-    if grid_digest(all_points) != manifests[0].grid:
+    # (Moot for an acknowledged-partial preview: its union is partial by
+    # construction, and the preview keeps the *declared* grid digest.)
+    if not partial and grid_digest(all_points) != manifests[0].grid:
         raise MergeError(
             f"shard coverage sets do not reassemble the declared grid: "
             f"union of {len(all_points)} point(s) hashes to "
@@ -282,6 +308,22 @@ def merge_snapshots(
     failed = set().union(*(set(s["failed"]) for s in snaps))
     from repro.runner.stream import snapshot_dict  # late: avoid cycle
 
+    if partial:
+        # The preview claims the *declared* grid (what the campaign will
+        # eventually cover) but only the done points — never the trivial
+        # full manifest an unsharded run would earn.
+        shard = ShardManifest(
+            index=0, count=1, grid=manifests[0].grid, points=tuple(all_done)
+        )
+        return snapshot_dict(
+            config=snaps[0]["config"],
+            master_seed=snaps[0]["master_seed"],
+            folded=folded,
+            failed=failed,
+            aggregate=aggregate,
+            shard=shard,
+            missing_shards=missing,
+        )
     return snapshot_dict(
         config=snaps[0]["config"],
         master_seed=snaps[0]["master_seed"],
@@ -292,11 +334,14 @@ def merge_snapshots(
     )
 
 
-def merge_snapshot_files(paths: Sequence[str | os.PathLike]) -> dict[str, Any]:
+def merge_snapshot_files(
+    paths: Sequence[str | os.PathLike], *, allow_partial: bool = False
+) -> dict[str, Any]:
     """:func:`merge_snapshots` over snapshot files (the ``repro merge`` core)."""
     return merge_snapshots(
         [read_shard_snapshot(p) for p in paths],
         sources=[str(p) for p in paths],
+        allow_partial=allow_partial,
     )
 
 

@@ -30,7 +30,7 @@ import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, Mapping, TextIO
+from typing import Any, Iterable, Mapping, Sequence, TextIO
 
 from repro.runner.aggregate import Aggregator
 from repro.runner.cache import ResultCache, atomic_write_text
@@ -66,6 +66,8 @@ class StreamStats(CampaignStats):
 
     folded: int = 0
     skipped: int = 0
+    #: Completed batches the engine handed back (0 when nothing computed).
+    batches: int = 0
 
 
 @dataclass
@@ -137,6 +139,15 @@ def load_snapshot(
             f"snapshot {path} does not match this aggregator's shape "
             f"(config digest mismatch)"
         )
+    if snap.get("partial"):
+        # A partial-merge preview (`repro merge --allow-partial`) unions
+        # several shards' folds under the trivial manifest; resuming a
+        # campaign from it would silently skip whole shards of points.
+        raise SnapshotError(
+            f"snapshot {path} is a partial-merge preview "
+            f"(missing shards {snap.get('missing_shards')}); previews "
+            f"cannot seed a campaign resume"
+        )
     if shard is not None and shard.count > 1:
         stored = snap.get("shard")
         stored_key = (
@@ -162,11 +173,18 @@ def snapshot_dict(
     failed: set[str],
     aggregate: Mapping[str, Any],
     shard: ShardManifest,
+    missing_shards: "Sequence[int] | None" = None,
 ) -> dict[str, Any]:
     """The canonical snapshot payload — the single layout both
     :func:`save_snapshot` and :func:`repro.runner.shard.merge_snapshots`
-    emit, so a merged snapshot can be byte-compared against a live one."""
-    return {
+    emit, so a merged snapshot can be byte-compared against a live one.
+
+    ``missing_shards`` marks a *partial-merge preview* (``repro merge
+    --allow-partial``): the payload gains ``"partial": true`` plus the
+    missing-shard list, so a preview can never be byte-confused with — or
+    resumed/merged as — a complete campaign snapshot.
+    """
+    snap = {
         "schema": SNAPSHOT_SCHEMA,
         "master_seed": master_seed,
         "config": config,
@@ -175,6 +193,10 @@ def snapshot_dict(
         "failed": sorted(failed),
         "aggregate": dict(aggregate),
     }
+    if missing_shards is not None:
+        snap["partial"] = True
+        snap["missing_shards"] = sorted(missing_shards)
+    return snap
 
 
 def save_snapshot(
@@ -218,6 +240,7 @@ def stream_campaign(
     progress_stream: TextIO | None = None,
     on_error: str = "raise",
     shard: ShardManifest | None = None,
+    batch_size: int | None = None,
 ) -> StreamResult:
     """Run a campaign, folding each finished point into ``aggregator``.
 
@@ -239,6 +262,15 @@ def stream_campaign(
     coverage exactly, and the snapshot is tagged with the manifest so
     ``repro merge`` can validate it. Without ``shard`` the snapshot carries
     the trivial 0/1 manifest over the campaign's own point set.
+
+    ``batch_size`` packs that many points into each pool task (``None``
+    auto-sizes, see :func:`~repro.runner.engine.auto_batch_size`); cache
+    entries are written per batch through
+    :meth:`~repro.runner.cache.ResultCache.put_many` and completed batches
+    fold as they arrive. Results, aggregates and snapshots are
+    **bit-identical** for every ``(workers, batch_size)`` combination —
+    batching only changes how work is packed, never what a point computes
+    or how folds combine.
     """
     if on_error not in ("raise", "store"):
         raise ValueError(f"on_error must be 'raise' or 'store': got {on_error!r}")
@@ -348,20 +380,32 @@ def stream_campaign(
         else:
             todo.append(spec)
 
-    def on_complete(spec: PointSpec, ok: bool, result: Any, elapsed: float) -> None:
-        if ok and cache is not None:
-            cache.put(spec, master_seed, result, elapsed=elapsed)
-        finish(spec, ok, result)
+    batches = 0
+
+    def on_complete_batch(
+        batch: list[tuple[PointSpec, bool, Any, float]]
+    ) -> None:
+        nonlocal batches
+        batches += 1
+        if cache is not None:
+            cache.put_many(
+                (spec, master_seed, result, elapsed)
+                for spec, ok, result, elapsed in batch
+                if ok
+            )
+        for spec, ok, result, _elapsed in batch:
+            finish(spec, ok, result)
 
     computed = len(todo)
-    execute_points(
+    effective_batch = execute_points(
         todo,
         workers,
         master_seed,
-        on_complete,
+        on_complete_batch,
         # persist what has been folded so far even when a point aborts the
         # campaign — a resumed run then skips everything already aggregated
         on_abort=lambda: flush(force=True),
+        batch_size=batch_size,
     )
 
     flush(force=True)
@@ -383,8 +427,10 @@ def stream_campaign(
             errors=errors,
             elapsed=time.monotonic() - start,
             workers=workers,
+            batch_size=effective_batch,
             folded=len(folded & set(unique)) - len(already_folded),
             skipped=len(already_folded) + resumed_failed,
+            batches=batches,
         ),
     )
 

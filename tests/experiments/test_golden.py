@@ -51,6 +51,14 @@ class TestGoldenDigests:
         )
         assert digest(streamed.to_json()) == TABLE2_DIGEST
 
+    def test_batched_campaign_matches_digest(self):
+        """Batched execution (batch size not dividing the point count)
+        produces the very same canonical bytes as the per-point engine."""
+        text = run_campaign(
+            figure4_specs(), workers=1, master_seed=0, batch_size=2
+        ).to_json()
+        assert digest(text) == FIGURE4_DIGEST
+
 
 class TestGoldenNumbers:
     """Exact values behind the digests — the first place to look on drift."""

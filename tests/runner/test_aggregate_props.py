@@ -128,6 +128,31 @@ class TestMergeContract:
             merged = merged.merge(shard)
         assert state(merged) == state(build(kind, xs))
 
+    @given(
+        kinds,
+        folds,
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_batched_worker_sharding_matches_sequential_fold(
+        self, kind, xs, workers, batch
+    ):
+        # The batched engine's fold shape: chunk the stream into batches
+        # (sizes that don't divide the count leave a short tail), deal the
+        # batches round-robin to workers, fold each worker's batches in
+        # arrival order, merge the workers. Must equal one sequential fold
+        # bit-for-bit — this is what makes `--batch N` output-invisible.
+        batches = [xs[i : i + batch] for i in range(0, len(xs), batch)]
+        shards = [
+            build(kind, [f for b in batches[w::workers] for f in b])
+            for w in range(workers)
+        ]
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged = merged.merge(shard)
+        assert state(merged) == state(build(kind, xs))
+
     @given(kinds, folds)
     @settings(max_examples=80, deadline=None)
     def test_serialization_round_trip(self, kind, xs):

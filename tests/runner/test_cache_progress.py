@@ -105,6 +105,32 @@ class TestResultCache:
         assert list(tmp_path.rglob("*.tmp")) == []
 
 
+class TestPutMany:
+    def test_batch_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [PointSpec("x", {"u": float(i)}) for i in range(5)]
+        paths = cache.put_many(
+            (spec, 7, {"v": i}, 0.1) for i, spec in enumerate(specs)
+        )
+        assert len(paths) == 5
+        for i, spec in enumerate(specs):
+            assert cache.get(spec, 7) == {"v": i}
+
+    def test_entries_match_per_point_put_records(self, tmp_path):
+        """put_many is the grouped spelling of put: identical files, so
+        batched and unbatched campaigns share one cache."""
+        a, b = ResultCache(tmp_path / "a"), ResultCache(tmp_path / "b")
+        spec = PointSpec("x", {"u": 1.0})
+        path_many = a.put_many([(spec, 0, {"v": 1}, 0.5)])[0]
+        path_one = b.put(spec, 0, {"v": 1}, elapsed=0.5)
+        assert path_many.read_text() == path_one.read_text()
+
+    def test_empty_batch_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.put_many([]) == []
+        assert [p for p in tmp_path.rglob("*") if p.is_file()] == []
+
+
 class TestAtomicWriteText:
     def test_temp_file_removed_when_rename_fails(self, tmp_path):
         from repro.runner import atomic_write_text
@@ -124,6 +150,27 @@ class TestAtomicWriteText:
         assert list(target.parent.iterdir()) == [target]
 
 
+class CountingStream(io.StringIO):
+    """A text stream that counts write()/flush() syscall-shaped calls."""
+
+    def __init__(self, tty: bool = False):
+        super().__init__()
+        self.writes = 0
+        self.flushes = 0
+        self._tty = tty
+
+    def write(self, text):  # noqa: D102 - io.StringIO override
+        self.writes += 1
+        return super().write(text)
+
+    def flush(self):  # noqa: D102 - io.StringIO override
+        self.flushes += 1
+        return super().flush()
+
+    def isatty(self):  # noqa: D102 - io.StringIO override
+        return self._tty
+
+
 class TestProgressReporter:
     def test_counts_and_snapshot(self):
         rep = ProgressReporter(3, stream=io.StringIO())
@@ -141,6 +188,26 @@ class TestProgressReporter:
         rep = ProgressReporter(5, stream=io.StringIO())
         assert rep.eta() is None
 
+    def test_eta_unknown_while_only_cache_hits_landed(self):
+        """A warm-cache prefix has no computation rate to extrapolate from:
+        with thousands of never-computed points remaining, the ETA must be
+        unknown (None), not a triumphant 0.0s."""
+        rep = ProgressReporter(1000, stream=io.StringIO())
+        for _ in range(100):
+            rep.update(cached=True)
+        assert rep.eta() is None
+        assert rep.snapshot()["eta"] is None
+        rep.update()  # one real computation: now there is a rate
+        eta = rep.eta()
+        assert eta is not None and eta > 0.0
+        assert "--" not in rep._render()
+
+    def test_eta_zero_once_everything_is_done(self):
+        rep = ProgressReporter(2, stream=io.StringIO())
+        rep.update(cached=True)
+        rep.update(cached=True)
+        assert rep.eta() == 0.0
+
     def test_renders_to_stream(self):
         out = io.StringIO()
         rep = ProgressReporter(2, stream=out, label="t")
@@ -153,3 +220,25 @@ class TestProgressReporter:
     def test_negative_total_rejected(self):
         with pytest.raises(ValueError):
             ProgressReporter(-1)
+
+    def test_non_tty_flushes_only_after_an_actual_write(self):
+        """Throttled updates used to flush() on every finished point — one
+        syscall per point on a million-point campaign. Now a flush happens
+        iff a line was written."""
+        out = CountingStream()
+        rep = ProgressReporter(100, stream=out)
+        for _ in range(100):
+            rep.update()
+        assert out.writes == 10  # one line per total//10 points
+        assert out.flushes == out.writes
+
+    def test_tty_throttled_updates_do_not_flush(self):
+        import time
+
+        out = CountingStream(tty=True)
+        rep = ProgressReporter(1000, stream=out, min_interval=3600.0)
+        rep._last_render = time.monotonic()  # force the throttle window
+        for _ in range(500):
+            rep.update()
+        assert out.writes == 0  # every update throttled: nothing rendered
+        assert out.flushes == 0  # ... and therefore nothing flushed

@@ -8,9 +8,13 @@ computations.
 import pytest
 
 from repro.runner import (
+    MAX_AUTO_BATCH,
     CampaignError,
     PointSpec,
     ProgressReporter,
+    auto_batch_size,
+    evaluate_batch,
+    execute_points,
     run_campaign,
     sweep,
 )
@@ -67,6 +71,109 @@ class TestRunCampaign:
         sweep("ablate-slot-split", SPLIT_AXES, progress=reporter)
         assert reporter.snapshot()["done"] == 4
         assert reporter.snapshot()["computed"] == 4
+
+
+class TestBatching:
+    def test_auto_batch_size_heuristic(self):
+        # tiny campaigns stay per-point; huge ones cap for responsiveness
+        assert auto_batch_size(0, 4) == 1
+        assert auto_batch_size(12, 4) == 1
+        assert auto_batch_size(5_000, 4) == 5_000 // 32
+        assert auto_batch_size(1_000_000, 4) == MAX_AUTO_BATCH
+        assert auto_batch_size(100, 0) == 1
+
+    def test_evaluate_batch_matches_per_point_and_isolates_failures(self):
+        ok_params = {"period": 3.0, "budget": 1.0, "pieces": 2}
+        bad_params = {"period": 3.0, "budget": 1.0, "pieces": 0}
+        outcomes = evaluate_batch(
+            (
+                (
+                    ("ablate-slot-split", ok_params),
+                    ("ablate-slot-split", bad_params),
+                    ("ablate-slot-split", ok_params),
+                ),
+                0,
+            )
+        )
+        assert [ok for ok, _, _ in outcomes] == [True, False, True]
+        # a failing point never poisons its batch mates
+        assert outcomes[0][1] == outcomes[2][1]
+
+    @pytest.mark.parametrize("workers,batch", [(1, 3), (2, 3), (2, 64)])
+    def test_batch_layout_covers_every_point_once(self, workers, batch):
+        """Batch sizes that don't divide the point count still finish every
+        point exactly once, whatever the (workers, batch) combination."""
+        specs = [
+            PointSpec(
+                "ablate-slot-split",
+                {"period": 3.0, "budget": 1.0, "pieces": 1, "rep": r},
+            )
+            for r in range(7)
+        ]
+        seen: list[str] = []
+        sizes: list[int] = []
+
+        def finish_batch(done):
+            sizes.append(len(done))
+            for spec, ok, _result, elapsed in done:
+                assert ok and elapsed >= 0.0
+                seen.append(spec.digest)
+
+        effective = execute_points(
+            specs, workers, 0, finish_batch, batch_size=batch
+        )
+        assert effective == batch
+        assert sorted(seen) == sorted(s.digest for s in specs)
+        assert all(size <= batch for size in sizes)
+
+    def test_explicit_batch_sizes_are_bit_identical(self):
+        baseline = sweep("schedulability", SCHED_AXES, master_seed=5).to_json()
+        for workers, batch in [(1, 3), (2, 1), (2, 3), (2, 64)]:
+            batched = sweep(
+                "schedulability", SCHED_AXES,
+                workers=workers, master_seed=5, batch_size=batch,
+            )
+            assert batched.to_json() == baseline
+            assert batched.stats.batch_size == batch
+
+    def test_sequential_raise_aborts_without_evaluating_batch_mates(self):
+        """Inline (workers=1) execution surfaces a failing point at once:
+        a raise-mode abort must not burn time evaluating the rest of the
+        failing point's batch first."""
+        bad = PointSpec(
+            "ablate-slot-split", {"period": 3.0, "budget": 1.0, "pieces": 0}
+        )
+        good = PointSpec(
+            "ablate-slot-split", {"period": 3.0, "budget": 1.0, "pieces": 2}
+        )
+        seen: list[str] = []
+
+        def finish_batch(done):
+            for spec, ok, result, _elapsed in done:
+                seen.append(spec.digest)
+                if not ok:
+                    raise CampaignError(spec, result)
+
+        with pytest.raises(CampaignError):
+            execute_points([bad, good], 1, 0, finish_batch, batch_size=2)
+        assert seen == [bad.digest]  # the batch mate was never touched
+
+    def test_store_mode_survives_mixed_batches(self, tmp_path):
+        """A failing point inside a batch is stored, its batch mates are
+        still cached and returned."""
+        axes = {"period": [3.0], "budget": [1.0], "pieces": [0, 2, 3, 4]}
+        campaign = sweep(
+            "ablate-slot-split", axes, on_error="store",
+            cache_dir=tmp_path, batch_size=4,
+        )
+        assert "error" in campaign.results[0]
+        assert campaign.stats.errors == 1
+        again = sweep(
+            "ablate-slot-split", axes, on_error="store",
+            cache_dir=tmp_path, batch_size=2,
+        )
+        assert again.stats.cached == 3  # the failing point is never cached
+        assert again.results == campaign.results
 
 
 class TestCaching:

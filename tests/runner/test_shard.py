@@ -293,6 +293,103 @@ class TestMergeSafety:
             merge_snapshots([])
 
 
+class TestPartialMerge:
+    """The --allow-partial escape hatch: explicit preview snapshots for
+    deliberately incomplete shard sets, while the default path (and every
+    non-completeness refusal) stays exactly as strict as before."""
+
+    def shards(self, tmp_path, **kwargs):
+        specs = grid_specs("schedulability", AXES)
+        return run_shards(specs, 3, tmp_path, **kwargs)
+
+    def test_missing_shard_previews_with_partial_marker(self, tmp_path):
+        paths = self.shards(tmp_path)
+        preview = merge_snapshot_files(paths[:2], allow_partial=True)
+        assert preview["partial"] is True
+        assert preview["missing_shards"] == [2]
+        snaps = [json.loads(p.read_text()) for p in paths[:2]]
+        assert set(preview["folded"]) == set(snaps[0]["folded"]) | set(
+            snaps[1]["folded"]
+        )
+        # the preview claims the *declared* grid but only the done points
+        assert preview["shard"]["grid"] == snaps[0]["shard"]["grid"]
+        assert set(preview["shard"]["points"]) == set(
+            preview["folded"]
+        ) | set(preview["failed"])
+
+    def test_preview_aggregate_merges_only_present_shards(self, tmp_path):
+        from repro.runner import merge_states
+
+        paths = self.shards(tmp_path)
+        preview = merge_snapshot_files(paths[:2], allow_partial=True)
+        snaps = [json.loads(p.read_text()) for p in paths[:2]]
+        assert preview["aggregate"] == merge_states(
+            snaps[0]["aggregate"], snaps[1]["aggregate"]
+        )
+
+    def test_complete_set_with_allow_partial_is_canonical(self, tmp_path):
+        """--allow-partial on a complete set must not water anything down:
+        the result is the canonical snapshot, byte for byte."""
+        paths = self.shards(tmp_path)
+        strict = merge_snapshot_files(paths)
+        permissive = merge_snapshot_files(paths, allow_partial=True)
+        assert canonical_json(permissive) == canonical_json(strict)
+        assert "partial" not in permissive
+
+    def test_incomplete_shard_previews_with_partial_marker(self, tmp_path):
+        paths = self.shards(tmp_path)
+        snap = json.loads(paths[0].read_text())
+        snap["folded"].pop()
+        paths[0].write_text(canonical_json(snap))
+        preview = merge_snapshot_files(paths, allow_partial=True)
+        assert preview["partial"] is True
+        assert preview["missing_shards"] == []  # all shards present...
+        assert len(preview["folded"]) == len(
+            {d for p in paths for d in json.loads(p.read_text())["folded"]}
+        )
+
+    def test_preview_refused_as_merge_input(self, tmp_path):
+        paths = self.shards(tmp_path)
+        preview = merge_snapshot_files(paths[:2], allow_partial=True)
+        preview_path = tmp_path / "preview.json"
+        preview_path.write_text(canonical_json(preview))
+        for allow in (False, True):
+            with pytest.raises(MergeError, match="preview"):
+                merge_snapshot_files([preview_path], allow_partial=allow)
+
+    def test_preview_refused_as_resume_state(self, tmp_path):
+        paths = self.shards(tmp_path)
+        preview = merge_snapshot_files(paths[:2], allow_partial=True)
+        preview_path = tmp_path / "preview.json"
+        preview_path.write_text(canonical_json(preview))
+        specs = grid_specs("schedulability", AXES)
+        with pytest.raises(SnapshotError, match="preview"):
+            stream_campaign(
+                specs, sched_aggregator(),
+                master_seed=5, state_path=preview_path,
+            )
+
+    def test_allow_partial_keeps_every_other_refusal(self, tmp_path):
+        """Only the completeness checks relax: mismatched seeds/configs/
+        grids and overlapping shards are refused exactly as before."""
+        paths = self.shards(tmp_path)
+        with pytest.raises(MergeError, match="overlapping"):
+            merge_snapshot_files([paths[0], *paths], allow_partial=True)
+        snap = json.loads(paths[1].read_text())
+        snap["master_seed"] = 99
+        paths[1].write_text(canonical_json(snap))
+        with pytest.raises(MergeError, match="master seed"):
+            merge_snapshot_files(paths[:2], allow_partial=True)
+
+    def test_stray_fold_refused_even_when_partial(self, tmp_path):
+        paths = self.shards(tmp_path)
+        snap = json.loads(paths[0].read_text())
+        snap["folded"].append("f" * 64)
+        paths[0].write_text(canonical_json(snap))
+        with pytest.raises(MergeError, match="outside its manifest"):
+            merge_snapshot_files(paths[:2], allow_partial=True)
+
+
 class TestShardedStreaming:
     def test_specs_must_match_the_manifest(self):
         specs = grid_specs("schedulability", AXES)

@@ -82,6 +82,93 @@ class TestDeterminism:
         assert agg["delay"].count == 1
 
 
+class TestBatchingBitIdentity:
+    """The batched-execution acceptance contract: any (workers, batch_size)
+    combination — including batch sizes that don't divide the point count —
+    produces byte-identical aggregates, results and snapshots."""
+
+    GRID = [(1, 1), (1, 3), (4, 1), (4, 3), (4, 64), (2, None)]
+
+    def test_workers_batch_grid_is_bit_identical(self):
+        specs = grid_specs(
+            "schedulability", {**SCHED_AXES, "rep": [0, 1, 2]}
+        )
+        baseline = stream_campaign(
+            specs, sched_aggregator(), workers=1, master_seed=5,
+            batch_size=1, collect=True,
+        )
+        for workers, batch in self.GRID[1:]:
+            run = stream_campaign(
+                specs, sched_aggregator(), workers=workers, master_seed=5,
+                batch_size=batch, collect=True,
+            )
+            assert run.to_json() == baseline.to_json(), (workers, batch)
+            assert agg_bytes(run) == agg_bytes(baseline), (workers, batch)
+
+    def test_snapshot_bytes_identical_across_batch_sizes(self, tmp_path):
+        specs = grid_specs("schedulability", SCHED_AXES)
+        snaps = []
+        for workers, batch in [(1, 1), (4, 3), (2, 64)]:
+            state = tmp_path / f"agg-w{workers}-b{batch}.json"
+            stream_campaign(
+                specs, sched_aggregator(), workers=workers, master_seed=5,
+                state_path=state, batch_size=batch,
+            )
+            snaps.append(state.read_bytes())
+        assert snaps[0] == snaps[1] == snaps[2]
+
+    def test_resume_with_a_different_batch_size(self, tmp_path):
+        """Cold run at one batch size, warm resume at another: the resumed
+        run computes nothing and the snapshot bytes never change."""
+        specs = grid_specs("schedulability", SCHED_AXES)
+        state = tmp_path / "agg.json"
+        cache = tmp_path / "cache"
+        cold = stream_campaign(
+            specs, sched_aggregator(), workers=2, master_seed=5,
+            cache_dir=cache, state_path=state, batch_size=1,
+        )
+        assert cold.stats.computed == len(specs)
+        first_bytes = state.read_bytes()
+        warm = stream_campaign(
+            specs, sched_aggregator(), workers=2, master_seed=5,
+            cache_dir=cache, state_path=state, batch_size=5,
+        )
+        assert warm.stats.computed == 0
+        assert warm.stats.skipped == len(specs)
+        assert state.read_bytes() == first_bytes
+        assert agg_bytes(warm) == agg_bytes(cold)
+
+    def test_batched_cache_writes_are_readable_per_point(self, tmp_path):
+        """put_many writes one record per point: a batch=64 run warms the
+        cache for an unbatched re-run."""
+        cache = tmp_path / "cache"
+        specs = grid_specs("schedulability", SCHED_AXES)
+        batched = stream_campaign(
+            specs, sched_aggregator(), master_seed=5, cache_dir=cache,
+            batch_size=64,
+        )
+        unbatched = stream_campaign(
+            specs, sched_aggregator(), master_seed=5, cache_dir=cache,
+            batch_size=1,
+        )
+        assert unbatched.stats.computed == 0
+        assert unbatched.stats.cached == len(specs)
+        assert agg_bytes(unbatched) == agg_bytes(batched)
+
+    def test_stats_record_batches_and_effective_size(self):
+        specs = grid_specs("schedulability", SCHED_AXES)  # 4 unique points
+        run = stream_campaign(
+            specs, sched_aggregator(), master_seed=5, batch_size=3
+        )
+        assert run.stats.batch_size == 3
+        assert run.stats.batches == 2  # 3 + 1: non-dividing size
+
+    def test_auto_batching_default_is_per_point_on_tiny_grids(self):
+        specs = grid_specs("schedulability", SCHED_AXES)
+        run = stream_campaign(specs, sched_aggregator(), master_seed=5)
+        assert run.stats.batch_size == 1
+
+
 class TestMemoryContract:
     def test_collect_false_keeps_no_results(self):
         specs = grid_specs("ablate-slot-split", SPLIT_AXES)
@@ -229,6 +316,42 @@ class TestErrors:
             )
         snap = json.loads(state.read_text())
         assert good.digest in snap["folded"]
+
+    def test_abort_mid_batch_still_flushes_earlier_folds(self, tmp_path):
+        """A fatal point in the middle of a batch flushes the batch mates
+        folded before it, exactly like the unbatched abort path."""
+        from repro.runner import CampaignError
+
+        good = PointSpec(
+            "ablate-slot-split", {"period": 3.0, "budget": 1.0, "pieces": 2}
+        )
+        state = tmp_path / "agg.json"
+        with pytest.raises(CampaignError):
+            stream_campaign(
+                [good, self.BAD],
+                Aggregator([mean_metric("d", "delay")]),
+                workers=1,
+                state_path=state,
+                batch_size=2,  # both points share one batch
+            )
+        snap = json.loads(state.read_text())
+        assert good.digest in snap["folded"]
+
+    def test_store_mode_with_batches_matches_unbatched(self, tmp_path):
+        good = PointSpec(
+            "ablate-slot-split", {"period": 3.0, "budget": 1.0, "pieces": 2}
+        )
+        unbatched = stream_campaign(
+            [good, self.BAD], Aggregator([mean_metric("d", "delay")]),
+            on_error="store", collect=True,
+        )
+        batched = stream_campaign(
+            [good, self.BAD], Aggregator([mean_metric("d", "delay")]),
+            on_error="store", collect=True, batch_size=2,
+        )
+        assert batched.stats.errors == 1
+        assert batched.results == unbatched.results
+        assert agg_bytes(batched) == agg_bytes(unbatched)
 
 
 class TestFoldRows:

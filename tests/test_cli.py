@@ -113,18 +113,26 @@ class TestCampaign:
         assert len(data) == 4
         assert all("spec" in row and "result" in row for row in data)
 
-    def test_out_identical_across_worker_counts(self, tmp_path):
+    def test_out_identical_across_worker_counts_and_batch_sizes(self, tmp_path):
         outs = []
-        for workers in ("1", "2"):
-            out_file = tmp_path / f"w{workers}.json"
+        for workers, batch in (("1", "1"), ("2", "1"), ("2", "3"), ("2", "64")):
+            out_file = tmp_path / f"w{workers}-b{batch}.json"
             assert main([
                 "campaign", "sched",
-                "--axis", "u_total=0.5,1.5", "--axis", "n=6", "--axis", "rep=0",
-                "--seed", "3", "--workers", workers,
+                "--axis", "u_total=0.5,1.5", "--axis", "n=6", "--axis", "rep=0,1",
+                "--seed", "3", "--workers", workers, "--batch", batch,
                 "--no-progress", "--out", str(out_file),
             ]) == 0
             outs.append(out_file.read_text())
-        assert outs[0] == outs[1]
+        assert len(set(outs)) == 1
+
+    def test_stats_line_reports_batch_size(self, tmp_path, capsys):
+        assert main([
+            "campaign", "sched",
+            "--axis", "u_total=0.5", "--axis", "n=6", "--axis", "rep=0,1",
+            "--workers", "1", "--batch", "2", "--no-progress",
+        ]) == 0
+        assert "x batch 2" in capsys.readouterr().err
 
     def test_cached_rerun_computes_nothing(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")
@@ -185,14 +193,16 @@ class TestWeightedCampaign:
         assert "weighted fault coverage" in out
         assert "summary:" in out
 
-    def test_agg_out_identical_across_worker_counts(self, tmp_path):
+    def test_agg_out_identical_across_worker_counts_and_batches(self, tmp_path):
+        """The PR's acceptance criterion on the weighted preset: --workers 4
+        --batch 64 is byte-identical to --workers 1 --batch 1."""
         outs = []
-        for workers in ("1", "4"):
-            agg_file = tmp_path / f"agg-w{workers}.json"
+        for workers, batch in (("1", "1"), ("4", "64")):
+            agg_file = tmp_path / f"agg-w{workers}-b{batch}.json"
             assert main(
                 ["campaign", "--preset", "weighted", *WEIGHTED_TINY,
-                 "--workers", workers, "--seed", "3", "--no-progress",
-                 "--agg-out", str(agg_file)]
+                 "--workers", workers, "--batch", batch, "--seed", "3",
+                 "--no-progress", "--agg-out", str(agg_file)]
             ) == 0
             outs.append(agg_file.read_bytes())
         assert outs[0] == outs[1]
@@ -297,6 +307,78 @@ class TestShardMerge:
         assert main(["merge", *states, "--out", str(tmp_path / "m.json")]) == 1
         assert "missing" in capsys.readouterr().out
         assert not (tmp_path / "m.json").exists()
+
+    def test_merge_allow_partial_previews_missing_shards(self, tmp_path, capsys):
+        """The deliberate escape hatch: 2 of 3 shards preview-merge into a
+        snapshot marked partial, while the default path (above) refuses."""
+        base = [
+            "campaign", "sched", *SCHED_TINY, "--workers", "1",
+            "--seed", "7", "--no-progress",
+        ]
+        states = [str(tmp_path / f"s{i}.json") for i in range(2)]
+        for i, state in enumerate(states):
+            assert main(base + ["--shard", f"{i}/3", "--state", state]) == 0
+        capsys.readouterr()
+        preview = tmp_path / "preview.json"
+        assert main(
+            ["merge", *states, "--allow-partial", "--out", str(preview)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "PARTIAL PREVIEW" in captured.err
+        assert "[2]" in captured.err  # names the missing shard
+        snap = json.loads(preview.read_text())
+        assert snap["partial"] is True
+        assert snap["missing_shards"] == [2]
+        # a preview that is partial only because a shard is incomplete
+        # names that reason instead of claiming "missing shards []"
+        incomplete = json.loads((tmp_path / "s0.json").read_text())
+        incomplete["folded"] = incomplete["folded"][:-1]
+        (tmp_path / "s0.json").write_text(json.dumps(incomplete))
+        states3 = states + [str(tmp_path / "s2.json")]
+        assert main(
+            base + ["--shard", "2/3", "--state", states3[2]]
+        ) == 0
+        capsys.readouterr()
+        assert main(["merge", *states3, "--allow-partial"]) == 0
+        assert "incomplete shard" in capsys.readouterr().err
+        # the preview renders like any aggregate, but cannot be re-merged
+        capsys.readouterr()
+        assert main(["merge", str(preview), "--allow-partial"]) == 1
+        assert "preview" in capsys.readouterr().out
+
+    def test_merge_allow_partial_on_complete_set_is_canonical(self, tmp_path, capsys):
+        base = [
+            "campaign", "sched", *SCHED_TINY, "--workers", "1",
+            "--seed", "7", "--no-progress",
+        ]
+        states = [str(tmp_path / f"s{i}.json") for i in range(3)]
+        for i, state in enumerate(states):
+            assert main(base + ["--shard", f"{i}/3", "--state", state]) == 0
+        strict, permissive = tmp_path / "strict.json", tmp_path / "perm.json"
+        assert main(["merge", *states, "--out", str(strict)]) == 0
+        assert main(
+            ["merge", *states, "--allow-partial", "--out", str(permissive)]
+        ) == 0
+        assert strict.read_bytes() == permissive.read_bytes()
+
+    def test_sharded_batched_runs_merge_to_unbatched_bytes(self, tmp_path):
+        """--batch composes with --shard: batched shard snapshots merge to
+        the same bytes as unbatched ones."""
+        base = [
+            "campaign", "sched", *SCHED_TINY, "--workers", "2",
+            "--seed", "7", "--no-progress",
+        ]
+        merged = {}
+        for tag, extra in (("b1", ["--batch", "1"]), ("b4", ["--batch", "4"])):
+            states = [str(tmp_path / f"{tag}-s{i}.json") for i in range(2)]
+            for i, state in enumerate(states):
+                assert main(
+                    base + extra + ["--shard", f"{i}/2", "--state", state]
+                ) == 0
+            out = tmp_path / f"{tag}-merged.json"
+            assert main(["merge", *states, "--out", str(out)]) == 0
+            merged[tag] = out.read_bytes()
+        assert merged["b1"] == merged["b4"]
 
     def test_merge_without_out_prints_snapshot(self, tmp_path, capsys):
         state = str(tmp_path / "s.json")
