@@ -1,0 +1,89 @@
+"""Faultspace throughput: dependability points/sec through the pool engine.
+
+A faultspace point is the heaviest campaign point in the repository — task
+set generation, partitioning, platform design, scenario fault generation
+and a full multicore simulation — so this benchmark starts the perf
+trajectory for fault-campaign throughput: points/sec of a fixed
+dependability grid at several worker counts, verifying along the way that
+every run folds to the byte-identical aggregate (the determinism contract
+is free to check here and never acceptable to lose).
+
+Standalone on purpose (no pytest-benchmark dependency), so CI can run it
+as a smoke step and the points/sec table lands in the job log:
+
+    PYTHONPATH=src python benchmarks/bench_faultspace.py --smoke
+
+Exit code is non-zero when any run's aggregate bytes diverge from the
+single-worker run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.faultspace import faultspace_aggregator, faultspace_specs
+from repro.runner import stream_campaign
+
+#: Cheap-but-real dependability axes: small generated sets, short horizons,
+#: one scenario per arrival-process family.
+BENCH_AXES = {
+    "u_total": [0.8],
+    "rate": [0.02, 0.05],
+    "scenario": ["poisson", "bursty", "intermittent", "permanent"],
+    "n": [6],
+    "cycles": [10],
+}
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def run_once(reps: int, workers: int) -> tuple[float, float, int, str]:
+    """One sweep; returns (points/sec, elapsed, points, aggregate bytes)."""
+    specs = faultspace_specs({**BENCH_AXES, "rep": list(range(reps))})
+    aggregator = faultspace_aggregator()
+    start = time.perf_counter()
+    result = stream_campaign(
+        specs, aggregator, workers=workers, master_seed=5, on_error="store"
+    )
+    elapsed = time.perf_counter() - start
+    return len(specs) / elapsed, elapsed, len(specs), result.aggregate_json()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reps", type=int, default=10,
+        help="replications per grid cell (default: 10)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: 2 reps, same checks, small wall-clock",
+    )
+    args = parser.parse_args(argv)
+    reps = 2 if args.smoke else args.reps
+
+    print(f"faultspace throughput ({reps} reps/cell)")
+    print(f"{'workers':>8}  {'points':>7}  {'elapsed':>8}  {'points/sec':>10}")
+    baseline: str | None = None
+    diverged = False
+    for workers in WORKER_COUNTS:
+        pps, elapsed, points, agg = run_once(reps, workers)
+        if baseline is None:
+            baseline = agg
+        identical = agg == baseline
+        diverged = diverged or not identical
+        tag = "" if identical else "  AGGREGATE BYTES DIVERGED"
+        print(
+            f"{workers:>8}  {points:>7}  {elapsed:>7.2f}s  {pps:>10.1f}{tag}"
+        )
+    if diverged:
+        print("FAIL: aggregates are not bit-identical across worker counts")
+        return 1
+    print("aggregates bit-identical across all worker counts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,8 +60,9 @@ print(f"injected {result.injected} soft errors over "
 print()
 rows = []
 for outcome in FaultOutcome:
+    share = result.rate(outcome)
     rows.append([str(outcome), result.outcomes[outcome],
-                 f"{100 * result.rate(outcome):.1f}%"])
+                 f"{100 * share:.1f}%" if share is not None else "n/a"])
 print(format_table(["outcome", "count", "share"], rows))
 print()
 

@@ -19,8 +19,11 @@ Commands
     Run an experiment campaign through the parallel runner
     (:mod:`repro.runner`). Presets: ``table2``, ``figure4``, ``ablations``
     (the paper artifacts as campaign points), ``sched`` (synthetic
-    schedulability grid), ``faults`` (fault-injection grid) and ``weighted``
-    (the weighted-schedulability sweep over the generator parameter space).
+    schedulability grid), ``faults`` (fault-injection grid), ``weighted``
+    (the weighted-schedulability sweep over the generator parameter space)
+    and ``faultspace`` (the dependability sweep over u_total x fault rate x
+    fault scenario, with outcome-taxonomy curves and Wilson confidence
+    intervals; ``--scenario X`` narrows the scenario axis).
     Every preset streams into a mergeable aggregate
     (:mod:`repro.runner.aggregate`): results and aggregates are
     bit-identical for any ``--workers`` value; with ``--cache-dir`` a re-run
@@ -60,6 +63,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis import edf_schedulable_dedicated, fp_schedulable_dedicated
+from repro.dependability import scenario_names
 from repro.core import (
     DesignError,
     FeasibleRegion,
@@ -215,13 +219,20 @@ _FAULTS_AXES: dict = {
     "cycles": [50],
     "rep": list(range(3)),
 }
-_AXIS_PRESETS = ("sched", "faults", "weighted")
-_PRESETS = ("table2", "figure4", "ablations", "sched", "faults", "weighted")
+_AXIS_PRESETS = ("sched", "faults", "weighted", "faultspace")
+_PRESETS = (
+    "table2", "figure4", "ablations", "sched", "faults", "weighted",
+    "faultspace",
+)
+#: Presets whose grids span infeasible corners of the generator space;
+#: failing points are stored and excluded instead of aborting the sweep.
+_STORE_ERROR_PRESETS = ("weighted", "faultspace")
 
 
 def _campaign_specs(args: argparse.Namespace):
     """Resolve a preset name (+ --axis overrides) to the spec list."""
     from repro.experiments.ablations import ablation_specs
+    from repro.experiments.faultspace import faultspace_specs
     from repro.experiments.figure4 import figure4_specs
     from repro.experiments.table2 import table2_specs
     from repro.experiments.weighted import WEIGHTED_FAULT_AXES, weighted_specs
@@ -230,6 +241,12 @@ def _campaign_specs(args: argparse.Namespace):
     if args.axis and args.preset not in _AXIS_PRESETS:
         raise SystemExit(
             f"--axis only applies to the {'/'.join(_AXIS_PRESETS)} presets"
+        )
+    if args.scenario and args.preset != "faultspace":
+        raise SystemExit("--scenario only applies to the faultspace preset")
+    if args.preset == "faultspace":
+        return faultspace_specs(
+            parse_axes(args.axis or []), scenario=args.scenario
         )
     if args.preset == "table2":
         return table2_specs()
@@ -261,11 +278,14 @@ def _sched_curve_key(params, result):
 def _preset_aggregator(preset: str):
     """The streaming aggregate each preset folds into."""
     from repro.experiments.ablations import ablation_aggregator
+    from repro.experiments.faultspace import faultspace_aggregator
     from repro.experiments.figure4 import figure4_aggregator
     from repro.experiments.table2 import table2_aggregator
     from repro.experiments.weighted import weighted_aggregator
     from repro.runner import Aggregator, curve_metric, mean_metric
 
+    if preset == "faultspace":
+        return faultspace_aggregator()
     if preset == "table2":
         return table2_aggregator()
     if preset == "figure4":
@@ -445,6 +465,7 @@ def _format_figure4(pts) -> str:
 def _render_preset(preset: str, aggregator) -> str | None:
     """Aggregate-based preset rendering, shared by ``campaign`` and
     ``merge``. None for the presets rendered from materialized rows."""
+    from repro.experiments.faultspace import render_faultspace
     from repro.experiments.figure4 import figure4_points_from_aggregate
     from repro.experiments.table2 import table2_from_aggregate
 
@@ -454,6 +475,8 @@ def _render_preset(preset: str, aggregator) -> str | None:
         return _format_figure4(figure4_points_from_aggregate(aggregator))
     if preset == "weighted":
         return _render_weighted(aggregator)
+    if preset == "faultspace":
+        return render_faultspace(aggregator)
     if preset == "sched":
         return _render_acceptance(aggregator)
     return None
@@ -543,10 +566,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             state_path=state_path,
             collect=collect,
             progress=show_progress,
-            # The weighted sweep spans infeasible corners of the generator
-            # space (a generated set may not even partition); those points
-            # are recorded as errors and excluded from the aggregate.
-            on_error="store" if args.preset == "weighted" else "raise",
+            # The weighted/faultspace sweeps span infeasible corners of the
+            # generator space (a generated set may not even partition);
+            # those points are recorded as errors and excluded.
+            on_error=(
+                "store" if args.preset in _STORE_ERROR_PRESETS else "raise"
+            ),
             shard=shard,
             batch_size=args.batch,
         )
@@ -735,8 +760,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--axis", action="append", metavar="KEY=V1,V2,...",
-        help="override/add a grid axis (sched/faults/weighted presets; "
-             "repeatable)",
+        help="override/add a grid axis (sched/faults/weighted/faultspace "
+             "presets; repeatable)",
+    )
+    p.add_argument(
+        "--scenario", default=None, choices=scenario_names(),
+        help="narrow the faultspace preset to one fault scenario",
     )
     p.add_argument(
         "--out", default=None,

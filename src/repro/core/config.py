@@ -14,7 +14,7 @@ from typing import Iterator, Mapping
 
 from repro.model import MODE_ORDER, Mode
 from repro.supply import LinearSupply, PeriodicSlotSupply
-from repro.util import EPS, check_nonneg, check_positive
+from repro.util import EPS, check_core_count, check_nonneg, check_positive
 
 # re-export for convenience
 __all__ = ["Overheads", "SlotSchedule", "PlatformConfig"]
@@ -249,6 +249,14 @@ class PlatformConfig:
         Name of the design goal that produced this configuration.
     min_quanta:
         The binding lower bounds ``minQ_k(P)`` at the chosen period, per mode.
+    core_count:
+        Physical cores of the platform (the paper's chip has 4). Fault
+        scenarios draw strike targets from ``0..core_count-1`` instead of a
+        hardcoded range, so dependability campaigns scale with the platform.
+        Note the bundled simulator's channel layouts
+        (:mod:`repro.platform.modes`) currently cover the 4-core chip only:
+        a config with more cores parameterizes scenario *generation*, but
+        simulating its strikes needs a matching layout.
     """
 
     schedule: SlotSchedule
@@ -256,6 +264,10 @@ class PlatformConfig:
     slack: float = 0.0
     goal: str = "manual"
     min_quanta: Mapping[Mode, float] = field(default_factory=dict)
+    core_count: int = 4
+
+    def __post_init__(self) -> None:
+        check_core_count(self.core_count)
 
     @property
     def period(self) -> float:

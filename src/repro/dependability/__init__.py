@@ -1,0 +1,59 @@
+"""Dependability analysis: fault-scenario spaces + outcome-taxonomy curves.
+
+The subsystem behind the ``faultspace`` campaign preset. It turns the
+one-off :class:`~repro.faults.injection.FaultCampaign` into campaign-scale
+dependability analysis:
+
+* :mod:`repro.dependability.scenarios` — a library of seedable,
+  serializable fault-arrival scenarios beyond the paper's Poisson model
+  (bursty MMPP showers, spatially correlated multi-core strikes,
+  intermittent faults pinned to a marginal core, permanent core failure),
+  all drawn over the platform's actual ``core_count``;
+* :mod:`repro.dependability.taxonomy` — the bridge folding per-point
+  outcome taxonomies (MASKED/SILENCED/CORRUPTED/HARMLESS, per mode) into
+  the exact categorical-count accumulators of
+  :mod:`repro.runner.aggregate`, plus Wilson confidence intervals for the
+  rendered rates.
+
+The campaign-facing pieces live with their peers: the ``dependability``
+experiment point in :mod:`repro.runner.points` and the ``faultspace``
+preset (grid, aggregator, renderer) in
+:mod:`repro.experiments.faultspace`. See docs/campaigns.md
+("Dependability analysis").
+"""
+
+from repro.dependability.scenarios import (
+    BurstyScenario,
+    CorrelatedScenario,
+    FaultScenario,
+    IntermittentScenario,
+    PermanentScenario,
+    PoissonScenario,
+    scenario_from_params,
+    scenario_names,
+)
+from repro.dependability.taxonomy import (
+    OUTCOME_CATEGORIES,
+    dependability_record,
+    format_interval,
+    mode_key,
+    outcome_curve_metric,
+    wilson_interval,
+)
+
+__all__ = [
+    "BurstyScenario",
+    "CorrelatedScenario",
+    "FaultScenario",
+    "IntermittentScenario",
+    "OUTCOME_CATEGORIES",
+    "PermanentScenario",
+    "PoissonScenario",
+    "dependability_record",
+    "format_interval",
+    "mode_key",
+    "outcome_curve_metric",
+    "scenario_from_params",
+    "scenario_names",
+    "wilson_interval",
+]

@@ -1,0 +1,454 @@
+"""The fault-scenario library: seedable, serializable fault-space generators.
+
+The paper's evaluation injects homogeneous Poisson transients (Section 2.1's
+"rare, widely separated particle strikes"). Real dependability analysis
+needs a *space* of arrival processes — the related literature (adaptive
+fault-tolerant feedback scheduling; the transient/intermittent/permanent
+taxonomy for RT multiprocessors) motivates at least:
+
+* :class:`PoissonScenario` — the paper's baseline, homogeneous transients;
+* :class:`BurstyScenario` — Markov-modulated Poisson arrivals (quiet/burst
+  states with exponential dwell times): radiation events and EMI come in
+  showers, not as independent singletons;
+* :class:`CorrelatedScenario` — spatially correlated multi-core strikes:
+  one particle event upsets several physically adjacent cores in the same
+  instant, with a hit probability decaying geometrically in core distance;
+* :class:`IntermittentScenario` — a marginal core producing clustered
+  episodes of faults pinned to itself (the classic intermittent fault);
+* :class:`PermanentScenario` — a core fails for good partway through the
+  run and every subsequent use of it faults at a fixed cadence.
+
+Every scenario follows one contract:
+
+* **Seedable** — :meth:`FaultScenario.generate` consumes a
+  :class:`numpy.random.Generator`; equal scenario parameters + equal RNG
+  state + equal ``(horizon, core_count)`` produce the identical fault list,
+  which is what makes dependability campaign points deterministic under
+  the runner's content-keyed seeding.
+* **Platform-sized** — strikes are drawn over ``0..core_count-1`` (the
+  platform's actual core count, from
+  :attr:`repro.core.config.PlatformConfig.core_count`), never a hardcoded
+  range.
+* **Serializable** — :meth:`FaultScenario.to_dict` emits plain JSON params
+  (including the ``scenario`` kind) and :func:`scenario_from_params`
+  rebuilds the scenario, so specs carry scenarios through the campaign
+  cache/shard machinery untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.faults.model import Fault, PoissonFaultGenerator
+from repro.util import check_core_count, check_nonneg, check_positive
+
+#: Registry of scenario kinds (filled by ``_register``).
+_SCENARIOS: dict[str, type["FaultScenario"]] = {}
+
+
+def _register(cls: type["FaultScenario"]) -> type["FaultScenario"]:
+    if cls.kind in _SCENARIOS:
+        raise ValueError(f"scenario kind {cls.kind!r} registered twice")
+    _SCENARIOS[cls.kind] = cls
+    return cls
+
+
+def scenario_names() -> list[str]:
+    """Names of all registered fault scenarios."""
+    return sorted(_SCENARIOS)
+
+
+def scenario_from_params(params: Mapping[str, Any]) -> "FaultScenario":
+    """Build a scenario from spec params (``scenario`` kind + its knobs).
+
+    Unknown keys are ignored — campaign point params carry the whole sweep
+    axis set (``u_total``, ``rep``, ...), of which each scenario reads only
+    its own. Missing ``scenario`` defaults to the paper's Poisson model.
+    """
+    kind = params.get("scenario", "poisson")
+    try:
+        cls = _SCENARIOS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault scenario {kind!r}; known: {scenario_names()}"
+        ) from None
+    return cls.from_params(params)
+
+
+class FaultScenario:
+    """Base class: a seedable, serializable fault-stream generator."""
+
+    kind: str = ""
+
+    def generate(
+        self,
+        horizon: float,
+        rng: np.random.Generator,
+        *,
+        core_count: int = 4,
+    ) -> list[Fault]:
+        """Draw the fault stream over ``[0, horizon)`` on ``core_count`` cores."""
+        raise NotImplementedError
+
+    def params_dict(self) -> dict[str, Any]:
+        """The scenario's own JSON parameters (without the ``scenario`` kind)."""
+        raise NotImplementedError
+
+    def to_dict(self) -> dict[str, Any]:
+        """Full JSON form; ``scenario_from_params(s.to_dict()) == s``."""
+        return {"scenario": self.kind, **self.params_dict()}
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "FaultScenario":
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultScenario):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.to_dict().items())))
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.params_dict().items())
+        return f"{type(self).__name__}({params})"
+
+
+def _pinned_core(
+    core: int | None, rng: np.random.Generator, core_count: int
+) -> int:
+    """Resolve an optional pinned core: validate it, or draw one uniformly."""
+    if core is None:
+        return int(rng.integers(0, core_count))
+    if not 0 <= core < core_count:
+        raise ValueError(
+            f"pinned core {core} outside the platform's 0..{core_count - 1}"
+        )
+    return int(core)
+
+
+@_register
+class PoissonScenario(FaultScenario):
+    """The paper's baseline: homogeneous Poisson transients, uniform cores.
+
+    ``min_separation`` enforces the single-fault assumption. The raw
+    scenario defaults it to 0 (no platform period is known here); the
+    ``dependability`` campaign point substitutes one platform period when
+    the spec does not set it explicitly, matching the ``fault-injection``
+    baseline.
+    """
+
+    kind = "poisson"
+
+    def __init__(self, rate: float, *, min_separation: float = 0.0):
+        check_positive("rate", rate)
+        check_nonneg("min_separation", min_separation)
+        self.rate = float(rate)
+        self.min_separation = float(min_separation)
+
+    def generate(
+        self,
+        horizon: float,
+        rng: np.random.Generator,
+        *,
+        core_count: int = 4,
+    ) -> list[Fault]:
+        gen = PoissonFaultGenerator(
+            self.rate,
+            min_separation=self.min_separation,
+            core_count=core_count,
+        )
+        return gen.generate(horizon, rng)
+
+    def params_dict(self) -> dict[str, Any]:
+        return {"rate": self.rate, "min_separation": self.min_separation}
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "PoissonScenario":
+        return cls(
+            params["rate"],
+            min_separation=params.get("min_separation", 0.0),
+        )
+
+
+@_register
+class BurstyScenario(FaultScenario):
+    """Markov-modulated Poisson arrivals: quiet/burst states, uniform cores.
+
+    The process alternates between a *quiet* state (arrival rate ``rate``)
+    and a *burst* state (``rate * burst_factor``); dwell times in each state
+    are exponential with means ``mean_quiet`` / ``mean_burst``. Bursts
+    deliberately violate the paper's wide-separation assumption — that is
+    exactly the stress this scenario applies.
+    """
+
+    kind = "bursty"
+
+    def __init__(
+        self,
+        rate: float,
+        *,
+        burst_factor: float = 20.0,
+        mean_quiet: float = 60.0,
+        mean_burst: float = 3.0,
+    ):
+        check_positive("rate", rate)
+        check_positive("mean_quiet", mean_quiet)
+        check_positive("mean_burst", mean_burst)
+        if burst_factor < 1.0:
+            raise ValueError(
+                f"burst_factor must be >= 1: got {burst_factor}"
+            )
+        self.rate = float(rate)
+        self.burst_factor = float(burst_factor)
+        self.mean_quiet = float(mean_quiet)
+        self.mean_burst = float(mean_burst)
+
+    def generate(
+        self,
+        horizon: float,
+        rng: np.random.Generator,
+        *,
+        core_count: int = 4,
+    ) -> list[Fault]:
+        check_positive("horizon", horizon)
+        check_core_count(core_count)
+        faults: list[Fault] = []
+        t = 0.0
+        burst = False
+        while t < horizon:
+            dwell = rng.exponential(self.mean_burst if burst else self.mean_quiet)
+            end = min(t + dwell, horizon)
+            state_rate = self.rate * (self.burst_factor if burst else 1.0)
+            at = t
+            while True:
+                at += rng.exponential(1.0 / state_rate)
+                if at >= end:
+                    break
+                faults.append(
+                    Fault(at, int(rng.integers(0, core_count)), core_count)
+                )
+            t = end
+            burst = not burst
+        return faults
+
+    def params_dict(self) -> dict[str, Any]:
+        return {
+            "rate": self.rate,
+            "burst_factor": self.burst_factor,
+            "mean_quiet": self.mean_quiet,
+            "mean_burst": self.mean_burst,
+        }
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "BurstyScenario":
+        return cls(
+            params["rate"],
+            burst_factor=params.get("burst_factor", 20.0),
+            mean_quiet=params.get("mean_quiet", 60.0),
+            mean_burst=params.get("mean_burst", 3.0),
+        )
+
+
+@_register
+class CorrelatedScenario(FaultScenario):
+    """Spatially correlated strikes: one event may upset several cores.
+
+    Strike *events* arrive Poisson at ``rate``; each picks a uniform anchor
+    core and additionally hits the core at distance ``d`` (cyclic index
+    distance) with probability ``spread ** d`` — a geometric decay in
+    physical adjacency, so one event can put simultaneous faults on
+    neighbouring cores (which a per-channel voter cannot always mask).
+    """
+
+    kind = "correlated"
+
+    def __init__(self, rate: float, *, spread: float = 0.5):
+        check_positive("rate", rate)
+        if not 0.0 <= spread < 1.0:
+            raise ValueError(f"spread must be in [0, 1): got {spread}")
+        self.rate = float(rate)
+        self.spread = float(spread)
+
+    def generate(
+        self,
+        horizon: float,
+        rng: np.random.Generator,
+        *,
+        core_count: int = 4,
+    ) -> list[Fault]:
+        check_positive("horizon", horizon)
+        check_core_count(core_count)
+        faults: list[Fault] = []
+        t = 0.0
+        while True:
+            t += rng.exponential(1.0 / self.rate)
+            if t >= horizon:
+                break
+            anchor = int(rng.integers(0, core_count))
+            faults.append(Fault(t, anchor, core_count))
+            for distance in range(1, core_count):
+                if rng.random() < self.spread**distance:
+                    faults.append(
+                        Fault(t, (anchor + distance) % core_count, core_count)
+                    )
+        return faults
+
+    def params_dict(self) -> dict[str, Any]:
+        return {"rate": self.rate, "spread": self.spread}
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "CorrelatedScenario":
+        return cls(params["rate"], spread=params.get("spread", 0.5))
+
+
+@_register
+class IntermittentScenario(FaultScenario):
+    """A marginal core: clustered fault episodes pinned to one core.
+
+    Episodes arrive Poisson at ``rate``; each delivers a geometric number
+    of hits (mean ``mean_hits``) spaced ``gap`` apart, all on ``core``
+    (drawn uniformly once per stream when None). This is the classic
+    intermittent fault of the RT-multiprocessor taxonomy: neither a
+    one-shot transient nor a clean permanent failure.
+    """
+
+    kind = "intermittent"
+
+    def __init__(
+        self,
+        rate: float,
+        *,
+        core: int | None = None,
+        mean_hits: float = 3.0,
+        gap: float = 0.25,
+    ):
+        check_positive("rate", rate)
+        check_positive("mean_hits", mean_hits)
+        check_positive("gap", gap)
+        if mean_hits < 1.0:
+            raise ValueError(f"mean_hits must be >= 1: got {mean_hits}")
+        self.rate = float(rate)
+        self.core = core if core is None else int(core)
+        self.mean_hits = float(mean_hits)
+        self.gap = float(gap)
+
+    def generate(
+        self,
+        horizon: float,
+        rng: np.random.Generator,
+        *,
+        core_count: int = 4,
+    ) -> list[Fault]:
+        check_positive("horizon", horizon)
+        check_core_count(core_count)
+        core = _pinned_core(self.core, rng, core_count)
+        faults: list[Fault] = []
+        t = 0.0
+        while True:
+            t += rng.exponential(1.0 / self.rate)
+            if t >= horizon:
+                break
+            hits = int(rng.geometric(1.0 / self.mean_hits))
+            for i in range(hits):
+                at = t + i * self.gap
+                if at >= horizon:
+                    break
+                faults.append(Fault(at, core, core_count))
+        return faults
+
+    def params_dict(self) -> dict[str, Any]:
+        return {
+            "rate": self.rate,
+            "core": self.core,
+            "mean_hits": self.mean_hits,
+            "gap": self.gap,
+        }
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "IntermittentScenario":
+        return cls(
+            params["rate"],
+            core=params.get("core"),
+            mean_hits=params.get("mean_hits", 3.0),
+            gap=params.get("gap", 0.25),
+        )
+
+
+@_register
+class PermanentScenario(FaultScenario):
+    """Permanent core failure: one core dies and faults on every use.
+
+    The failing core (drawn uniformly when None) works until
+    ``onset_fraction * horizon``, then produces a fault every ``1 / rate``
+    time units until the horizon — the transient-fault sim's view of "this
+    core is dead from here on": each strike silences or corrupts whatever
+    the platform scheduled onto it.
+    """
+
+    kind = "permanent"
+
+    def __init__(
+        self,
+        rate: float,
+        *,
+        onset_fraction: float = 0.5,
+        core: int | None = None,
+    ):
+        check_positive("rate", rate)
+        if not 0.0 <= onset_fraction < 1.0:
+            raise ValueError(
+                f"onset_fraction must be in [0, 1): got {onset_fraction}"
+            )
+        self.rate = float(rate)
+        self.onset_fraction = float(onset_fraction)
+        self.core = core if core is None else int(core)
+
+    def generate(
+        self,
+        horizon: float,
+        rng: np.random.Generator,
+        *,
+        core_count: int = 4,
+    ) -> list[Fault]:
+        check_positive("horizon", horizon)
+        check_core_count(core_count)
+        core = _pinned_core(self.core, rng, core_count)
+        onset = self.onset_fraction * horizon
+        step = 1.0 / self.rate
+        faults: list[Fault] = []
+        t = onset
+        while t < horizon:
+            faults.append(Fault(t, core, core_count))
+            t += step
+        return faults
+
+    def params_dict(self) -> dict[str, Any]:
+        return {
+            "rate": self.rate,
+            "onset_fraction": self.onset_fraction,
+            "core": self.core,
+        }
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "PermanentScenario":
+        return cls(
+            params["rate"],
+            onset_fraction=params.get("onset_fraction", 0.5),
+            core=params.get("core"),
+        )
+
+
+__all__ = [
+    "BurstyScenario",
+    "CorrelatedScenario",
+    "FaultScenario",
+    "IntermittentScenario",
+    "PermanentScenario",
+    "PoissonScenario",
+    "scenario_from_params",
+    "scenario_names",
+]

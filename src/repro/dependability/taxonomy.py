@@ -1,0 +1,148 @@
+"""Outcome-taxonomy bridge: per-point dependability records + aggregation.
+
+One fault campaign classifies every injected fault as MASKED / SILENCED /
+CORRUPTED / HARMLESS per platform mode (Section 2.2). Campaign-scale
+dependability analysis needs those taxonomies *reduced across millions of
+points* under the runner's exact-merge contract, so this module provides
+the bridge between :class:`~repro.faults.injection.FaultCampaignResult`
+and the streaming aggregates:
+
+* :func:`dependability_record` — the JSON record a dependability campaign
+  point returns: outcome counts (flat and by ``mode/outcome``), FT-miss
+  flags, corrupted/aborted-job counts. Counts, not rates — exact integer
+  counts fold through
+  :class:`~repro.runner.aggregate.CategoricalCountAccumulator` bins
+  bit-identically under sharding/batching/resume, where pre-divided rates
+  could not.
+* :func:`outcome_curve_metric` — a curve of categorical counts over swept
+  parameters (the ``faultspace`` preset's outcome-rate curves).
+* :func:`wilson_interval` — Wilson score confidence intervals for the
+  rendered outcome shares and FT-miss probabilities (a plain normal
+  approximation is useless at the near-0/near-1 rates the paper's
+  guarantees produce).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.faults.model import FaultOutcome
+from repro.runner.aggregate import (
+    CategoricalCountAccumulator,
+    Metric,
+    curve_metric,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injection import FaultCampaignResult
+
+#: Canonical order of the outcome categories in records and tables.
+OUTCOME_CATEGORIES: tuple[str, ...] = tuple(str(o) for o in FaultOutcome)
+
+#: 97.5% normal quantile — the z of a 95% two-sided interval.
+_Z95 = 1.959963984540054
+
+
+def mode_key(mode: Any) -> str:
+    """Category prefix for a fault's mode (None — idle/overhead — is "idle")."""
+    return str(mode) if mode is not None else "idle"
+
+
+def dependability_record(result: "FaultCampaignResult") -> dict[str, Any]:
+    """The per-point dependability record of one finished fault campaign.
+
+    Everything is a plain JSON scalar or a ``{category: int}`` mapping, so
+    the record folds directly into categorical-count accumulators and
+    caches/serializes canonically.
+    """
+    return {
+        "injected": result.injected,
+        "outcomes": {
+            str(o): result.outcomes.get(o, 0) for o in FaultOutcome
+        },
+        "outcomes_by_mode": {
+            f"{mode_key(mode)}/{outcome}": count
+            for mode, per_outcome in result.outcomes_by_mode.items()
+            for outcome, count in per_outcome.items()
+        },
+        "ft_miss": result.ft_misses > 0,
+        "ft_misses": result.ft_misses,
+        "total_misses": result.total_misses,
+        "any_corruption": result.outcomes.get(FaultOutcome.CORRUPTED, 0) > 0,
+        "corrupted_jobs": len(result.corrupted_jobs),
+        "aborted_jobs": len(result.aborted_jobs),
+    }
+
+
+def outcome_curve_metric(
+    name: str,
+    key: str | Sequence[str] | Callable[..., Any],
+    value: str | Callable[..., Any],
+    *,
+    experiment: str | None = None,
+) -> Metric:
+    """A curve of exact categorical counts over the ``key`` parameter(s).
+
+    Each bin is a :class:`CategoricalCountAccumulator`; ``value`` extracts
+    a ``{category: count}`` mapping (or single category) per point — e.g.
+    a dependability record's ``outcomes`` field.
+    """
+    return curve_metric(
+        name,
+        key,
+        value,
+        experiment=experiment,
+        sub=CategoricalCountAccumulator(),
+    )
+
+
+def wilson_interval(
+    successes: int, total: int, *, z: float = _Z95
+) -> tuple[float, float] | None:
+    """Wilson score interval for a binomial proportion (None when empty).
+
+    Unlike the Wald/normal approximation, the interval stays inside
+    ``[0, 1]`` and behaves at ``p`` near 0 or 1 — which is where the
+    paper's fault-tolerance claims live (masked rates near 1, FT-miss
+    probabilities near 0).
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0: got {total}")
+    if not 0 <= successes <= max(total, 0):
+        raise ValueError(
+            f"successes must be in 0..{total}: got {successes}"
+        )
+    if total == 0:
+        return None
+    p = successes / total
+    z2 = z * z
+    denom = 1.0 + z2 / total
+    center = (p + z2 / (2.0 * total)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1.0 - p) / total + z2 / (4.0 * total * total))
+        / denom
+    )
+    # At the boundary proportions the exact Wilson bound touches 0/1;
+    # rounding must not leave a stray 1e-17 above p = 0 (or below p = 1).
+    lo = 0.0 if successes == 0 else max(0.0, center - half)
+    hi = 1.0 if successes == total else min(1.0, center + half)
+    return (lo, hi)
+
+
+def format_interval(ci: tuple[float, float] | None) -> str:
+    """Compact ``[lo,hi]`` rendering of a confidence interval."""
+    if ci is None:
+        return "n/a"
+    return f"[{ci[0]:.3f},{ci[1]:.3f}]"
+
+
+__all__ = [
+    "OUTCOME_CATEGORIES",
+    "dependability_record",
+    "format_interval",
+    "mode_key",
+    "outcome_curve_metric",
+    "wilson_interval",
+]

@@ -9,7 +9,11 @@
   heuristics, overhead sensitivity);
 * :mod:`repro.experiments.weighted` — the weighted-schedulability sweep
   over the generator parameter space, streamed through the aggregation
-  layer (:mod:`repro.runner.aggregate`).
+  layer (:mod:`repro.runner.aggregate`);
+* :mod:`repro.experiments.faultspace` — the dependability sweep over
+  utilization x fault rate x fault scenario
+  (:mod:`repro.dependability`), streamed into exact outcome-taxonomy
+  curves with Wilson confidence intervals.
 
 Examples, tests and benchmarks all call into this package so the numbers
 reported anywhere in the repository come from a single implementation.
@@ -39,6 +43,12 @@ from repro.experiments.table2 import (
     table2_from_aggregate,
     table2_from_results,
     table2_specs,
+)
+from repro.experiments.faultspace import (
+    FAULTSPACE_AXES,
+    faultspace_aggregator,
+    faultspace_specs,
+    render_faultspace,
 )
 from repro.experiments.weighted import (
     compute_weighted,
@@ -71,4 +81,8 @@ __all__ = [
     "weighted_aggregator",
     "weighted_curve_rows",
     "weighted_specs",
+    "FAULTSPACE_AXES",
+    "faultspace_aggregator",
+    "faultspace_specs",
+    "render_faultspace",
 ]

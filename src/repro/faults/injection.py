@@ -24,6 +24,7 @@ from repro.model import Mode, PartitionedTaskSet
 from repro.util import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim imports faults.model)
+    from repro.dependability.scenarios import FaultScenario
     from repro.sim.multicore import MulticoreResult
 
 
@@ -41,19 +42,25 @@ class FaultCampaignResult:
     records: tuple[FaultRecord, ...]
     simulation: MulticoreResult
 
-    def rate(self, outcome: FaultOutcome) -> float:
-        """Fraction of injected faults with the given outcome."""
+    def rate(self, outcome: FaultOutcome) -> float | None:
+        """Fraction of injected faults with the given outcome.
+
+        ``None`` when nothing was injected — an empty campaign has no
+        outcome rates, and reporting ``0.0`` would make it look like a
+        perfect (fault-free) run.
+        """
         if self.injected == 0:
-            return 0.0
+            return None
         return self.outcomes.get(outcome, 0) / self.injected
 
     def summary(self) -> str:
         """Readable multi-line campaign summary."""
         lines = [f"faults injected : {self.injected}"]
         for outcome in FaultOutcome:
+            share = self.rate(outcome)
             lines.append(
                 f"  {str(outcome):<10}: {self.outcomes.get(outcome, 0):>5} "
-                f"({self.rate(outcome) * 100:5.1f}%)"
+                + (f"({share * 100:5.1f}%)" if share is not None else "(  n/a )")
             )
         lines.append(f"corrupted jobs  : {len(self.corrupted_jobs)}")
         lines.append(f"aborted jobs    : {len(self.aborted_jobs)}")
@@ -71,16 +78,23 @@ class FaultCampaign:
         The deployed design to attack.
     rate:
         Poisson fault rate (faults per time unit); ignored when explicit
-        ``faults`` are passed to :meth:`run`.
+        ``faults`` are passed to :meth:`run` or a ``scenario`` is set.
     min_separation:
         Single-fault-assumption spacing (defaults to one platform period, a
         conservative reading of "time to perform simple recovery").
+    scenario:
+        Optional :class:`~repro.dependability.scenarios.FaultScenario`
+        generating the fault stream instead of the default Poisson process
+        (bursty, correlated, intermittent, permanent — see
+        :mod:`repro.dependability`). The scenario draws strikes over the
+        config's ``core_count`` cores.
     """
 
     partition: PartitionedTaskSet
     config: PlatformConfig
     rate: float = 0.01
     min_separation: float | None = None
+    scenario: "FaultScenario | None" = None
 
     def run(
         self,
@@ -101,13 +115,23 @@ class FaultCampaign:
         horizon = horizon if horizon is not None else sim.default_horizon()
         check_positive("horizon", horizon)
         if faults is None:
-            sep = (
-                self.min_separation
-                if self.min_separation is not None
-                else self.config.period
-            )
-            gen = PoissonFaultGenerator(self.rate, min_separation=sep)
-            faults = gen.generate(horizon, np.random.default_rng(seed))
+            rng = np.random.default_rng(seed)
+            if self.scenario is not None:
+                faults = self.scenario.generate(
+                    horizon, rng, core_count=self.config.core_count
+                )
+            else:
+                sep = (
+                    self.min_separation
+                    if self.min_separation is not None
+                    else self.config.period
+                )
+                gen = PoissonFaultGenerator(
+                    self.rate,
+                    min_separation=sep,
+                    core_count=self.config.core_count,
+                )
+                faults = gen.generate(horizon, rng)
         # Materialize once: a one-shot iterable would be drained by the sim,
         # leaving the injected count at 0.
         fault_list = list(faults)

@@ -16,13 +16,13 @@ one instant. Outcomes depend on what the platform was doing at that instant
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.model import Mode
-from repro.util import check_nonneg, check_positive
+from repro.util import check_core_count, check_nonneg, check_positive
 
 
 class FaultOutcome(enum.Enum):
@@ -39,15 +39,24 @@ class FaultOutcome(enum.Enum):
 
 @dataclass(frozen=True)
 class Fault:
-    """A transient soft error on one core at one instant."""
+    """A transient soft error on one core at one instant.
+
+    ``core_count`` is the platform size the strike is validated against
+    (``0 <= core < core_count``); it defaults to the paper's 4-core chip and
+    is excluded from equality so fault streams compare by (time, core) only.
+    """
 
     time: float
     core: int
+    core_count: int = field(default=4, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         check_nonneg("fault time", self.time)
-        if not 0 <= self.core <= 3:
-            raise ValueError(f"core must be 0..3: got {self.core}")
+        check_core_count(self.core_count)
+        if not 0 <= self.core < self.core_count:
+            raise ValueError(
+                f"core must be 0..{self.core_count - 1}: got {self.core}"
+            )
 
 
 @dataclass(frozen=True)
@@ -67,10 +76,12 @@ class FaultRecord:
 
 
 def deterministic_faults(
-    times_and_cores: Iterable[tuple[float, int]]
+    times_and_cores: Iterable[tuple[float, int]],
+    *,
+    core_count: int = 4,
 ) -> list[Fault]:
     """Build a fault list from explicit ``(time, core)`` pairs."""
-    return [Fault(t, c) for t, c in times_and_cores]
+    return [Fault(t, c, core_count) for t, c in times_and_cores]
 
 
 class PoissonFaultGenerator:
@@ -84,13 +95,23 @@ class PoissonFaultGenerator:
         Faults closer than this to their predecessor are dropped, enforcing
         the paper's single-transient-fault assumption ("time between two
         failures is sufficient to perform simple recovery operations").
+    core_count:
+        Cores the strikes are drawn over (the platform's actual size;
+        default 4 — the paper's chip).
     """
 
-    def __init__(self, rate: float, *, min_separation: float = 0.0):
+    def __init__(
+        self,
+        rate: float,
+        *,
+        min_separation: float = 0.0,
+        core_count: int = 4,
+    ):
         check_positive("rate", rate)
         check_nonneg("min_separation", min_separation)
         self.rate = float(rate)
         self.min_separation = float(min_separation)
+        self.core_count = check_core_count(core_count)
 
     def generate(
         self, horizon: float, rng: np.random.Generator
@@ -111,5 +132,7 @@ class PoissonFaultGenerator:
             if t - last < self.min_separation:
                 continue
             last = t
-            faults.append(Fault(t, int(rng.integers(0, 4))))
+            faults.append(
+                Fault(t, int(rng.integers(0, self.core_count)), self.core_count)
+            )
         return faults

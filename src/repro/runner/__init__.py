@@ -31,6 +31,7 @@ See ``docs/campaigns.md`` for the user-facing guide.
 from repro.runner.aggregate import (
     Accumulator,
     Aggregator,
+    CategoricalCountAccumulator,
     CurveAccumulator,
     ExtremaAccumulator,
     HistogramSketch,
@@ -39,6 +40,7 @@ from repro.runner.aggregate import (
     SlotAccumulator,
     WeightedMeanAccumulator,
     accumulator_from_state,
+    categorical_metric,
     curve_metric,
     extrema_metric,
     histogram_metric,
@@ -98,6 +100,7 @@ __all__ = [
     "CampaignError",
     "CampaignResult",
     "CampaignStats",
+    "CategoricalCountAccumulator",
     "CurveAccumulator",
     "ExtremaAccumulator",
     "HistogramSketch",
@@ -117,6 +120,7 @@ __all__ = [
     "atomic_write_text",
     "auto_batch_size",
     "canonical_json",
+    "categorical_metric",
     "curve_metric",
     "default_workers",
     "evaluate_batch",

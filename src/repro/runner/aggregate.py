@@ -21,10 +21,12 @@ The zoo: :class:`MeanAccumulator` (count / sum / mean — a ratio when fed
 booleans), :class:`WeightedMeanAccumulator` (weighted schedulability with
 per-point utilization weights), :class:`ExtremaAccumulator` (min/max),
 :class:`HistogramSketch` (fixed-bin counts with deterministic percentile
-queries), :class:`CurveAccumulator` (binned curves: one sub-accumulator per
-x-key) and :class:`SlotAccumulator` (a fixed set of named results — how the
-paper artifacts stream). :class:`Aggregator` bundles named accumulators
-with fold rules over ``(spec, result)`` pairs.
+queries), :class:`CategoricalCountAccumulator` (exact per-category integer
+counts — the fault-outcome taxonomy), :class:`CurveAccumulator` (binned
+curves: one sub-accumulator per x-key) and :class:`SlotAccumulator` (a
+fixed set of named results — how the paper artifacts stream).
+:class:`Aggregator` bundles named accumulators with fold rules over
+``(spec, result)`` pairs.
 """
 
 from __future__ import annotations
@@ -408,6 +410,101 @@ class HistogramSketch(Accumulator):
 
 
 @_register
+class CategoricalCountAccumulator(Accumulator):
+    """Exact integer counts per category — the outcome-taxonomy aggregate.
+
+    Folds one category name, or a whole ``{category: count}`` mapping (the
+    shape of a per-point dependability record: outcome counts by kind or by
+    ``mode/outcome``). Merge is per-category integer addition — trivially
+    associative and commutative with the fresh accumulator as identity — so
+    outcome curves built on this accumulator shard, batch and resume
+    bit-identically under the same contract as the numeric accumulators.
+    Zero counts fold to nothing: a category exists in the state only once a
+    positive count arrived, keeping the canonical bytes independent of
+    which all-zero records a shard happened to see.
+    """
+
+    kind = "catcount"
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def fold(self, value: Any, count: int = 1) -> None:
+        if isinstance(value, Mapping):
+            if count != 1:
+                raise ValueError(
+                    "count applies to single-category folds, not mappings"
+                )
+            for category, n in value.items():
+                self._add(str(category), n)
+        else:
+            self._add(str(value), count)
+
+    def _add(self, category: str, n: Any) -> None:
+        if isinstance(n, bool) or not isinstance(n, int):
+            raise TypeError(
+                f"category counts must be ints: got {n!r} for {category!r}"
+            )
+        if n < 0:
+            raise ValueError(
+                f"category counts must be >= 0: got {n} for {category!r}"
+            )
+        if n:
+            self.counts[category] = self.counts.get(category, 0) + n
+
+    @property
+    def total(self) -> int:
+        """Total count over every category."""
+        return sum(self.counts.values())
+
+    def rate(self, category: str) -> float | None:
+        """Exact share of ``category`` (None while nothing was counted)."""
+        total = self.total
+        if total == 0:
+            return None
+        return _as_float(Fraction(self.counts.get(category, 0), total))
+
+    def rates(self) -> dict[str, float]:
+        """Per-category shares, sorted by category (empty when empty)."""
+        total = self.total
+        if total == 0:
+            return {}
+        return {
+            k: _as_float(Fraction(self.counts[k], total))
+            for k in sorted(self.counts)
+        }
+
+    def _merged(
+        self, other: "CategoricalCountAccumulator"
+    ) -> "CategoricalCountAccumulator":
+        out = CategoricalCountAccumulator()
+        out.counts = dict(self.counts)
+        for k, n in other.counts.items():
+            out.counts[k] = out.counts.get(k, 0) + n
+        return out
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "counts": {k: self.counts[k] for k in sorted(self.counts)},
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "CategoricalCountAccumulator":
+        out = cls()
+        for k, n in state["counts"].items():
+            out._add(str(k), int(n))
+        return out
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "total": self.total,
+            "counts": self.state_dict()["counts"],
+            "rates": self.rates(),
+        }
+
+
+@_register
 class CurveAccumulator(Accumulator):
     """A binned curve: one sub-accumulator per x-key.
 
@@ -763,6 +860,7 @@ def curve_metric(
     *,
     weight: str | Extractor | None = None,
     experiment: str | None = None,
+    sub: Accumulator | None = None,
 ) -> Metric:
     """A binned curve of ``value`` over the ``key`` parameter(s).
 
@@ -771,6 +869,9 @@ def curve_metric(
     generated task set's utilization) each bin is a
     :class:`WeightedMeanAccumulator`, which is exactly the
     weighted-schedulability construction; without it, a plain mean.
+    ``sub`` overrides the per-bin accumulator entirely (e.g. an empty
+    :class:`CategoricalCountAccumulator` for outcome-taxonomy curves) and
+    is mutually exclusive with ``weight``.
     """
     if isinstance(key, str):
         key_fn: Extractor = _param(key)
@@ -781,9 +882,10 @@ def curve_metric(
         key_fn = lambda params, result: [params.get(k) for k in names]  # noqa: E731
     pull = _guarded(experiment, _extractor(value))
     weigh = None if weight is None else _extractor(weight)
-    sub: Accumulator = (
-        MeanAccumulator() if weight is None else WeightedMeanAccumulator()
-    )
+    if sub is None:
+        sub = MeanAccumulator() if weight is None else WeightedMeanAccumulator()
+    elif weight is not None:
+        raise ValueError("curve_metric: pass either weight or sub, not both")
 
     def fold(acc: Accumulator, spec: PointSpec, result: Any) -> None:
         v = pull(spec, result)
@@ -799,6 +901,28 @@ def curve_metric(
             acc.fold(k, v, w)  # type: ignore[attr-defined]
 
     return Metric(name, CurveAccumulator(sub), fold)
+
+
+def categorical_metric(
+    name: str,
+    value: str | Extractor,
+    *,
+    experiment: str | None = None,
+) -> Metric:
+    """Exact per-category counts of ``value`` over points.
+
+    ``value`` extracts either a category name or a whole
+    ``{category: count}`` mapping from each result (the per-point outcome
+    taxonomy); None values skip the point.
+    """
+    pull = _guarded(experiment, _extractor(value))
+
+    def fold(acc: Accumulator, spec: PointSpec, result: Any) -> None:
+        v = pull(spec, result)
+        if v is not None:
+            acc.fold(v)  # type: ignore[attr-defined]
+
+    return Metric(name, CategoricalCountAccumulator(), fold)
 
 
 def slot_metric(
@@ -822,6 +946,7 @@ def slot_metric(
 __all__ = [
     "Accumulator",
     "Aggregator",
+    "CategoricalCountAccumulator",
     "CurveAccumulator",
     "ExtremaAccumulator",
     "HistogramSketch",
@@ -830,6 +955,7 @@ __all__ = [
     "SlotAccumulator",
     "WeightedMeanAccumulator",
     "accumulator_from_state",
+    "categorical_metric",
     "curve_metric",
     "extrema_metric",
     "histogram_metric",

@@ -171,8 +171,10 @@ class MulticoreSim:
         for idx, channel in enumerate(layout.channels):
             if channel.contains(fault.core):
                 return _EFFECT_TO_OUTCOME[channel.fault_effect()], seg.mode, idx, seg
-        raise RuntimeError(  # pragma: no cover - layouts cover all cores
-            f"core {fault.core} not in any channel of mode {seg.mode}"
+        raise ValueError(
+            f"fault on core {fault.core} hits no channel of mode {seg.mode}: "
+            f"the simulated chip's layouts cover cores 0..3 — a fault stream "
+            f"generated for a larger core_count cannot be simulated here"
         )
 
     # -- main entry ----------------------------------------------------------------

@@ -20,6 +20,7 @@ from repro.util.mathutils import (
     to_fraction,
 )
 from repro.util.validation import (
+    check_core_count,
     check_finite,
     check_in_range,
     check_nonneg,
@@ -40,6 +41,7 @@ __all__ = [
     "lcm_fractions",
     "lcm_ints",
     "to_fraction",
+    "check_core_count",
     "check_finite",
     "check_in_range",
     "check_nonneg",

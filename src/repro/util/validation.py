@@ -42,6 +42,15 @@ def check_nonneg(name: str, value: float) -> None:
         raise ValueError(f"{name} must be >= 0: got {value!r}")
 
 
+def check_core_count(core_count: int) -> int:
+    """Validate a platform core count (positive non-bool int); returns it."""
+    if isinstance(core_count, bool) or not isinstance(core_count, int):
+        raise ValueError(f"core_count must be an int: got {core_count!r}")
+    if core_count < 1:
+        raise ValueError(f"core_count must be >= 1: got {core_count}")
+    return core_count
+
+
 def check_in_range(
     name: str,
     value: float,

@@ -127,3 +127,13 @@ class TestPlatformConfig:
         cfg = PlatformConfig(schedule, "EDF", slack=0.3, goal="max-slack")
         s = cfg.summary()
         assert "max-slack" in s and "slack" in s
+
+    def test_core_count_defaults_to_the_paper_chip(self, schedule):
+        assert PlatformConfig(schedule, "EDF").core_count == 4
+        assert PlatformConfig(schedule, "EDF", core_count=8).core_count == 8
+
+    def test_core_count_validated(self, schedule):
+        with pytest.raises(ValueError):
+            PlatformConfig(schedule, "EDF", core_count=0)
+        with pytest.raises(ValueError):
+            PlatformConfig(schedule, "EDF", core_count=True)

@@ -1,0 +1,1 @@
+"""Dependability subsystem tests."""

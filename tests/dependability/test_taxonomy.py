@@ -1,0 +1,113 @@
+"""Taxonomy-bridge tests: records, Wilson intervals, categorical metrics."""
+
+import pytest
+
+from repro.dependability import (
+    dependability_record,
+    format_interval,
+    mode_key,
+    outcome_curve_metric,
+    wilson_interval,
+)
+from repro.faults import Fault, FaultCampaign, FaultOutcome
+from repro.model import Mode
+from repro.runner import Aggregator, PointSpec
+
+
+@pytest.fixture(scope="module")
+def campaign_result(paper_part, paper_config_b):
+    camp = FaultCampaign(paper_part, paper_config_b, rate=0.08)
+    return camp.run(horizon=paper_config_b.period * 40, seed=11)
+
+
+class TestRecord:
+    def test_counts_are_consistent(self, campaign_result):
+        rec = dependability_record(campaign_result)
+        assert sum(rec["outcomes"].values()) == rec["injected"]
+        assert sum(rec["outcomes_by_mode"].values()) == rec["injected"]
+        assert rec["ft_miss"] == (rec["ft_misses"] > 0)
+        assert rec["any_corruption"] == (rec["outcomes"]["corrupted"] > 0)
+        assert rec["corrupted_jobs"] == rec["outcomes"]["corrupted"]
+
+    def test_all_outcome_categories_present(self, campaign_result):
+        rec = dependability_record(campaign_result)
+        assert set(rec["outcomes"]) == {str(o) for o in FaultOutcome}
+
+    def test_mode_outcome_keys_are_flat_strings(self, campaign_result):
+        rec = dependability_record(campaign_result)
+        for key in rec["outcomes_by_mode"]:
+            mode, _, outcome = key.partition("/")
+            assert mode in {"FT", "FS", "NF", "idle"}
+            assert outcome in {str(o) for o in FaultOutcome}
+
+    def test_json_serializable(self, campaign_result):
+        from repro.runner import canonical_json
+
+        canonical_json(dependability_record(campaign_result))
+
+    def test_empty_campaign_record(self, paper_part, paper_config_b):
+        res = FaultCampaign(paper_part, paper_config_b).run(
+            horizon=paper_config_b.period * 2, faults=[]
+        )
+        rec = dependability_record(res)
+        assert rec["injected"] == 0
+        assert not rec["ft_miss"] and not rec["any_corruption"]
+
+    def test_mode_key(self):
+        assert mode_key(Mode.FT) == "FT"
+        assert mode_key(None) == "idle"
+
+
+class TestWilson:
+    def test_known_value(self):
+        # 8/10 at 95%: the standard worked example of the Wilson interval
+        lo, hi = wilson_interval(8, 10)
+        assert lo == pytest.approx(0.4902, abs=1e-3)
+        assert hi == pytest.approx(0.9433, abs=1e-3)
+
+    def test_contains_point_estimate_and_stays_in_unit_interval(self):
+        for successes, total in [(0, 7), (7, 7), (3, 11), (1, 1000)]:
+            lo, hi = wilson_interval(successes, total)
+            assert 0.0 <= lo <= successes / total <= hi <= 1.0
+
+    def test_empty_is_none(self):
+        assert wilson_interval(0, 0) is None
+        assert format_interval(None) == "n/a"
+
+    def test_narrower_with_more_samples(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(500, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    def test_format(self):
+        assert format_interval((0.25, 0.75)) == "[0.250,0.750]"
+
+
+class TestOutcomeCurveMetric:
+    def test_counts_stream_into_rate_curves(self):
+        agg = Aggregator(
+            [outcome_curve_metric("outcomes", ["scenario", "rate"], "outcomes")]
+        )
+        mk = lambda scen, rate, masked, corrupted: (  # noqa: E731
+            PointSpec("dependability", {"scenario": scen, "rate": rate}),
+            {"outcomes": {"masked": masked, "corrupted": corrupted}},
+        )
+        agg.fold(*mk("poisson", 0.05, 3, 1))
+        agg.fold(*mk("poisson", 0.05, 5, 1))
+        agg.fold(*mk("bursty", 0.05, 1, 0))
+        acc = agg["outcomes"].bin(["poisson", 0.05])
+        assert acc.total == 10
+        assert acc.rate("masked") == pytest.approx(0.8)
+        assert agg["outcomes"].bin(["bursty", 0.05]).total == 1
+
+    def test_error_points_are_skipped(self):
+        agg = Aggregator([outcome_curve_metric("outcomes", "rate", "outcomes")])
+        spec = PointSpec("dependability", {"rate": 0.05})
+        agg.fold(spec, {"error": "DesignError: infeasible"})
+        assert agg["outcomes"].points == {}

@@ -55,6 +55,22 @@ class TestCampaign:
             assert total == pytest.approx(1.0)
 
 
+class TestEmptyCampaign:
+    def test_rate_is_none_not_perfect(self, paper_part, paper_config_b):
+        """An empty campaign has no outcome rates: a silent 0.0 would make
+        it read as a perfect (fault-free) run."""
+        camp = FaultCampaign(paper_part, paper_config_b)
+        res = camp.run(horizon=paper_config_b.period * 2, faults=[])
+        assert res.injected == 0
+        assert all(res.rate(o) is None for o in FaultOutcome)
+
+    def test_summary_renders_na(self, paper_part, paper_config_b):
+        camp = FaultCampaign(paper_part, paper_config_b)
+        res = camp.run(horizon=paper_config_b.period * 2, faults=[])
+        s = res.summary()
+        assert "n/a" in s and "%" not in s
+
+
 class TestExplicitFaults:
     def test_explicit_fault_list(self, paper_part, paper_config_b):
         camp = FaultCampaign(paper_part, paper_config_b)

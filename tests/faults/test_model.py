@@ -19,10 +19,27 @@ class TestFault:
         with pytest.raises(ValueError):
             Fault(1.0, 4)
 
+    def test_core_validated_against_platform_size(self):
+        # core 4 exists on an 8-core platform, not on the default 4-core one
+        assert Fault(1.0, 4, core_count=8).core == 4
+        with pytest.raises(ValueError):
+            Fault(1.0, 1, core_count=1)
+        with pytest.raises(ValueError):
+            Fault(1.0, 0, core_count=0)
+        with pytest.raises(ValueError):
+            Fault(1.0, 0, core_count=True)
+
+    def test_equality_ignores_core_count(self):
+        assert Fault(1.0, 2) == Fault(1.0, 2, core_count=8)
+
     def test_deterministic_builder(self):
         faults = deterministic_faults([(1.0, 0), (2.0, 3)])
         assert [f.time for f in faults] == [1.0, 2.0]
         assert [f.core for f in faults] == [0, 3]
+
+    def test_deterministic_builder_with_core_count(self):
+        faults = deterministic_faults([(1.0, 6)], core_count=8)
+        assert faults[0].core == 6
 
 
 class TestPoissonGenerator:
@@ -50,6 +67,13 @@ class TestPoissonGenerator:
         counts = np.bincount([f.core for f in faults], minlength=4)
         assert counts.min() > 0.15 * counts.sum()
 
+    def test_core_count_scales_strike_targets(self):
+        gen = PoissonFaultGenerator(rate=5.0, core_count=8)
+        faults = gen.generate(400.0, np.random.default_rng(3))
+        cores = {f.core for f in faults}
+        assert cores - set(range(4))  # the old hardcoded 0..3 never hit these
+        assert all(0 <= c < 8 for c in cores)
+
     def test_deterministic_given_seed(self):
         gen = PoissonFaultGenerator(rate=0.5)
         a = gen.generate(50.0, np.random.default_rng(1))
@@ -61,6 +85,8 @@ class TestPoissonGenerator:
             PoissonFaultGenerator(rate=0.0)
         with pytest.raises(ValueError):
             PoissonFaultGenerator(rate=1.0, min_separation=-1.0)
+        with pytest.raises(ValueError):
+            PoissonFaultGenerator(rate=1.0, core_count=0)
         with pytest.raises(ValueError):
             PoissonFaultGenerator(rate=1.0).generate(0.0, np.random.default_rng(0))
 

@@ -224,6 +224,87 @@ class TestWeightedCampaign:
         ).read_bytes()
 
 
+FAULTSPACE_TINY = [
+    "--axis", "u_total=0.8", "--axis", "rate=0.02,0.05",
+    "--axis", "scenario=poisson,bursty,permanent", "--axis", "rep=0,1",
+    "--axis", "n=6", "--axis", "cycles=10",
+]
+
+
+class TestFaultspaceCampaign:
+    def test_renders_outcome_curves_and_intervals(self, capsys):
+        assert main(
+            ["campaign", "faultspace", *FAULTSPACE_TINY, "--workers", "1",
+             "--seed", "5", "--no-progress"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fault outcome shares (Wilson 95% CIs)" in out
+        assert "FT-miss / silent-corruption probability" in out
+        for scenario in ("poisson", "bursty", "permanent"):
+            assert scenario in out
+        assert "per-mode outcome taxonomy" in out
+
+    def test_scenario_flag_narrows_the_axis(self, capsys):
+        assert main(
+            ["campaign", "faultspace", *FAULTSPACE_TINY,
+             "--scenario", "permanent", "--workers", "1", "--seed", "5",
+             "--no-progress"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "permanent" in out
+        assert "poisson" not in out and "bursty" not in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["campaign", "faultspace", "--scenario", "cosmic",
+                 "--no-progress"]
+            )
+
+    def test_scenario_rejected_for_other_presets(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["campaign", "sched", "--scenario", "poisson", "--no-progress"]
+            )
+
+    def test_agg_out_identical_across_worker_counts_and_batches(self, tmp_path):
+        outs = []
+        for workers, batch in (("1", "1"), ("2", "64")):
+            agg_file = tmp_path / f"agg-w{workers}-b{batch}.json"
+            assert main(
+                ["campaign", "--preset", "faultspace", *FAULTSPACE_TINY,
+                 "--workers", workers, "--batch", batch, "--seed", "5",
+                 "--no-progress", "--agg-out", str(agg_file)]
+            ) == 0
+            outs.append(agg_file.read_bytes())
+        assert outs[0] == outs[1]
+
+    def test_shards_merge_to_unsharded_bytes(self, tmp_path, capsys):
+        """The PR's acceptance criterion: both faultspace shards merge to
+        the snapshot of the unsharded run, byte for byte, with outcome
+        curves for three distinct scenarios."""
+        base = [
+            "campaign", "faultspace", *FAULTSPACE_TINY, "--workers", "1",
+            "--seed", "5", "--no-progress",
+        ]
+        shard_files = [str(tmp_path / f"shard-{i}.json") for i in range(2)]
+        for i, state in enumerate(shard_files):
+            assert main(base + ["--shard", f"{i}/2", "--state", state]) == 0
+        assert main(base + ["--state", str(tmp_path / "full.json")]) == 0
+        capsys.readouterr()
+        merged = tmp_path / "merged.json"
+        assert main(
+            ["merge", *shard_files, "--out", str(merged),
+             "--preset", "faultspace"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "fault outcome shares" in captured.out
+        assert merged.read_bytes() == (tmp_path / "full.json").read_bytes()
+        curves = json.loads(merged.read_text())["aggregate"]["outcomes"]
+        scenarios = {json.loads(k)[0] for k in curves["points"]}
+        assert scenarios == {"poisson", "bursty", "permanent"}
+
+
 SCHED_TINY = ["--axis", "u_total=0.5,1.5", "--axis", "n=8", "--axis", "rep=0,1,2"]
 
 
