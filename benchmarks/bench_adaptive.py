@@ -1,0 +1,136 @@
+"""Adaptive refinement vs exhaustive grid: points spent to hit a CI target.
+
+The adaptive point source (``repro campaign --strategy adaptive``) samples
+every curve bin only until its Wilson 95% interval is narrower than the
+``--ci-width`` target, so bins far from p=0.5 — most of a schedulability
+curve — converge in a fraction of the replications an exhaustive grid
+must budget for the worst case. This script runs a small weighted-preset
+adaptive campaign, reports the per-round point spend, and compares the
+total against the grid-equivalent budget: the same final bin set swept
+uniformly at ``reps_for_width(0.5, ci)`` replications per bin (what a
+grid must provision to *guarantee* the target everywhere), plus the same
+static fault grid.
+
+Standalone on purpose (no pytest-benchmark dependency), so CI can run it
+as a smoke step and the table lands in the job log:
+
+    PYTHONPATH=src python benchmarks/bench_adaptive.py --smoke
+
+Exit code 2 when two same-seed runs diverge byte-for-byte (never
+acceptable), 1 when the adaptive run fails to undercut the grid budget
+or leaves bins short of the CI target.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.weighted import (
+    weighted_adaptive_source,
+    weighted_aggregator,
+)
+from repro.runner import reps_for_width, stream_campaign
+
+#: The smoke sweep: two utilizations far from the boundary, so every bin
+#: converges fast and the grid-equivalent gap is the headline.
+SMOKE_AXES = {
+    "u_total": [0.8, 2.4],
+    "n": [6],
+    "period_hyperperiod": [720.0],
+    "rep": [0, 1, 2],
+    "rate": [0.02],
+}
+DEFAULT_AXES = {
+    "u_total": [0.6, 1.2, 1.8, 2.4],
+    "n": [6],
+    "period_hyperperiod": [720.0],
+    "rep": [0, 1, 2, 3],
+    "rate": [0.02],
+}
+
+
+def run_once(axes, ci_width, workers, state_path):
+    source = weighted_adaptive_source(axes, ci_width=ci_width)
+    aggregator = weighted_aggregator()
+    start = time.perf_counter()
+    result = stream_campaign(
+        source,
+        aggregator,
+        workers=workers,
+        master_seed=3,
+        state_path=state_path,
+        on_error="store",
+    )
+    return result, time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ci-width", type=float, default=None, metavar="W",
+        help="Wilson 95%% interval target per bin (default 0.4 for "
+        "--smoke, 0.25 otherwise)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="process-pool size (default: 2)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast run for CI logs",
+    )
+    args = parser.parse_args(argv)
+    axes = SMOKE_AXES if args.smoke else DEFAULT_AXES
+    ci = args.ci_width if args.ci_width is not None else (
+        0.4 if args.smoke else 0.25
+    )
+
+    print(
+        f"adaptive refinement vs exhaustive grid — weighted preset, "
+        f"ci-width {ci}, {args.workers} workers"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        digests = []
+        for attempt in range(2):
+            state = Path(tmp) / f"run{attempt}.json"
+            result, elapsed = run_once(axes, ci, args.workers, state)
+            digests.append(hashlib.sha256(state.read_bytes()).hexdigest())
+        if digests[0] != digests[1]:
+            print("FATAL: two same-seed adaptive runs diverged byte-for-byte")
+            return 2
+    stats = result.stats
+
+    sched = [s for s in result.specs if s.experiment == "schedulability"]
+    static = len(result.specs) - len(sched)
+    bins = len(result.aggregator["weighted_feasible"].points)
+    grid_equivalent = bins * reps_for_width(0.5, ci) + static
+
+    print(f"{'round':>6}  {'points':>7}")
+    for index, size in enumerate(stats.round_sizes):
+        print(f"{index:>6}  {size:>7}")
+    print(
+        f"adaptive: {stats.total} points over {stats.rounds} round(s) "
+        f"in {elapsed:.1f}s ({bins} bins, {static} static fault points); "
+        f"bytes identical across reruns"
+    )
+    print(
+        f"grid equivalent: {bins} bins x {reps_for_width(0.5, ci)} "
+        f"worst-case reps + {static} static = {grid_equivalent} points "
+        f"-> adaptive spent {stats.total / grid_equivalent:.1%}"
+    )
+    if stats.open_bins:
+        print(f"FAIL: {stats.open_bins} bin(s) short of the ci target")
+        return 1
+    if stats.total >= grid_equivalent:
+        print("FAIL: adaptive spent no fewer points than the grid budget")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

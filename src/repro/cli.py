@@ -227,6 +227,8 @@ _PRESETS = (
 #: Presets whose grids span infeasible corners of the generator space;
 #: failing points are stored and excluded instead of aborting the sweep.
 _STORE_ERROR_PRESETS = ("weighted", "faultspace")
+#: Presets with an adaptive-refinement point source (--strategy adaptive).
+_ADAPTIVE_PRESETS = ("weighted", "faultspace")
 
 
 def _campaign_specs(args: argparse.Namespace):
@@ -264,6 +266,28 @@ def _campaign_specs(args: argparse.Namespace):
     experiment = "schedulability" if args.preset == "sched" else "fault-injection"
     axes = {**defaults, **parse_axes(args.axis or [])}
     return grid_specs(experiment, axes)
+
+
+def _adaptive_source(args: argparse.Namespace):
+    """Resolve a preset name (+ --axis overrides) to its adaptive source."""
+    from repro.experiments.faultspace import faultspace_adaptive_source
+    from repro.experiments.weighted import weighted_adaptive_source
+    from repro.runner import parse_axes
+
+    if args.scenario and args.preset != "faultspace":
+        raise SystemExit("--scenario only applies to the faultspace preset")
+    axes = parse_axes(args.axis or [])
+    ci_width = args.ci_width if args.ci_width is not None else 0.05
+    if args.preset == "weighted":
+        return weighted_adaptive_source(
+            axes, ci_width=ci_width, max_points=args.max_points
+        )
+    return faultspace_adaptive_source(
+        axes,
+        scenario=args.scenario,
+        ci_width=ci_width,
+        max_points=args.max_points,
+    )
 
 
 def _sched_curve_key(params, result):
@@ -501,56 +525,117 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         )
     if args.preset is None:
         raise SystemExit("campaign: a preset is required (see --help)")
+    adaptive = args.strategy == "adaptive"
+    if not adaptive:
+        if args.ci_width is not None:
+            raise SystemExit("campaign: --ci-width requires --strategy adaptive")
+        if args.max_points is not None:
+            raise SystemExit(
+                "campaign: --max-points requires --strategy adaptive"
+            )
+    elif args.preset not in _ADAPTIVE_PRESETS:
+        raise SystemExit(
+            f"campaign: --strategy adaptive supports the "
+            f"{'/'.join(_ADAPTIVE_PRESETS)} presets"
+        )
     shard_index = shard_count = None
     if args.shard is not None:
         try:
             shard_index, shard_count = parse_shard(args.shard)
         except ValueError as exc:
             raise SystemExit(f"campaign: {exc}")
-    try:
-        specs = _campaign_specs(args)
-    except ValueError as exc:
-        print(f"campaign failed: {exc}")
-        return 1
-    shard = None
-    if shard_count is not None:
-        if args.state is None and args.cache_dir is None:
-            raise SystemExit(
-                "campaign: --shard needs --state or --cache-dir — the "
-                "manifest-tagged snapshot is the shard's whole output"
-            )
-        # Manifest first (it fingerprints the FULL grid), then narrow the
-        # spec list to this shard's digest-keyed subset.
-        shard = ShardManifest.for_shard(specs, shard_index, shard_count)
-        specs = shard_specs(specs, shard_index, shard_count)
     aggregator = _preset_aggregator(args.preset)
-    # The per-point renderings (and --out/--json) need materialized rows;
-    # the aggregate-rendered presets stream in O(accumulators) memory.
-    # Shard runs never render rows, so they stay streaming-only — which
-    # also keeps the snapshot's skip-outright resume shortcut active.
-    collect = bool(args.out or args.json) or (
-        shard is None and args.preset in ("sched", "faults", "ablations")
-    )
+    planning_aggregator = None
     state_path = args.state
-    if state_path is None and args.cache_dir is not None:
-        # The default snapshot is fingerprinted by the *spec set* too: a
-        # different --axis grid must not resume into (and render) bins
-        # folded by a previous grid. Deliberate incremental extension of a
-        # sweep uses an explicit --state path instead. Shards get their own
-        # snapshot next to the full run's (same grid fingerprint).
-        grid = (
-            shard.grid if shard is not None
-            else grid_digest(s.digest for s in specs)
-        )[:16]
-        shard_tag = (
-            f"-shard{shard.index}of{shard.count}" if shard is not None else ""
+    shard: "object | None" = None
+    if adaptive:
+        if args.axis and args.preset not in _AXIS_PRESETS:
+            raise SystemExit(
+                f"--axis only applies to the {'/'.join(_AXIS_PRESETS)} presets"
+            )
+        try:
+            source = _adaptive_source(args)
+        except ValueError as exc:
+            print(f"campaign failed: {exc}")
+            return 1
+        if shard_count is not None:
+            if args.state is None and args.cache_dir is None:
+                raise SystemExit(
+                    "campaign: --shard needs --state or --cache-dir — the "
+                    "manifest-tagged snapshot is the shard's whole output"
+                )
+            # The point set is not known upfront, so the shard is an
+            # (index, count) ownership rule; the manifest is rebuilt per
+            # round. Every shard must also observe the other shards'
+            # folds to plan rounds identically, hence the planning twin.
+            shard = (shard_index, shard_count)
+            if shard_count > 1:
+                planning_aggregator = _preset_aggregator(args.preset)
+        collect = bool(args.out or args.json)
+        runnable = source
+        if state_path is None and args.cache_dir is not None:
+            # Adaptive snapshots are fingerprinted by the source config
+            # (axes, ci target, budget) instead of a grid digest — the
+            # emitted point set is an outcome, not an input.
+            shard_tag = (
+                f"-shard{shard_index}of{shard_count}"
+                if shard_count is not None
+                else ""
+            )
+            state_path = (
+                Path(args.cache_dir)
+                / "aggregates"
+                / f"{args.preset}-s{args.seed}"
+                f"-{aggregator.config_digest[:16]}"
+                f"-a{source.config_digest[:16]}{shard_tag}.json"
+            )
+    else:
+        try:
+            specs = _campaign_specs(args)
+        except ValueError as exc:
+            print(f"campaign failed: {exc}")
+            return 1
+        if shard_count is not None:
+            if args.state is None and args.cache_dir is None:
+                raise SystemExit(
+                    "campaign: --shard needs --state or --cache-dir — the "
+                    "manifest-tagged snapshot is the shard's whole output"
+                )
+            # Manifest first (it fingerprints the FULL grid), then narrow
+            # the spec list to this shard's digest-keyed subset.
+            shard = ShardManifest.for_shard(specs, shard_index, shard_count)
+            specs = shard_specs(specs, shard_index, shard_count)
+        # The per-point renderings (and --out/--json) need materialized
+        # rows; the aggregate-rendered presets stream in O(accumulators)
+        # memory. Shard runs never render rows, so they stay
+        # streaming-only — which also keeps the snapshot's skip-outright
+        # resume shortcut active.
+        collect = bool(args.out or args.json) or (
+            shard is None and args.preset in ("sched", "faults", "ablations")
         )
-        state_path = (
-            Path(args.cache_dir)
-            / "aggregates"
-            / f"{args.preset}-s{args.seed}"
-            f"-{aggregator.config_digest[:16]}-g{grid}{shard_tag}.json"
-        )
+        runnable = specs
+        if state_path is None and args.cache_dir is not None:
+            # The default snapshot is fingerprinted by the *spec set* too:
+            # a different --axis grid must not resume into (and render)
+            # bins folded by a previous grid. Deliberate incremental
+            # extension of a sweep uses an explicit --state path instead.
+            # Shards get their own snapshot next to the full run's (same
+            # grid fingerprint).
+            grid = (
+                shard.grid if shard is not None
+                else grid_digest(s.digest for s in specs)
+            )[:16]
+            shard_tag = (
+                f"-shard{shard.index}of{shard.count}"
+                if shard is not None
+                else ""
+            )
+            state_path = (
+                Path(args.cache_dir)
+                / "aggregates"
+                / f"{args.preset}-s{args.seed}"
+                f"-{aggregator.config_digest[:16]}-g{grid}{shard_tag}.json"
+            )
     show_progress = (
         args.progress
         if args.progress is not None
@@ -558,7 +643,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     )
     try:
         streamed = stream_campaign(
-            specs,
+            runnable,
             aggregator,
             workers=args.workers,
             master_seed=args.seed,
@@ -574,6 +659,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             ),
             shard=shard,
             batch_size=args.batch,
+            planning_aggregator=planning_aggregator,
         )
     except (CampaignError, SnapshotError, OSError) as exc:
         print(f"campaign failed: {exc}")
@@ -590,7 +676,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         # the full point set). The snapshot is the product — merge all
         # shards with `repro merge` to render the campaign.
         print(
-            f"shard {shard.index}/{shard.count} snapshot written; render "
+            f"shard {shard_index}/{shard_count} snapshot written; render "
             f"the full campaign with: repro merge <all shard snapshots> "
             f"--preset {args.preset}"
         )
@@ -604,13 +690,31 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     s = streamed.stats
     extra = f", {s.errors} failed" if s.errors else ""
     shard_tag = (
-        f"shard {shard.index}/{shard.count}: " if shard is not None else ""
+        f"shard {shard_index}/{shard_count}: " if shard is not None else ""
     )
+    round_info = ""
+    if adaptive:
+        sizes = "+".join(str(n) for n in s.round_sizes) or "0"
+        open_info = (
+            f", {s.open_bins} bin(s) short of the ci target"
+            if s.open_bins
+            else ""
+        )
+        planning_info = (
+            f", {s.planning_points} planning point(s) for other shards"
+            if s.planning_points
+            else ""
+        )
+        round_info = (
+            f"; adaptive: {s.rounds} round(s) "
+            f"[{sizes}]{open_info}{planning_info}"
+        )
     print(
         f"[campaign] {shard_tag}{s.total} points ({s.unique} unique): "
         f"{s.computed} computed, {s.cached} cached in {s.elapsed:.2f}s "
         f"with {s.workers} worker(s) x batch {s.batch_size}; "
-        f"aggregate: {s.folded} folded, {s.skipped} resumed{extra}",
+        f"aggregate: {s.folded} folded, {s.skipped} resumed{extra}"
+        f"{round_info}",
         file=sys.stderr,
     )
     return 0
@@ -754,6 +858,24 @@ def build_parser() -> argparse.ArgumentParser:
              "for any value)",
     )
     p.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    p.add_argument(
+        "--strategy", choices=("grid", "adaptive"), default="grid",
+        help="point supply: 'grid' sweeps the exhaustive cartesian grid "
+             "(default, byte-identical to previous releases); 'adaptive' "
+             "refines weighted/faultspace curve bins until each Wilson 95%% "
+             "interval is narrower than --ci-width",
+    )
+    p.add_argument(
+        "--ci-width", type=float, default=None, metavar="W",
+        help="adaptive convergence target: maximum Wilson 95%% interval "
+             "width per curve bin (default 0.05; requires --strategy "
+             "adaptive)",
+    )
+    p.add_argument(
+        "--max-points", type=int, default=None, metavar="N",
+        help="adaptive point budget: stop refining after emitting N points "
+             "(requires --strategy adaptive)",
+    )
     p.add_argument(
         "--cache-dir", default=None,
         help="on-disk result cache; re-runs recompute only new points",

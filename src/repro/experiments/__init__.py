@@ -46,12 +46,14 @@ from repro.experiments.table2 import (
 )
 from repro.experiments.faultspace import (
     FAULTSPACE_AXES,
+    faultspace_adaptive_source,
     faultspace_aggregator,
     faultspace_specs,
     render_faultspace,
 )
 from repro.experiments.weighted import (
     compute_weighted,
+    weighted_adaptive_source,
     weighted_aggregator,
     weighted_curve_rows,
     weighted_specs,
@@ -78,10 +80,12 @@ __all__ = [
     "Table2",
     "Table2Row",
     "compute_weighted",
+    "weighted_adaptive_source",
     "weighted_aggregator",
     "weighted_curve_rows",
     "weighted_specs",
     "FAULTSPACE_AXES",
+    "faultspace_adaptive_source",
     "faultspace_aggregator",
     "faultspace_specs",
     "render_faultspace",

@@ -31,9 +31,11 @@ from repro.dependability import (
     wilson_interval,
 )
 from repro.runner import (
+    AdaptiveRefinementSource,
     Aggregator,
     MeanAccumulator,
     PointSpec,
+    axis_values,
     curve_metric,
     grid_specs,
     mean_metric,
@@ -73,6 +75,49 @@ def faultspace_specs(
     # it then sweeps as a regular — possibly degenerate — axis instead.
     base = {k: v for k, v in _FAULTSPACE_BASE.items() if k not in merged}
     return grid_specs("dependability", merged, base_params=base)
+
+
+def faultspace_adaptive_source(
+    axes: Mapping[str, Any] | None = None,
+    *,
+    scenario: str | None = None,
+    ci_width: float = 0.05,
+    max_points: int | None = None,
+) -> AdaptiveRefinementSource:
+    """Adaptive point source for the ``faultspace`` preset.
+
+    Refines the ``ft_miss`` curve: every ``(scenario, rate)`` bin is
+    sampled until its Wilson 95% interval is no wider than ``ci_width``,
+    bisecting the *rate* axis wherever a scenario's adjacent bins
+    disagree by more than the target width (the faultspace curves are
+    keyed on ``(scenario, rate)``, so rate — not utilization — is this
+    preset's refinement axis). Non-key axes (``u_total``) sweep inside
+    every bin sample. ``axes``/``scenario`` behave exactly like
+    :func:`faultspace_specs`.
+    """
+    merged = {**FAULTSPACE_AXES, **dict(axes or {})}
+    if scenario is not None:
+        if scenario not in scenario_names():
+            raise ValueError(
+                f"unknown fault scenario {scenario!r}; "
+                f"known: {scenario_names()}"
+            )
+        merged["scenario"] = [scenario]
+    base = {k: v for k, v in _FAULTSPACE_BASE.items() if k not in merged}
+    initial_reps = len(axis_values(merged.pop("rep"), name="rep"))
+    # Key order must match the ft_miss curve's (scenario, rate) key order.
+    key_axes = {name: merged.pop(name) for name in ("scenario", "rate")}
+    return AdaptiveRefinementSource(
+        "dependability",
+        metric="ft_miss",
+        key_axes=key_axes,
+        refine_axis="rate",
+        ci_width=ci_width,
+        extra_axes=merged,
+        base_params=base,
+        initial_reps=initial_reps,
+        max_points=max_points,
+    )
 
 
 def faultspace_aggregator() -> Aggregator:
@@ -283,6 +328,7 @@ def render_faultspace(aggregator: Aggregator) -> str:
 
 __all__ = [
     "FAULTSPACE_AXES",
+    "faultspace_adaptive_source",
     "faultspace_aggregator",
     "faultspace_specs",
     "ft_miss_rows",

@@ -31,9 +31,11 @@ import os
 from typing import Any, Mapping, Sequence
 
 from repro.runner import (
+    AdaptiveRefinementSource,
     Aggregator,
     PointSpec,
     ShardManifest,
+    axis_values,
     curve_metric,
     extrema_metric,
     grid_specs,
@@ -79,6 +81,59 @@ def weighted_specs(
         *grid_specs("schedulability", sched),
         *grid_specs("fault-injection", fault, base_params=_FAULT_BASE),
     ]
+
+
+def weighted_adaptive_source(
+    axes: Mapping[str, Any] | None = None,
+    *,
+    ci_width: float = 0.05,
+    max_points: int | None = None,
+) -> AdaptiveRefinementSource:
+    """Adaptive point source for the ``weighted`` preset.
+
+    Refines the ``weighted_feasible`` curve: every
+    ``(u_total, n, period_hyperperiod)`` bin is sampled until its Wilson
+    95% interval is no wider than ``ci_width``, and the ``u_total`` axis
+    is bisected wherever adjacent bins of a curve disagree by more than
+    the target width. The default ``rep`` axis length becomes the
+    per-bin seed replication count; the companion fault-injection grid
+    rides along unrefined as the source's static prefix (its
+    ``fault_coverage`` curve keeps the exhaustive default).
+
+    ``axes`` overrides individual default axes exactly like
+    :func:`weighted_specs` (the CLI routes ``--axis`` here): overrides
+    named in :data:`WEIGHTED_FAULT_AXES` apply to the fault grid, all
+    non-``rate`` overrides apply to the schedulability sweep.
+    """
+    overrides = dict(axes or {})
+    sched = {
+        **WEIGHTED_SCHED_AXES,
+        **{k: v for k, v in overrides.items() if k != "rate"},
+    }
+    fault = {
+        **WEIGHTED_FAULT_AXES,
+        **{k: v for k, v in overrides.items() if k in WEIGHTED_FAULT_AXES},
+    }
+    initial_reps = len(axis_values(sched.pop("rep"), name="rep"))
+    # Key order must match the weighted_feasible curve's key parameter
+    # order — the source addresses aggregate bins by it.
+    key_axes = {
+        name: sched.pop(name)
+        for name in ("u_total", "n", "period_hyperperiod")
+    }
+    return AdaptiveRefinementSource(
+        "schedulability",
+        metric="weighted_feasible",
+        key_axes=key_axes,
+        refine_axis="u_total",
+        ci_width=ci_width,
+        extra_axes=sched,
+        initial_reps=initial_reps,
+        max_points=max_points,
+        static_specs=grid_specs(
+            "fault-injection", fault, base_params=_FAULT_BASE
+        ),
+    )
 
 
 def weighted_aggregator() -> Aggregator:
@@ -247,6 +302,7 @@ __all__ = [
     "WEIGHTED_SCHED_AXES",
     "compute_weighted",
     "render_weighted_ascii",
+    "weighted_adaptive_source",
     "weighted_aggregator",
     "weighted_curve_rows",
     "weighted_specs",

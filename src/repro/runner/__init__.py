@@ -62,7 +62,13 @@ from repro.runner.engine import (
     run_campaign,
     sweep,
 )
-from repro.runner.grid import expand_grid, grid_specs, parse_axes, parse_axis
+from repro.runner.grid import (
+    axis_values,
+    expand_grid,
+    grid_specs,
+    parse_axes,
+    parse_axis,
+)
 from repro.runner.points import (
     experiment,
     experiments,
@@ -81,6 +87,13 @@ from repro.runner.shard import (
     shard_of,
     shard_specs,
 )
+from repro.runner.source import (
+    AdaptiveRefinementSource,
+    GridSource,
+    PointSource,
+    reps_for_width,
+    wilson_width,
+)
 from repro.runner.spec import PointSpec, canonical_json, point_seed
 from repro.runner.stream import (
     SnapshotError,
@@ -96,6 +109,7 @@ from repro.runner.stream import (
 __all__ = [
     "MAX_AUTO_BATCH",
     "Accumulator",
+    "AdaptiveRefinementSource",
     "Aggregator",
     "CampaignError",
     "CampaignResult",
@@ -103,10 +117,12 @@ __all__ = [
     "CategoricalCountAccumulator",
     "CurveAccumulator",
     "ExtremaAccumulator",
+    "GridSource",
     "HistogramSketch",
     "MeanAccumulator",
     "MergeError",
     "Metric",
+    "PointSource",
     "PointSpec",
     "ProgressReporter",
     "ResultCache",
@@ -119,6 +135,7 @@ __all__ = [
     "accumulator_from_state",
     "atomic_write_text",
     "auto_batch_size",
+    "axis_values",
     "canonical_json",
     "categorical_metric",
     "curve_metric",
@@ -145,6 +162,7 @@ __all__ = [
     "parse_shard",
     "partition_params",
     "point_seed",
+    "reps_for_width",
     "run_campaign",
     "save_snapshot",
     "shard_of",
@@ -154,4 +172,5 @@ __all__ = [
     "stream_campaign",
     "sweep",
     "taskset_params",
+    "wilson_width",
 ]

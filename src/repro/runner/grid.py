@@ -16,15 +16,39 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.runner.spec import PointSpec
 
 
-def _axis_values(value: Any) -> list[Any]:
-    if isinstance(value, (str, bytes, Mapping)) or not isinstance(
-        value, (Sequence, range)
-    ):
+def axis_values(value: Any, *, name: str | None = None) -> list[Any]:
+    """Normalize one axis value into its list of settings.
+
+    Ordered sequences (lists, tuples, ranges, numpy arrays) expand into
+    one setting per element; strings, bytes, and mappings are scalars (a
+    degenerate one-value axis). Unordered or one-shot iterables (sets,
+    generators) are rejected: their iteration order is not deterministic
+    across runs, which would silently break the campaign determinism
+    contract.
+    """
+    label = f"axis {name!r}" if name else "grid axis"
+    if isinstance(value, (str, bytes, Mapping)):
         return [value]
-    values = list(value)
-    if not values:
-        raise ValueError("grid axes must not be empty")
-    return values
+    if hasattr(value, "tolist") and hasattr(value, "ndim"):  # numpy array
+        value = value.tolist()
+        if not isinstance(value, list):  # 0-d array -> python scalar
+            return [value]
+    if isinstance(value, (Sequence, range)):
+        values = list(value)
+        if not values:
+            raise ValueError(f"{label} must not be empty")
+        return values
+    if isinstance(value, (set, frozenset)):
+        raise TypeError(
+            f"{label} is a set; sets have no deterministic order — "
+            "pass a sorted list instead"
+        )
+    if isinstance(value, Iterable):
+        raise TypeError(
+            f"{label} is a one-shot iterable ({type(value).__name__}); "
+            "pass a list instead"
+        )
+    return [value]
 
 
 def expand_grid(axes: Mapping[str, Any]) -> list[dict[str, Any]]:
@@ -34,7 +58,7 @@ def expand_grid(axes: Mapping[str, Any]) -> list[dict[str, Any]]:
     [{'u': 0.5, 'n': 8}, {'u': 1.0, 'n': 8}]
     """
     names = list(axes)
-    value_lists = [_axis_values(axes[name]) for name in names]
+    value_lists = [axis_values(axes[name], name=name) for name in names]
     return [
         dict(zip(names, combo)) for combo in itertools.product(*value_lists)
     ]
@@ -59,12 +83,24 @@ def grid_specs(
 def parse_axis(text: str) -> tuple[str, list[Any]]:
     """Parse one ``key=v1,v2,...`` CLI axis (values JSON-decoded when possible).
 
+    ``key:=v1,v2,...`` opts out of JSON decoding: every value stays a raw
+    string, so e.g. ``mode:=true,false`` sweeps the *strings* ``"true"``
+    and ``"false"`` instead of booleans.
+
     >>> parse_axis("u_total=0.5,1.0")
     ('u_total', [0.5, 1.0])
+    >>> parse_axis("mode:=true,off")
+    ('mode', ['true', 'off'])
     """
     key, sep, rest = text.partition("=")
     if not sep or not key or not rest:
         raise ValueError(f"axis must look like key=v1,v2,...: got {text!r}")
+    raw = key.endswith(":")
+    if raw:
+        key = key[:-1]
+        if not key:
+            raise ValueError(f"axis must look like key=v1,v2,...: got {text!r}")
+        return key, list(rest.split(","))
     values: list[Any] = []
     for token in rest.split(","):
         try:
@@ -81,3 +117,7 @@ def parse_axes(texts: Iterable[str]) -> dict[str, list[Any]]:
         key, values = parse_axis(text)
         axes[key] = values
     return axes
+
+
+# Backwards-compatible alias for the pre-strategy private name.
+_axis_values = axis_values

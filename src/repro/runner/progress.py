@@ -40,6 +40,18 @@ class ProgressReporter:
         self._line_step = max(1, total // 10)
         self._is_tty = bool(getattr(self._stream, "isatty", lambda: False)())
 
+    def grow(self, n: int) -> None:
+        """Extend the expected total by ``n`` points.
+
+        Round-based campaigns (adaptive refinement) discover their point
+        count as they go: each round grows the denominator instead of
+        finishing against a wrong one.
+        """
+        if n < 0:
+            raise ValueError(f"grow() takes n >= 0: got {n}")
+        self.total += n
+        self._line_step = max(1, self.total // 10)
+
     @property
     def done(self) -> int:
         """Points finished so far (computed + cached + errored)."""

@@ -210,7 +210,10 @@ def merge_snapshots(
     * each shard is *complete*: every point in its manifest coverage was
       folded or recorded as failed — a half-run shard is reported, not
       silently merged into a partial curve;
-    * coverage sets are pairwise disjoint and their union is the grid.
+    * coverage sets are pairwise disjoint and their union is the grid;
+    * adaptive shards (snapshots carrying point-source state) must all be
+      adaptive, all finished, and agree on the final source state, which
+      the merged snapshot inherits.
 
     The merged snapshot carries the trivial ``0/1`` manifest over the full
     grid, the unions of the folded/failed digest sets, and the exact merge
@@ -244,6 +247,40 @@ def merge_snapshots(
     distinct("aggregator config digest", [s["config"] for s in snaps])
     distinct("grid digest", [m.grid for m in manifests])
     distinct("shard count", [m.count for m in manifests])
+
+    # Adaptive campaigns persist their point-source state; shards of one
+    # adaptive campaign must all be adaptive, all *finished* (an in-flight
+    # shard's point set is still growing — its manifest covers only the
+    # rounds it has seen), and must agree on the final source state, which
+    # the merged snapshot then carries so it stays byte-identical to the
+    # unsharded run's.
+    source_states = [s.get("source") for s in snaps]
+    present = [st for st in source_states if st is not None]
+    source_state: Mapping[str, Any] | None = None
+    if present:
+        if len(present) != len(snaps):
+            have = [n for n, st in zip(names, source_states) if st is not None]
+            raise MergeError(
+                f"snapshots disagree on point-source strategy: "
+                f"{', '.join(have)} carry adaptive source state, the "
+                f"others do not"
+            )
+        in_flight = [
+            name
+            for name, st in zip(names, source_states)
+            if not st.get("complete")
+        ]
+        if in_flight and not allow_partial:
+            raise MergeError(
+                f"{in_flight[0]} is an in-flight adaptive shard — its "
+                f"point set is still growing; finish every shard before "
+                f"merging (or preview with --allow-partial)"
+            )
+        if not in_flight:
+            distinct("adaptive source state", present)
+            source_state = present[0]
+    else:
+        in_flight = []
 
     count = manifests[0].count
     seen: dict[int, str] = {}
@@ -289,7 +326,10 @@ def merge_snapshots(
         all_points |= coverage
         all_done |= done
 
-    partial = bool(missing) or incomplete > 0
+    # An in-flight adaptive shard set can look internally complete (each
+    # manifest only covers the rounds that shard has seen), so it must be
+    # forced down the marked-preview path regardless.
+    partial = bool(missing) or incomplete > 0 or bool(in_flight)
     # The manifests' own grid digest must re-derive from the union of their
     # coverage sets — a truncated/hand-edited points list would otherwise
     # pass every per-shard check and merge into a silently partial curve.
@@ -331,6 +371,7 @@ def merge_snapshots(
         failed=failed,
         aggregate=aggregate,
         shard=ShardManifest.full(all_points),
+        source=source_state,
     )
 
 

@@ -10,6 +10,18 @@ Because every accumulator is exact and order-insensitive (see
 :mod:`repro.runner.aggregate`), the final aggregate is **bit-identical**
 for any worker count, completion order, or cache state.
 
+Point sources and rounds
+------------------------
+Where the points come from is a strategy (see :mod:`repro.runner.source`):
+``stream_campaign`` accepts either a plain spec iterable — wrapped in a
+:class:`~repro.runner.source.GridSource`, today's exhaustive behavior
+bit-for-bit — or any :class:`~repro.runner.source.PointSource`. A source
+emits successive *rounds* of specs; each round is fully executed and
+folded before the source is asked for the next, so a feedback-driven
+source (:class:`~repro.runner.source.AdaptiveRefinementSource`) observes
+an exact, order-insensitive aggregate at every round boundary and plans
+identically for any ``(workers, batch, shard)`` combination.
+
 Snapshot persistence
 --------------------
 With a ``state_path`` (the CLI defaults it to ``<cache-dir>/aggregates/``),
@@ -20,7 +32,9 @@ the snapshot are *skipped outright* — no recomputation, no cache read, no
 re-fold — and only new points are evaluated and folded. Snapshots are keyed
 by the aggregator's config digest and the campaign master seed, so a stale
 snapshot (changed metrics, changed seed) is rejected instead of silently
-merged into.
+merged into. Sources with state of their own (adaptive refinement) persist
+it under the snapshot's ``"source"`` key and resume mid-campaign; grid
+snapshots carry no such key, so their bytes are unchanged.
 """
 
 from __future__ import annotations
@@ -42,11 +56,15 @@ from repro.runner.engine import (
 )
 from repro.runner.points import get_experiment
 from repro.runner.progress import ProgressReporter
-from repro.runner.shard import ShardManifest
+from repro.runner.shard import ShardManifest, grid_digest, shard_of
+from repro.runner.source import GridSource, PointSource, SnapshotError
 from repro.runner.spec import PointSpec, canonical_json
 
 #: Bump when the snapshot layout changes; old snapshots are rejected.
 #: Schema 2 added the shard manifest (see :mod:`repro.runner.shard`).
+#: Adaptive campaigns add optional ``source``/``planning`` keys; grid
+#: snapshots are byte-identical to pre-source-strategy ones, so the
+#: schema number is unchanged.
 SNAPSHOT_SCHEMA = 2
 
 #: Persist the snapshot at least every this many newly folded points. Each
@@ -54,10 +72,6 @@ SNAPSHOT_SCHEMA = 2
 #: effective interval scales with campaign size — max(this, unique/64) —
 #: to keep total snapshot I/O linear-ish instead of quadratic in points.
 _FLUSH_EVERY = 256
-
-
-class SnapshotError(RuntimeError):
-    """A snapshot exists but cannot be resumed into this campaign."""
 
 
 @dataclass(frozen=True)
@@ -68,6 +82,16 @@ class StreamStats(CampaignStats):
     skipped: int = 0
     #: Completed batches the engine handed back (0 when nothing computed).
     batches: int = 0
+    #: Rounds the point source emitted (1 for a plain grid campaign).
+    rounds: int = 0
+    #: Points this shard owned in each round, in round order.
+    round_sizes: "tuple[int, ...]" = ()
+    #: Bins still short of the convergence target when an adaptive source
+    #: stopped (None for sources without a convergence notion).
+    open_bins: int | None = None
+    #: Other shards' points this shard evaluated so an adaptive source
+    #: could observe the full aggregate between rounds (0 otherwise).
+    planning_points: int = 0
 
 
 @dataclass
@@ -97,33 +121,22 @@ class StreamResult:
         return canonical_json(self.aggregator.state_dict())
 
 
-def load_snapshot(
-    path: str | os.PathLike,
-    aggregator: Aggregator,
-    master_seed: int,
-    shard: ShardManifest | None = None,
-) -> tuple[set[str], set[str]]:
-    """Resume ``aggregator`` from a snapshot; returns (folded, failed) digests.
-
-    A missing or unreadable/corrupt snapshot starts fresh (empty sets); a
-    *readable* snapshot with a mismatched schema, master seed, or aggregator
-    shape raises :class:`SnapshotError` — silently dropping or merging an
-    incompatible aggregate would corrupt the resumed campaign.
-
-    When resuming a *sharded* campaign (``shard`` with ``count > 1``), the
-    snapshot's manifest must match the shard exactly — folding shard 1/3's
-    points into a snapshot claiming to be shard 2/3, or into a shard of a
-    different grid, would poison the eventual merge. Unsharded campaigns
-    stay permissive: extending a grid into an existing snapshot is the
-    documented incremental-resume path.
-    """
-    path = Path(path)
+def _read_snapshot(path: Path) -> dict[str, Any] | None:
+    """Parse a snapshot file; None when missing, unreadable, or corrupt."""
     try:
         snap = json.loads(path.read_text())
     except (OSError, ValueError):
-        return set(), set()
-    if not isinstance(snap, dict):
-        return set(), set()
+        return None
+    return snap if isinstance(snap, dict) else None
+
+
+def _validate_snapshot_core(
+    snap: Mapping[str, Any],
+    path: Path,
+    aggregator: Aggregator,
+    master_seed: int,
+) -> None:
+    """Schema/seed/config/partial checks shared by every resume path."""
     if snap.get("schema") != SNAPSHOT_SCHEMA:
         raise SnapshotError(
             f"snapshot {path} has schema {snap.get('schema')!r}, "
@@ -147,6 +160,44 @@ def load_snapshot(
             f"snapshot {path} is a partial-merge preview "
             f"(missing shards {snap.get('missing_shards')}); previews "
             f"cannot seed a campaign resume"
+        )
+
+
+def load_snapshot(
+    path: str | os.PathLike,
+    aggregator: Aggregator,
+    master_seed: int,
+    shard: ShardManifest | None = None,
+) -> tuple[set[str], set[str]]:
+    """Resume ``aggregator`` from a snapshot; returns (folded, failed) digests.
+
+    A missing or unreadable/corrupt snapshot starts fresh (empty sets); a
+    *readable* snapshot with a mismatched schema, master seed, or aggregator
+    shape raises :class:`SnapshotError` — silently dropping or merging an
+    incompatible aggregate would corrupt the resumed campaign.
+
+    When resuming a *sharded* campaign (``shard`` with ``count > 1``), the
+    snapshot's manifest must match the shard exactly — folding shard 1/3's
+    points into a snapshot claiming to be shard 2/3, or into a shard of a
+    different grid, would poison the eventual merge. Unsharded campaigns
+    stay permissive: extending a grid into an existing snapshot is the
+    documented incremental-resume path.
+
+    Snapshots written by a stateful point source (adaptive campaigns carry
+    a ``"source"`` key) are refused here: resuming one requires handing the
+    state back to the matching source, which only
+    :func:`stream_campaign` can do.
+    """
+    path = Path(path)
+    snap = _read_snapshot(path)
+    if snap is None:
+        return set(), set()
+    _validate_snapshot_core(snap, path, aggregator, master_seed)
+    if snap.get("source") is not None:
+        raise SnapshotError(
+            f"snapshot {path} was written by a "
+            f"{snap['source'].get('strategy', '?')!r} point source; resume "
+            f"it through stream_campaign with the matching source"
         )
     if shard is not None and shard.count > 1:
         stored = snap.get("shard")
@@ -174,6 +225,8 @@ def snapshot_dict(
     aggregate: Mapping[str, Any],
     shard: ShardManifest,
     missing_shards: "Sequence[int] | None" = None,
+    source: "Mapping[str, Any] | None" = None,
+    planning: "Mapping[str, Any] | None" = None,
 ) -> dict[str, Any]:
     """The canonical snapshot payload — the single layout both
     :func:`save_snapshot` and :func:`repro.runner.shard.merge_snapshots`
@@ -183,6 +236,11 @@ def snapshot_dict(
     --allow-partial``): the payload gains ``"partial": true`` plus the
     missing-shard list, so a preview can never be byte-confused with — or
     resumed/merged as — a complete campaign snapshot.
+
+    ``source`` is a stateful point source's resume state (adaptive
+    campaigns); ``planning`` is a sharded adaptive campaign's in-flight
+    cross-shard planning aggregate. Both keys are simply omitted when
+    None, so grid snapshots keep their pre-source-strategy bytes.
     """
     snap = {
         "schema": SNAPSHOT_SCHEMA,
@@ -196,6 +254,10 @@ def snapshot_dict(
     if missing_shards is not None:
         snap["partial"] = True
         snap["missing_shards"] = sorted(missing_shards)
+    if source is not None:
+        snap["source"] = dict(source)
+    if planning is not None:
+        snap["planning"] = dict(planning)
     return snap
 
 
@@ -206,6 +268,9 @@ def save_snapshot(
     folded: set[str],
     failed: set[str] = frozenset(),  # type: ignore[assignment]
     shard: ShardManifest | None = None,
+    *,
+    source: "Mapping[str, Any] | None" = None,
+    planning: "Mapping[str, Any] | None" = None,
 ) -> None:
     """Atomically persist the aggregate + folded/failed point digests.
 
@@ -223,12 +288,14 @@ def save_snapshot(
         failed=failed,
         aggregate=aggregator.state_dict(),
         shard=shard,
+        source=source,
+        planning=planning,
     )
     atomic_write_text(path, canonical_json(snap))
 
 
 def stream_campaign(
-    specs: Iterable[PointSpec],
+    specs: "Iterable[PointSpec] | PointSource",
     aggregator: Aggregator,
     *,
     workers: int | None = 1,
@@ -239,10 +306,16 @@ def stream_campaign(
     progress: bool | ProgressReporter = False,
     progress_stream: TextIO | None = None,
     on_error: str = "raise",
-    shard: ShardManifest | None = None,
+    shard: "ShardManifest | tuple[int, int] | None" = None,
     batch_size: int | None = None,
+    planning_aggregator: Aggregator | None = None,
 ) -> StreamResult:
     """Run a campaign, folding each finished point into ``aggregator``.
+
+    ``specs`` is either a spec iterable — wrapped in a
+    :class:`~repro.runner.source.GridSource`, preserving the historical
+    behavior bit-for-bit — or a :class:`~repro.runner.source.PointSource`
+    whose rounds are executed and folded in sequence.
 
     Same execution contract as :func:`~repro.runner.engine.run_campaign`
     (determinism, caching, dedup) with three differences:
@@ -257,11 +330,29 @@ def stream_campaign(
       ``store`` run skips known failures instead of re-evaluating them
       (deterministic points fail identically every time).
 
-    ``shard`` declares that ``specs`` are one shard of a larger campaign
-    (see :mod:`repro.runner.shard`): the specs must match the manifest's
-    coverage exactly, and the snapshot is tagged with the manifest so
-    ``repro merge`` can validate it. Without ``shard`` the snapshot carries
-    the trivial 0/1 manifest over the campaign's own point set.
+    ``shard`` declares this run evaluates one shard of a larger campaign
+    (see :mod:`repro.runner.shard`). Two forms:
+
+    * a prebuilt :class:`~repro.runner.shard.ShardManifest` — only valid
+      for upfront sources (grids): the specs must match the manifest's
+      coverage exactly, and the snapshot is tagged with the manifest so
+      ``repro merge`` can validate it;
+    * an ``(index, count)`` tuple — ownership is derived per point via
+      :func:`~repro.runner.shard.shard_of`. For grids this is equivalent
+      to pre-narrowing; for adaptive sources it is the *only* form, since
+      the point set is not known upfront — the manifest is rebuilt each
+      round over the points emitted so far.
+
+    A sharded *feedback* source must observe every shard's folds to plan
+    rounds identically everywhere, so each shard also evaluates the other
+    shards' points into ``planning_aggregator`` (required in that case; a
+    shared ``cache_dir`` lets shards reuse each other's planning work).
+    Only owned points reach ``aggregator``, the snapshot's folded set, and
+    the manifest — adaptive shards therefore merge byte-identically to the
+    unsharded run.
+
+    Without ``shard`` the snapshot carries the trivial 0/1 manifest over
+    the campaign's own point set.
 
     ``batch_size`` packs that many points into each pool task (``None``
     auto-sizes, see :func:`~repro.runner.engine.auto_batch_size`); cache
@@ -274,58 +365,217 @@ def stream_campaign(
     """
     if on_error not in ("raise", "store"):
         raise ValueError(f"on_error must be 'raise' or 'store': got {on_error!r}")
-    specs = list(specs)
-    for spec in specs:
-        get_experiment(spec.experiment)  # fail fast on unknown experiments
+    source = specs if isinstance(specs, PointSource) else GridSource(specs)
+    upfront = source.upfront_specs()
+    dynamic = upfront is None
+
+    if isinstance(shard, ShardManifest):
+        if dynamic:
+            raise ValueError(
+                "a prebuilt shard manifest requires an upfront point "
+                "source; pass shard=(index, count) for adaptive sources"
+            )
+        manifest: ShardManifest = shard
+        shard_index, shard_count = shard.index, shard.count
+    elif shard is not None:
+        shard_index, shard_count = int(shard[0]), int(shard[1])
+        if shard_count < 1 or not (0 <= shard_index < shard_count):
+            raise ValueError(f"invalid shard {shard_index}/{shard_count}")
+        manifest = ShardManifest(
+            index=shard_index, count=shard_count, grid=grid_digest(()), points=()
+        )
+    else:
+        shard_index, shard_count = 0, 1
+        manifest = ShardManifest.full(())
+
+    sharded_dynamic = dynamic and shard_count > 1
+    if sharded_dynamic:
+        if planning_aggregator is None:
+            raise ValueError(
+                "a sharded feedback source needs a planning_aggregator to "
+                "observe the other shards' folds"
+            )
+        if planning_aggregator.config_digest != aggregator.config_digest:
+            raise ValueError(
+                "planning_aggregator must have the same configuration as "
+                "the output aggregator (config digest mismatch)"
+            )
+    planning_view = planning_aggregator if sharded_dynamic else aggregator
+
+    if not dynamic:
+        for spec in upfront:
+            get_experiment(spec.experiment)  # fail fast on unknown experiments
+        upfront_unique: dict[str, PointSpec] = {}
+        for spec in upfront:
+            upfront_unique.setdefault(spec.digest, spec)
+        if isinstance(shard, ShardManifest):
+            if set(upfront_unique) != set(manifest.points):
+                raise ValueError(
+                    f"specs do not match the shard manifest: got "
+                    f"{len(upfront_unique)} unique point(s), manifest "
+                    f"{manifest.index}/{manifest.count} covers "
+                    f"{len(manifest.points)}"
+                )
+            owned_upfront = len(manifest.points)
+        elif shard is not None:
+            manifest = ShardManifest.for_shard(
+                upfront_unique.values(), shard_index, shard_count
+            )
+            owned_upfront = len(manifest.points)
+        else:
+            manifest = ShardManifest.full(upfront_unique)
+            owned_upfront = len(upfront_unique)
+    else:
+        owned_upfront = 0
+
     workers = default_workers() if workers is None else max(1, int(workers))
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     start = time.monotonic()
 
-    unique: dict[str, PointSpec] = {}
-    for spec in specs:
-        unique.setdefault(spec.digest, spec)
-
-    if shard is None:
-        shard = ShardManifest.full(unique)
-    elif set(unique) != set(shard.points):
-        raise ValueError(
-            f"specs do not match the shard manifest: got {len(unique)} "
-            f"unique point(s), manifest {shard.index}/{shard.count} covers "
-            f"{len(shard.points)}"
-        )
-
     folded: set[str] = set()
     failed: set[str] = set()
+    planning_folded: set[str] = set()
+    planning_failed: set[str] = set()
+    resumed_complete = False
     if state_path is not None:
-        folded, failed = load_snapshot(state_path, aggregator, master_seed, shard)
-    already_folded = folded & set(unique)
-    resumed_failed = 0
+        path = Path(state_path)
+        snap = _read_snapshot(path)
+        if snap is not None:
+            _validate_snapshot_core(snap, path, aggregator, master_seed)
+            if shard_count > 1:
+                stored = snap.get("shard")
+                stored_key = (
+                    (stored.get("index"), stored.get("count"), stored.get("grid"))
+                    if isinstance(stored, dict)
+                    else None
+                )
+                if dynamic:
+                    # An adaptive shard's manifest grows round by round, so
+                    # only the shard *identity* must match on resume.
+                    if stored_key is None or stored_key[:2] != (
+                        shard_index,
+                        shard_count,
+                    ):
+                        raise SnapshotError(
+                            f"snapshot {path} belongs to a different shard "
+                            f"(have {stored_key and stored_key[:2]}, resuming "
+                            f"shard {shard_index}/{shard_count})"
+                        )
+                elif stored_key != (
+                    manifest.index,
+                    manifest.count,
+                    manifest.grid,
+                ):
+                    raise SnapshotError(
+                        f"snapshot {path} belongs to a different shard or "
+                        f"grid (have {stored_key}, resuming shard "
+                        f"{manifest.index}/{manifest.count} of grid "
+                        f"{manifest.grid[:16]}…)"
+                    )
+            src_state = snap.get("source")
+            if src_state is not None:
+                source.load_state(src_state)
+            elif source.needs_feedback and (
+                snap.get("folded") or snap.get("failed")
+            ):
+                raise SnapshotError(
+                    f"snapshot {path} has folded points but no source "
+                    f"state; it was not written by an adaptive campaign"
+                )
+            aggregator.load_state(snap["aggregate"])
+            folded = set(snap["folded"])
+            failed = set(snap.get("failed", []))
+            resumed_complete = src_state is not None and source.is_complete
+            if sharded_dynamic and not resumed_complete:
+                planning = snap.get("planning")
+                if planning is not None:
+                    planning_aggregator.load_state(planning["aggregate"])
+                    planning_folded = set(planning["folded"])
+                elif folded or failed:
+                    raise SnapshotError(
+                        f"snapshot {path} is an in-flight sharded adaptive "
+                        f"snapshot without planning state; it cannot be "
+                        f"resumed"
+                    )
+    initial_folded = frozenset(folded)
 
     reporter: ProgressReporter | None
     if isinstance(progress, ProgressReporter):
         reporter = progress
     elif progress:
-        reporter = ProgressReporter(len(unique), stream=progress_stream)
+        reporter = ProgressReporter(owned_upfront, stream=progress_stream)
     else:
         reporter = None
 
     collected: dict[str, Any] | None = {} if collect else None
     cached = computed = errors = 0
+    resumed_failed = 0
+    already_folded = 0
     new_folds = 0
-    flush_every = max(_FLUSH_EVERY, len(unique) // 64)
+    flush_every = max(_FLUSH_EVERY, owned_upfront // 64)
+
+    unique: dict[str, PointSpec] = {}
+    planning_seen: set[str] = set()
+    ordered_specs: list[PointSpec] = []
+    round_sizes: list[int] = []
+    rounds_run = 0
+    batches = 0
+    effective_batch: int | None = None
+
+    def owns(digest: str) -> bool:
+        return shard_count == 1 or shard_of(digest, shard_count) == shard_index
 
     def flush(force: bool = False) -> None:
         nonlocal new_folds
         if state_path is None:
             return
         if force or new_folds >= flush_every:
+            planning_blob = None
+            if sharded_dynamic and not source.is_complete:
+                planning_blob = {
+                    "folded": sorted(planning_folded),
+                    "aggregate": planning_aggregator.state_dict(),
+                }
             save_snapshot(
-                state_path, aggregator, master_seed, folded, failed, shard
+                state_path,
+                aggregator,
+                master_seed,
+                folded,
+                failed,
+                manifest,
+                source=source.state_dict(),
+                planning=planning_blob,
             )
             new_folds = 0
 
+    def fold_planning(spec: PointSpec, result: Any) -> None:
+        # No flush here: callers flush after *all* bookkeeping for the
+        # point is done, so a snapshot never records a fold whose digest
+        # is missing from the folded set.
+        nonlocal new_folds
+        if spec.digest not in planning_folded:
+            planning_aggregator.fold(spec, result)
+            planning_folded.add(spec.digest)
+            new_folds += 1
+
     def finish(spec: PointSpec, ok: bool, result: Any) -> None:
         nonlocal errors, new_folds
+        if not owns(spec.digest):
+            # Another shard's point, evaluated only so the feedback source
+            # can observe the full aggregate: folds into the planning view,
+            # never into the output aggregate or the snapshot's folded set.
+            if not ok:
+                if on_error == "raise":
+                    raise CampaignError(spec, result)
+                planning_failed.add(spec.digest)
+                if reporter:
+                    reporter.update(error=True)
+                return
+            fold_planning(spec, result)
+            flush()
+            if reporter:
+                reporter.update()
+            return
         if not ok:
             if on_error == "raise":
                 raise CampaignError(spec, result)
@@ -345,42 +595,11 @@ def stream_campaign(
             aggregator.fold(spec, result)
             folded.add(spec.digest)
             new_folds += 1
+            if sharded_dynamic:
+                fold_planning(spec, result)
             flush()
         if reporter:
             reporter.update()
-
-    # Points already in the snapshot are done: no cache read, no compute,
-    # no re-fold. Known-failed points are skipped the same way in "store"
-    # mode (deterministic evaluation fails identically on every re-run).
-    # Both shortcuts are off when the caller wants the raw results back.
-    todo: list[PointSpec] = []
-    for digest, spec in unique.items():
-        if digest in folded and collected is None:
-            if reporter:
-                reporter.update(cached=True)
-            continue
-        if digest in failed and collected is None and on_error == "store":
-            errors += 1
-            resumed_failed += 1
-            if reporter:
-                reporter.update(error=True)
-            continue
-        hit = cache.get(spec, master_seed) if cache is not None else None
-        if hit is not None:
-            cached += 1
-            if collected is not None:
-                collected[digest] = hit
-            if digest not in folded:
-                aggregator.fold(spec, hit)
-                folded.add(digest)
-                new_folds += 1
-                flush()
-            if reporter:
-                reporter.update(cached=True)
-        else:
-            todo.append(spec)
-
-    batches = 0
 
     def on_complete_batch(
         batch: list[tuple[PointSpec, bool, Any, float]]
@@ -396,31 +615,140 @@ def stream_campaign(
         for spec, ok, result, _elapsed in batch:
             finish(spec, ok, result)
 
-    computed = len(todo)
-    effective_batch = execute_points(
-        todo,
-        workers,
-        master_seed,
-        on_complete_batch,
-        # persist what has been folded so far even when a point aborts the
-        # campaign — a resumed run then skips everything already aggregated
-        on_abort=lambda: flush(force=True),
-        batch_size=batch_size,
-    )
+    for round_specs in source.rounds(planning_view):
+        rounds_run += 1
+        owned_round = 0
+        for spec in round_specs:
+            if dynamic:
+                get_experiment(spec.experiment)
+            digest = spec.digest
+            if owns(digest):
+                owned_round += 1
+                ordered_specs.append(spec)
+                if digest not in unique:
+                    unique[digest] = spec
+                    if digest in initial_folded:
+                        already_folded += 1
+            elif sharded_dynamic:
+                planning_seen.add(digest)
+            # else: grid shard narrowing — other shards' points are simply
+            # not this run's work (no feedback to serve).
+        round_sizes.append(owned_round)
 
-    flush(force=True)
+        if dynamic:
+            if shard_count > 1:
+                manifest = ShardManifest(
+                    index=shard_index,
+                    count=shard_count,
+                    grid=grid_digest(set(unique) | planning_seen),
+                    points=tuple(unique),
+                )
+            else:
+                manifest = ShardManifest.full(unique)
+            flush_every = max(
+                _FLUSH_EVERY, (len(unique) + len(planning_seen)) // 64
+            )
+            if reporter:
+                reporter.grow(
+                    len(unique) + len(planning_seen) - reporter.total
+                )
+
+        # Points already in the snapshot are done: no cache read, no
+        # compute, no re-fold. Known-failed points are skipped the same way
+        # in "store" mode (deterministic evaluation fails identically on
+        # every re-run). Both shortcuts are off when the caller wants the
+        # raw results back.
+        todo: list[PointSpec] = []
+        owned_todo = 0
+        round_seen: set[str] = set()
+        for spec in round_specs:
+            digest = spec.digest
+            if digest in round_seen:
+                continue
+            round_seen.add(digest)
+            if not owns(digest):
+                if not sharded_dynamic:
+                    continue
+                if digest in planning_folded or digest in planning_failed:
+                    if reporter:
+                        reporter.update(cached=True)
+                    continue
+                hit = cache.get(spec, master_seed) if cache is not None else None
+                if hit is not None:
+                    fold_planning(spec, hit)
+                    flush()
+                    if reporter:
+                        reporter.update(cached=True)
+                else:
+                    todo.append(spec)
+                continue
+            if digest in folded and collected is None:
+                if reporter:
+                    reporter.update(cached=True)
+                continue
+            if digest in failed and collected is None and on_error == "store":
+                errors += 1
+                resumed_failed += 1
+                if reporter:
+                    reporter.update(error=True)
+                continue
+            hit = cache.get(spec, master_seed) if cache is not None else None
+            if hit is not None:
+                cached += 1
+                if collected is not None:
+                    collected[digest] = hit
+                if digest not in folded:
+                    aggregator.fold(spec, hit)
+                    folded.add(digest)
+                    new_folds += 1
+                    if sharded_dynamic:
+                        fold_planning(spec, hit)
+                    flush()
+                if reporter:
+                    reporter.update(cached=True)
+            else:
+                todo.append(spec)
+                owned_todo += 1
+
+        computed += owned_todo
+        eb = execute_points(
+            todo,
+            workers,
+            master_seed,
+            on_complete_batch,
+            # persist what has been folded so far even when a point aborts
+            # the campaign — a resumed run then skips everything already
+            # aggregated
+            on_abort=lambda: flush(force=True),
+            batch_size=batch_size,
+        )
+        if effective_batch is None:
+            effective_batch = eb
+
+    if effective_batch is None:
+        # No rounds ran (empty grid, or a resumed-complete adaptive
+        # snapshot); report the batch size an empty execution would use.
+        effective_batch = execute_points(
+            [], workers, master_seed, on_complete_batch, batch_size=batch_size
+        )
+
+    if not (dynamic and rounds_run == 0 and resumed_complete):
+        # A resumed-complete adaptive run replans nothing; rewriting the
+        # snapshot would shrink its manifest to the (empty) point set seen
+        # this run and corrupt it.
+        flush(force=True)
     computed -= errors - resumed_failed
 
     results: list[Any] | None = None
     if collected is not None:
-        results = [collected[spec.digest] for spec in specs]
+        results = [collected[spec.digest] for spec in ordered_specs]
 
     return StreamResult(
         aggregator=aggregator,
-        specs=specs,
+        specs=ordered_specs,
         results=results,
         stats=StreamStats(
-            total=len(specs),
+            total=len(ordered_specs),
             unique=len(unique),
             computed=computed,
             cached=cached,
@@ -428,9 +756,13 @@ def stream_campaign(
             elapsed=time.monotonic() - start,
             workers=workers,
             batch_size=effective_batch,
-            folded=len(folded & set(unique)) - len(already_folded),
-            skipped=len(already_folded) + resumed_failed,
+            folded=len(folded & set(unique)) - already_folded,
+            skipped=already_folded + resumed_failed,
             batches=batches,
+            rounds=rounds_run,
+            round_sizes=tuple(round_sizes),
+            open_bins=source.open_bins,
+            planning_points=len(planning_seen),
         ),
     )
 

@@ -5,6 +5,7 @@ import pytest
 
 from repro.runner import (
     PointSpec,
+    axis_values,
     canonical_json,
     expand_grid,
     grid_specs,
@@ -109,6 +110,52 @@ class TestExpandGrid:
             grid_specs("x", {"n": [1]}, base_params={"n": 8})
 
 
+class TestAxisValues:
+    def test_ordered_sequences_expand(self):
+        assert axis_values([1, 2]) == [1, 2]
+        assert axis_values((1, 2)) == [1, 2]
+        assert axis_values(range(3)) == [0, 1, 2]
+        assert axis_values(np.array([0.5, 1.0])) == [0.5, 1.0]
+
+    def test_scalars_become_degenerate_axes(self):
+        assert axis_values(8) == [8]
+        assert axis_values("EDF") == ["EDF"]
+        assert axis_values(b"raw") == [b"raw"]
+        assert axis_values({"FT": 1.0}) == [{"FT": 1.0}]
+        assert axis_values(np.float64(0.5)) == [0.5]
+        assert axis_values(np.array(0.5)) == [0.5]
+
+    def test_empty_sequence_rejected_with_axis_name(self):
+        with pytest.raises(ValueError, match="axis 'u_total'"):
+            axis_values([], name="u_total")
+        with pytest.raises(ValueError, match="must not be empty"):
+            axis_values(())
+        with pytest.raises(ValueError):
+            axis_values(range(0), name="rep")
+
+    def test_sets_rejected_as_nondeterministic(self):
+        with pytest.raises(TypeError, match="no deterministic order"):
+            axis_values({1, 2}, name="rep")
+        with pytest.raises(TypeError, match="no deterministic order"):
+            axis_values(frozenset({1}))
+
+    def test_one_shot_iterables_rejected(self):
+        with pytest.raises(TypeError, match="one-shot iterable"):
+            axis_values(iter([1, 2]), name="rep")
+        with pytest.raises(TypeError, match="one-shot iterable"):
+            axis_values(v for v in [1, 2])
+
+    def test_expand_grid_uses_the_same_normalization(self):
+        assert expand_grid({"a": (1, 2), "n": range(2)}) == [
+            {"a": 1, "n": 0},
+            {"a": 1, "n": 1},
+            {"a": 2, "n": 0},
+            {"a": 2, "n": 1},
+        ]
+        with pytest.raises(TypeError, match="axis 'a'"):
+            expand_grid({"a": {1, 2}})
+
+
 class TestParseAxis:
     def test_numbers_and_strings(self):
         assert parse_axis("u_total=0.5,1.0") == ("u_total", [0.5, 1.0])
@@ -122,5 +169,19 @@ class TestParseAxis:
             with pytest.raises(ValueError):
                 parse_axis(bad)
 
+    def test_raw_opt_out_keeps_strings(self):
+        assert parse_axis("mode:=true,false") == ("mode", ["true", "false"])
+        assert parse_axis("rate:=0.1,0.2") == ("rate", ["0.1", "0.2"])
+        assert parse_axis("tag:=a,,b") == ("tag", ["a", "", "b"])
+
+    def test_raw_opt_out_requires_a_key(self):
+        with pytest.raises(ValueError):
+            parse_axis(":=1,2")
+
+    def test_colon_inside_key_is_not_raw(self):
+        # Only a trailing colon before "=" opts out of JSON decoding.
+        assert parse_axis("a:b=1") == ("a:b", [1])
+
     def test_parse_axes_merges(self):
         assert parse_axes(["a=1", "b=2,3"]) == {"a": [1], "b": [2, 3]}
+        assert parse_axes(["a:=1"]) == {"a": ["1"]}

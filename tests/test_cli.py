@@ -513,6 +513,105 @@ class TestShardMerge:
         assert not out_file.exists()
 
 
+# Pre-refactor golden snapshots: the --strategy grid path must keep
+# producing these bytes forever (the PR 6 acceptance criterion). The
+# digests were recorded from the seed revision before the PointSource
+# refactor landed.
+WEIGHTED_GOLDEN = [
+    "campaign", "weighted", "--axis", "u_total=0.8,1.6", "--axis", "n=8",
+    "--axis", "period_hyperperiod=720.0", "--axis", "rep=0,1",
+    "--axis", "rate=0.02", "--workers", "1", "--seed", "3", "--no-progress",
+]
+WEIGHTED_GOLDEN_SHA = (
+    "76632870150036f760e79fe63453869c486c0065b13dd895ce6f973a36edc313"
+)
+WEIGHTED_GOLDEN_SHARD_SHAS = (
+    "df6fc3189118dddc4a9f3f27db56579e3cb6baa819be793e38da5e819e3c69ce",
+    "edcb1b0451e51702ba0f76f3507e4b934bb4042415b6b14b9e63497fd02f3482",
+)
+FAULTSPACE_GOLDEN = [
+    "campaign", "faultspace", "--axis", "u_total=0.8",
+    "--axis", "rate=0.02,0.1", "--axis", "rep=0,1", "--scenario", "poisson",
+    "--workers", "1", "--seed", "7", "--no-progress",
+]
+FAULTSPACE_GOLDEN_SHA = (
+    "a1c1d09b8a20d234ceaa27135adf02d60597b6fcff7ae53c27f6219c331df387"
+)
+
+ADAPTIVE_SMOKE = [
+    "campaign", "weighted", "--strategy", "adaptive", "--ci-width", "0.4",
+    "--axis", "u_total=0.8,2.4", "--axis", "n=6",
+    "--axis", "period_hyperperiod=720.0", "--axis", "rep=0,1,2",
+    "--axis", "rate=0.02", "--workers", "1", "--seed", "3", "--no-progress",
+]
+
+
+def _sha256(path):
+    import hashlib
+
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+class TestAdaptiveCampaign:
+    def test_grid_strategy_bytes_match_pre_refactor_goldens(self, tmp_path):
+        weighted = tmp_path / "weighted.json"
+        assert main(WEIGHTED_GOLDEN + ["--state", str(weighted)]) == 0
+        assert _sha256(weighted) == WEIGHTED_GOLDEN_SHA
+        faultspace = tmp_path / "faultspace.json"
+        assert main(FAULTSPACE_GOLDEN + ["--state", str(faultspace)]) == 0
+        assert _sha256(faultspace) == FAULTSPACE_GOLDEN_SHA
+
+    def test_sharded_grid_bytes_match_pre_refactor_goldens(self, tmp_path):
+        for index, golden in enumerate(WEIGHTED_GOLDEN_SHARD_SHAS):
+            state = tmp_path / f"shard{index}.json"
+            assert main(
+                WEIGHTED_GOLDEN
+                + ["--shard", f"{index}/2", "--state", str(state)]
+            ) == 0
+            assert _sha256(state) == golden
+
+    def test_adaptive_smoke_deterministic_and_reports_rounds(
+        self, tmp_path, capsys
+    ):
+        states = [tmp_path / "a.json", tmp_path / "b.json"]
+        for state in states:
+            assert main(ADAPTIVE_SMOKE + ["--state", str(state)]) == 0
+        err = capsys.readouterr().err
+        assert "adaptive:" in err and "round(s)" in err
+        assert states[0].read_bytes() == states[1].read_bytes()
+        snap = json.loads(states[0].read_text())
+        assert snap["source"]["strategy"] == "adaptive"
+        assert snap["source"]["complete"] is True
+        # Resuming the finished snapshot is a no-op that rewrites nothing.
+        before = states[0].read_bytes()
+        assert main(ADAPTIVE_SMOKE + ["--state", str(states[0])]) == 0
+        assert "adaptive: 0 round(s)" in capsys.readouterr().err
+        assert states[0].read_bytes() == before
+
+    def test_ci_width_requires_adaptive_strategy(self):
+        with pytest.raises(SystemExit, match="--ci-width"):
+            main(["campaign", "weighted", "--ci-width", "0.1", "--no-progress"])
+
+    def test_max_points_requires_adaptive_strategy(self):
+        with pytest.raises(SystemExit, match="--max-points"):
+            main(
+                ["campaign", "weighted", "--max-points", "10", "--no-progress"]
+            )
+
+    def test_adaptive_requires_supported_preset(self):
+        with pytest.raises(SystemExit, match="adaptive"):
+            main(
+                ["campaign", "sched", "--strategy", "adaptive", "--no-progress"]
+            )
+
+    def test_adaptive_shard_needs_snapshot_destination(self):
+        with pytest.raises(SystemExit, match="--state or --cache-dir"):
+            main(
+                ["campaign", "weighted", "--strategy", "adaptive",
+                 "--shard", "0/2", "--no-progress"]
+            )
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
