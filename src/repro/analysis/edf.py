@@ -9,6 +9,15 @@ Implements Eq. 9 of the paper — the EDF demand
 ``dlSet`` over which Theorem 2 quantifies, the supply-aware EDF test, its
 dedicated-processor specialisation, and Zhang & Burns' Quick Processor-demand
 Analysis (QPA) as a faster dedicated test.
+
+Every entry point routes through the integer fast kernels of
+:mod:`repro.analysis.kernels` when the task set rescales onto an exact
+integer time base (no ``EPS`` anywhere on that path), and falls back to the
+float implementation otherwise. The float paths share one tolerance
+discipline: job counts snap via :func:`~repro.util.fuzzy_floor` /
+:func:`~repro.util.fuzzy_floor_array` (the same rule scalar and vector),
+and horizon boundaries use the :func:`~repro.util.boundary_le` /
+:func:`~repro.util.boundary_lt` band rule.
 """
 
 from __future__ import annotations
@@ -17,16 +26,37 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.analysis import kernels
 from repro.analysis.results import EDFAnalysis
 from repro.model import TaskSet
 from repro.supply import DedicatedSupply, SupplyFunction
-from repro.util import EPS, approx_le, check_positive, fuzzy_floor
+from repro.util import (
+    EPS,
+    approx_le,
+    boundary_le,
+    boundary_lt,
+    check_positive,
+    fuzzy_floor,
+    fuzzy_floor_array,
+)
 
 
 def demand_bound_function(taskset: TaskSet, t: float) -> float:
     """EDF demand ``W(t)`` of Eq. 9 at a single point ``t >= 0``."""
     if t < 0:
         raise ValueError(f"t must be >= 0: got {t}")
+    if kernels.fast_kernels_enabled() and len(taskset):
+        sts = kernels.rescale(taskset.tasks)
+        t_scaled = kernels.scale_scalar(sts, t) if sts is not None else None
+        kernels.note_selection(t_scaled is not None)
+        if sts is not None and t_scaled is not None:
+            total = 0.0
+            for i, task in enumerate(taskset):
+                p = int(sts.periods[i])
+                jobs = (t_scaled + (p - int(sts.deadlines[i]))) // p
+                if jobs > 0:
+                    total += jobs * task.wcet
+            return total
     total = 0.0
     for task in taskset:
         jobs = fuzzy_floor((t + task.period - task.deadline) / task.period)
@@ -38,9 +68,17 @@ def demand_bound_function(taskset: TaskSet, t: float) -> float:
 def demand_bound_array(taskset: TaskSet, ts: Iterable[float]) -> np.ndarray:
     """Vectorised ``W(t)`` over an array of points."""
     t = np.asarray(list(ts), dtype=float)
+    if kernels.fast_kernels_enabled() and len(taskset):
+        sts = kernels.rescale(taskset.tasks)
+        t_scaled = kernels.scale_points(sts, t) if sts is not None else None
+        kernels.note_selection(t_scaled is not None)
+        if sts is not None and t_scaled is not None:
+            return kernels.demand_array(sts, t_scaled)
     total = np.zeros_like(t)
     for task in taskset:
-        jobs = np.floor((t + task.period - task.deadline) / task.period + EPS)
+        jobs = fuzzy_floor_array(
+            (t + task.period - task.deadline) / task.period
+        )
         total += np.maximum(jobs, 0.0) * task.wcet
     return total
 
@@ -50,20 +88,37 @@ def deadline_set(taskset: TaskSet, horizon: float | None = None) -> tuple[float,
 
     ``horizon`` defaults to the hyperperiod, matching Theorem 2. Deadlines
     are generated from the synchronous pattern (``k T_i + D_i``), de-duplicated
-    and sorted.
+    and sorted. A deadline on the horizon boundary is *included* — the
+    shared :func:`~repro.util.boundary_le` rule (exact on the integer fast
+    path, ``±EPS`` band on the float path).
     """
     if len(taskset) == 0:
         return ()
+    if horizon is not None:
+        check_positive("horizon", horizon)
+    if kernels.fast_kernels_enabled():
+        sts = kernels.rescale(taskset.tasks)
+        horizon_scaled: int | None = None
+        if sts is not None:
+            horizon_scaled = (
+                sts.hyperperiod
+                if horizon is None
+                else kernels.scale_horizon(sts, horizon)
+            )
+        kernels.note_selection(horizon_scaled is not None)
+        if sts is not None and horizon_scaled is not None:
+            pts = kernels.deadline_points(sts, horizon_scaled)
+            return tuple(kernels.to_time(sts, pts).tolist())
     if horizon is None:
         horizon = taskset.hyperperiod()
-    check_positive("horizon", horizon)
+        check_positive("horizon", horizon)
     points: set[float] = set()
     for task in taskset:
         d = task.deadline
         k = 0
         while True:
             t = k * task.period + d
-            if t > horizon + EPS:
+            if not boundary_le(t, horizon):
                 break
             points.add(t)
             k += 1
@@ -115,7 +170,9 @@ def edf_schedulable_supply(
     Checks ``Z(t) >= W(t)`` at every absolute deadline up to ``horizon``
     (default: the exact analytic cut-off when the supply rate exceeds the
     utilization, else the hyperperiod — see :func:`_check_horizon`), after
-    the necessary rate condition ``U(T) <= α``.
+    the necessary rate condition ``U(T) <= α``. The deadline points and the
+    demand vector come from the integer fast kernels whenever the task set
+    rescales (see :mod:`repro.analysis.kernels`).
     """
     if len(taskset) == 0:
         return EDFAnalysis(True, points_checked=0)
@@ -168,18 +225,35 @@ def synchronous_busy_period(taskset: TaskSet, *, max_iterations: int = 100_000) 
     """Length of the synchronous processor busy period.
 
     Fixed point of ``w = sum_i ceil(w/T_i) C_i``; requires ``U <= 1``
-    (diverges otherwise, which raises).
+    (diverges otherwise, which raises). Both paths iterate to the *exact*
+    fixed point: the integer kernel in rational arithmetic, the float
+    fallback until ``w_next == w`` bitwise — the former tolerance check
+    ``|w_next - w| <= EPS*max(1, w)`` could declare convergence an
+    iteration early for large ``w``, under-reporting the QPA start point.
     """
     if len(taskset) == 0:
         return 0.0
+    if kernels.fast_kernels_enabled():
+        sts = kernels.rescale(taskset.tasks)
+        # Exact U > 1 means the rational iteration truly diverges, yet the
+        # float fallback may still see U <= 1 + EPS and converge (rounding).
+        # Keep verdict parity by routing that sliver to the fallback.
+        fast = sts is not None and kernels.utilization_cmp(sts) <= 0
+        kernels.note_selection(fast)
+        if fast:
+            return float(
+                kernels.busy_period_exact(sts, max_iterations=max_iterations)
+            )
     if taskset.utilization > 1.0 + 1e-9:
         raise ValueError("busy period diverges for U > 1")
-    w = sum(t.wcet for t in taskset)
+    w = float(sum(t.wcet for t in taskset))
     for _ in range(max_iterations):
-        w_next = sum(np.ceil(w / t.period - EPS) * t.wcet for t in taskset)
-        if abs(w_next - w) <= EPS * max(1.0, w):
-            return float(w_next)
-        w = float(w_next)
+        w_next = float(
+            sum(np.ceil(w / t.period - EPS) * t.wcet for t in taskset)
+        )
+        if w_next == w:
+            return w
+        w = w_next
     raise RuntimeError("busy period iteration did not converge")
 
 
@@ -190,10 +264,23 @@ def qpa_schedulable(taskset: TaskSet) -> bool:
     only a handful of points: starting just below the busy-period bound it
     walks ``t ← h(t)`` (or the next lower deadline) until the demand drops
     below the smallest deadline (schedulable) or exceeds ``t``
-    (unschedulable).
+    (unschedulable). Runs entirely in exact integer arithmetic when the
+    task set rescales (:func:`repro.analysis.kernels.qpa_exact`).
     """
     if len(taskset) == 0:
         return True
+    if kernels.fast_kernels_enabled():
+        sts = kernels.rescale(taskset.tasks)
+        kernels.note_selection(sts is not None)
+        if sts is not None:
+            # The overload / at-capacity gates stay on float utilization with
+            # the same tolerances as the fallback below: generated sets meet
+            # U == 1 only up to float rounding, and deciding the gate exactly
+            # would flip verdicts on sets the fallback accepts.
+            u = taskset.utilization
+            if u > 1.0 + 1e-9:
+                return False
+            return kernels.qpa_exact(sts, at_capacity=u >= 1.0 - 1e-12)
     if taskset.utilization > 1.0 + 1e-9:
         return False
     if taskset.utilization >= 1.0 - 1e-12:
@@ -201,7 +288,7 @@ def qpa_schedulable(taskset: TaskSet) -> bool:
     else:
         limit = synchronous_busy_period(taskset)
     d_min = min(t.deadline for t in taskset)
-    deadlines = [d for d in deadline_set(taskset, limit) if d < limit - EPS]
+    deadlines = [d for d in deadline_set(taskset, limit) if boundary_lt(d, limit)]
     if not deadlines:
         return True
 
@@ -218,7 +305,7 @@ def qpa_schedulable(taskset: TaskSet) -> bool:
         if ht < t - EPS:
             t = ht
         else:
-            lower = [d for d in deadlines if d < t - EPS]
+            lower = [d for d in deadlines if boundary_lt(d, t)]
             if not lower:
                 return True
             t = lower[-1]

@@ -1,0 +1,538 @@
+"""Integer-exact fast kernels for the schedulability hot path.
+
+The float analyses in :mod:`repro.analysis.edf`, :mod:`~repro.analysis.workload`
+and :mod:`repro.core.minq` carry an ``EPS`` tolerance through every floor,
+ceil and comparison — a correctness liability exactly at the deadline
+boundaries Theorem 2 quantifies over, and a throughput bottleneck once the
+campaign engine amortized everything else away. This module removes both at
+once:
+
+**Rescale pass** — :func:`rescale` maps a task set onto a common integer
+time base. Every float is an exact dyadic rational (``m / 2**k``), so
+periods and deadlines rationalize *losslessly* via :class:`~fractions.Fraction`;
+the common denominator (a power of two, because all denominators are) becomes
+the scale ``Dt``. The pass succeeds only when
+
+* every period/deadline denominator is ``<= 10**9`` — the bound
+  :func:`repro.util.to_fraction` uses, so the scaled hyperperiod agrees
+  exactly with :meth:`TaskSet.hyperperiod` and the fast and float paths
+  quantify over the same horizon; and
+* ``hyperperiod_scaled + max(period_scaled) <= 2**53`` — every scaled time
+  value then fits ``int64`` with headroom *and* converts to float exactly,
+  so deadline points produced by the integer kernels are bit-identical to
+  the floats ``k*T + D`` the fallback path computes.
+
+Otherwise :func:`rescale` returns ``None`` and callers keep the existing
+float path — kernel selection is per task set, per call, with module-level
+fast/fallback counters the campaign engine aggregates into its stats line.
+
+**Vector kernels** — deadline sets (``np.arange`` per task + ``np.unique``),
+Eq. 9 demand job counts and Eq. 5 interference counts in pure ``int64``
+(no ``EPS`` anywhere). Demand totals accumulate in float, per task in the
+same order as the float path, so whenever job counts agree (always, on
+rescalable sets) the totals are bit-identical.
+
+**Scalar kernels** — QPA and the synchronous busy period in arbitrary-
+precision Python integers: WCETs are exact dyadic rationals too, so the
+busy-period fixed point and the QPA walk are computed without any rounding
+at all. (WCET denominators of generated task sets are large — up to
+``2**52`` — which is why the *vector* demand path keeps float WCETs: the
+scalar walks touch few points, the vector path touches the whole dlSet.)
+
+**Hull pruning** — the ``minQ`` curves evaluate ``f_P(t, W)`` over every
+(point, demand) pair for thousands of candidate periods. For fixed ``q``
+and ``P`` the superlevel set ``{f_P >= q}`` is the half-plane above a line
+of slope ``q/P > 0``, so the Eq. 11 max is attained on the *upper* convex
+hull of the ``(t, W)`` pairs and the Eq. 6 min on the *lower* hull.
+:func:`binding_hull` shrinks hundreds of pairs to a handful with a
+conservatively-rounded monotone chain (near-degenerate turns are kept, so
+the true binding point is never dropped and the pruned max/min is
+bit-identical to the full evaluation).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from bisect import bisect_right
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.model import Task
+
+#: Scaled times beyond this cannot be represented exactly as floats (and
+#: would eventually threaten ``int64`` intermediates): the rescale pass
+#: rejects task sets whose scaled hyperperiod plus one period exceeds it.
+MAX_SCALED: int = 2**53
+
+#: Rescale refuses period/deadline denominators beyond the
+#: :func:`repro.util.to_fraction` bound so the integer hyperperiod always
+#: equals the float path's ``TaskSet.hyperperiod()`` exactly.
+MAX_DENOMINATOR: int = 10**9
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_FAST_KERNELS", "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+_enabled: bool = _env_enabled()
+
+#: Per-process kernel selection counters (fast path taken vs fallback).
+#: Pool workers count locally; the engine ships per-batch deltas back and
+#: the campaign stats line reports the aggregate share.
+_counters = {"fast": 0, "fallback": 0}
+
+
+def fast_kernels_enabled() -> bool:
+    """Whether the integer fast path may be selected at all."""
+    return _enabled
+
+
+def set_fast_kernels(enabled: bool) -> bool:
+    """Enable/disable the fast path; returns the previous setting.
+
+    Also mirrors the choice into ``REPRO_FAST_KERNELS`` so freshly spawned
+    pool workers (which read the environment at import) agree with the
+    parent process.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    os.environ["REPRO_FAST_KERNELS"] = "1" if _enabled else "0"
+    return previous
+
+
+class kernels_forced:
+    """Context manager pinning the fast-kernel toggle (tests, benchmarks)."""
+
+    def __init__(self, enabled: bool):
+        self._enabled = enabled
+        self._previous: bool | None = None
+
+    def __enter__(self) -> "kernels_forced":
+        self._previous = set_fast_kernels(self._enabled)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._previous is not None
+        set_fast_kernels(self._previous)
+
+
+def note_selection(fast: bool) -> None:
+    """Record one kernel selection (entry points call this once per call)."""
+    _counters["fast" if fast else "fallback"] += 1
+
+
+def kernel_counters() -> dict[str, int]:
+    """Snapshot of this process's selection counters."""
+    return dict(_counters)
+
+
+def counters_delta(before: dict[str, int]) -> dict[str, int]:
+    """Counters accumulated since a :func:`kernel_counters` snapshot."""
+    return {key: _counters[key] - before.get(key, 0) for key in _counters}
+
+
+def reset_kernel_counters() -> None:
+    """Zero the selection counters (tests)."""
+    for key in _counters:
+        _counters[key] = 0
+
+
+@dataclass(frozen=True)
+class ScaledTaskSet:
+    """A task set on an exact integer time base (see :func:`rescale`).
+
+    ``periods``/``deadlines`` are ``int64`` arrays in task-set order;
+    ``wcets`` keeps the original float WCETs (for order-preserving float
+    demand accumulation) while ``wcet_nums``/``wcet_den`` hold them as exact
+    integers over a common power-of-two denominator (for the scalar exact
+    walks). All time values are ``value * scale``.
+    """
+
+    tasks: tuple[Task, ...]
+    scale: int
+    periods: np.ndarray
+    deadlines: np.ndarray
+    wcets: np.ndarray
+    wcet_nums: tuple[int, ...]
+    wcet_den: int
+    hyperperiod: int
+
+    @property
+    def time_unit(self) -> float:
+        """``1 / scale`` — exact (the scale is a power of two)."""
+        return 1.0 / self.scale
+
+
+@lru_cache(maxsize=512)
+def _rescale_cached(tasks: tuple[Task, ...]) -> ScaledTaskSet | None:
+    scale = 1
+    for task in tasks:
+        for value in (task.period, task.deadline):
+            den = Fraction(value).denominator  # exact: floats are dyadic
+            if den > MAX_DENOMINATOR:
+                return None
+            # All denominators are powers of two, so lcm == max — but the
+            # general gcd form costs nothing and assumes nothing.
+            scale = scale * den // math.gcd(scale, den)
+    periods: list[int] = []
+    deadlines: list[int] = []
+    hyper = 1
+    for task in tasks:
+        p = int(Fraction(task.period) * scale)
+        d = int(Fraction(task.deadline) * scale)
+        periods.append(p)
+        deadlines.append(d)
+        hyper = hyper * p // math.gcd(hyper, p)
+        if hyper > MAX_SCALED:
+            return None
+    if hyper + max(periods) > MAX_SCALED:
+        return None
+    wcet_den = 1
+    wcet_fracs = [Fraction(task.wcet) for task in tasks]  # exact, dyadic
+    for frac in wcet_fracs:
+        wcet_den = wcet_den * frac.denominator // math.gcd(
+            wcet_den, frac.denominator
+        )
+    wcet_nums = tuple(
+        int(frac.numerator * (wcet_den // frac.denominator))
+        for frac in wcet_fracs
+    )
+    return ScaledTaskSet(
+        tasks=tasks,
+        scale=scale,
+        periods=np.asarray(periods, dtype=np.int64),
+        deadlines=np.asarray(deadlines, dtype=np.int64),
+        wcets=np.asarray([task.wcet for task in tasks], dtype=np.float64),
+        wcet_nums=wcet_nums,
+        wcet_den=wcet_den,
+        hyperperiod=hyper,
+    )
+
+
+def rescale(tasks: Sequence[Task]) -> ScaledTaskSet | None:
+    """Integer time base for ``tasks``, or ``None`` when out of bounds.
+
+    Pure (no counters, no toggle check): entry points decide on fallback
+    and call :func:`note_selection` themselves. Empty sequences return
+    ``None`` — the analyses all short-circuit empty sets before demand math.
+    """
+    if not tasks:
+        return None
+    return _rescale_cached(tuple(tasks))
+
+
+# -- time conversion -----------------------------------------------------------
+
+
+def to_time(sts: ScaledTaskSet, scaled: np.ndarray) -> np.ndarray:
+    """Scaled ``int64`` times back to floats — exact (power-of-two scale)."""
+    return scaled.astype(np.float64) / sts.scale
+
+
+def scale_horizon(sts: ScaledTaskSet, horizon: float) -> int | None:
+    """Largest scaled integer time ``<= horizon``, or ``None`` if unsafe.
+
+    ``horizon * scale`` is exact (power-of-two multiply) unless it leaves
+    the exact-integer float range, in which case the caller must fall back.
+    """
+    h = horizon * sts.scale
+    if not math.isfinite(h) or h > MAX_SCALED:
+        return None
+    return math.floor(h)
+
+
+def scale_points(sts: ScaledTaskSet, ts: np.ndarray) -> np.ndarray | None:
+    """Points as scaled ``int64``, or ``None`` if any is not exactly on grid.
+
+    The fast demand kernels only run when every query point is an exact
+    multiple of the time unit (always true for points the integer deadline
+    kernel produced) — anything else silently falls back, keeping EPS
+    semantics for off-grid callers.
+    """
+    scaled = ts * float(sts.scale)
+    rounded = np.rint(scaled)
+    if not np.array_equal(scaled, rounded):
+        return None
+    if scaled.size and (scaled.min() < 0 or scaled.max() > MAX_SCALED):
+        return None
+    return rounded.astype(np.int64)
+
+
+def scale_scalar(sts: ScaledTaskSet, t: float) -> int | None:
+    """Scalar version of :func:`scale_points`."""
+    scaled = t * sts.scale
+    if not (scaled.is_integer() and 0 <= scaled <= MAX_SCALED):
+        return None
+    return int(scaled)
+
+
+# -- vector kernels ------------------------------------------------------------
+
+
+def deadline_points(sts: ScaledTaskSet, horizon_scaled: int) -> np.ndarray:
+    """``dlSet`` on the integer grid: every ``k*T_i + D_i`` in ``(0, horizon]``.
+
+    Sorted unique ``int64``; no tolerance anywhere — a deadline exactly at
+    the horizon is included, one past it is not.
+    """
+    arrays: list[np.ndarray] = []
+    for p, d in zip(sts.periods.tolist(), sts.deadlines.tolist()):
+        if d > horizon_scaled:
+            continue
+        count = (horizon_scaled - d) // p + 1
+        arrays.append(np.arange(count, dtype=np.int64) * p + d)
+    if not arrays:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(arrays))
+
+
+def demand_array(sts: ScaledTaskSet, t_scaled: np.ndarray) -> np.ndarray:
+    """Eq. 9 demand ``W(t)`` with exact integer job counts.
+
+    Job counts are exact ``int64`` floors; the WCET-weighted total
+    accumulates in float in the same per-task order as the float path, so
+    the result is bit-identical whenever the float path counts jobs
+    correctly.
+    """
+    total = np.zeros(t_scaled.shape, dtype=np.float64)
+    for i in range(len(sts.tasks)):
+        p = sts.periods[i]
+        jobs = (t_scaled + (p - sts.deadlines[i])) // p
+        total += jobs.astype(np.float64) * sts.wcets[i]
+    return total
+
+
+def workload_array(sts: ScaledTaskSet, t_scaled: np.ndarray) -> np.ndarray:
+    """Eq. 5 FP workload ``W_i(t)``, task 0 under interference from the rest.
+
+    ``sts`` must be built from ``(task, *higher_priority)`` in priority
+    order; all points must be ``> 0`` (scaled integers ``>= 1``).
+    """
+    total = np.full(t_scaled.shape, sts.wcets[0], dtype=np.float64)
+    for j in range(1, len(sts.tasks)):
+        p = sts.periods[j]
+        jobs = (t_scaled + (p - 1)) // p  # ceil(t / T_j) for t >= 1
+        total += jobs.astype(np.float64) * sts.wcets[j]
+    return total
+
+
+def scheduling_points_scaled(sts: ScaledTaskSet) -> list[int]:
+    """Bini–Buttazzo ``schedP`` on the integer grid, for ``tasks[0]``.
+
+    Same recursion as :func:`repro.analysis.points.scheduling_points` with
+    exact floors; returns sorted positive scaled times.
+    """
+    periods = sts.periods.tolist()
+    points: set[int] = set()
+
+    def recurse(t: int, j: int) -> None:
+        if j == 0:
+            if t > 0:
+                points.add(t)
+            return
+        p = periods[j]
+        floored = (t // p) * p
+        recurse(t, j - 1)
+        if floored < t:
+            recurse(floored, j - 1)
+
+    recurse(int(sts.deadlines[0]), len(periods) - 1)
+    return sorted(points)
+
+
+# -- scalar exact kernels ------------------------------------------------------
+
+
+def _scaled_wcet_nums(sts: ScaledTaskSet) -> list[int]:
+    """WCET numerators in *scaled* time over ``wcet_den``.
+
+    The scalar kernels mix execution amounts into the scaled time axis
+    (``w``, periods and deadlines all carry the ``scale`` factor), so the
+    WCETs must carry it too — comparing unscaled demand against scaled time
+    would be off by exactly ``scale``.
+    """
+    return [num * sts.scale for num in sts.wcet_nums]
+
+
+def utilization_cmp(sts: ScaledTaskSet) -> int:
+    """Exact sign of ``U - 1``: negative, zero or positive."""
+    h = sts.hyperperiod
+    lhs = sum(
+        num * (h // p)
+        for num, p in zip(_scaled_wcet_nums(sts), sts.periods.tolist())
+    )
+    rhs = h * sts.wcet_den
+    return (lhs > rhs) - (lhs < rhs)
+
+
+def _busy_period_num(sts: ScaledTaskSet, max_iterations: int) -> int:
+    """Busy-period numerator over ``wcet_den``, in *scaled* time units."""
+    dc = sts.wcet_den
+    # w is w_num / dc in scaled time; ceil(w / T_i) = ceil(w_num / (T_i*dc)).
+    period_dens = [p * dc for p in sts.periods.tolist()]
+    nums = _scaled_wcet_nums(sts)
+    w_num = sum(nums)
+    for _ in range(max_iterations):
+        w_next = sum(
+            -(-w_num // pden) * num
+            for num, pden in zip(nums, period_dens)
+        )
+        if w_next == w_num:
+            return w_num
+        w_num = w_next
+    raise RuntimeError("busy period iteration did not converge")
+
+
+def busy_period_exact(
+    sts: ScaledTaskSet, *, max_iterations: int = 100_000
+) -> Fraction:
+    """Synchronous busy period as an exact rational (unscaled time units).
+
+    Iterates ``w = sum_i ceil(w / T_i) C_i`` to its *exact* fixed point —
+    integer arithmetic over the common WCET denominator, so there is no
+    tolerance band that could accept a not-yet-converged iterate. Requires
+    ``U <= 1`` (checked by callers via :func:`utilization_cmp`).
+    """
+    return Fraction(
+        _busy_period_num(sts, max_iterations), sts.wcet_den * sts.scale
+    )
+
+
+def qpa_exact(sts: ScaledTaskSet, *, at_capacity: bool) -> bool:
+    """Zhang & Burns QPA in exact integer arithmetic (dedicated EDF test).
+
+    Mirrors the float walk of :func:`repro.analysis.edf.qpa_schedulable`
+    with all tolerances at exactly zero: demand values are rationals over
+    the common WCET denominator, deadlines are scaled integers, and every
+    comparison is an integer comparison.
+
+    ``at_capacity`` selects the walk's upper limit — the hyperperiod when
+    the caller's utilization test says ``U == 1``, the busy period below
+    that. The *caller* decides with the same float-tolerance rule as the
+    fallback path: whether a set counts as at-capacity is deliberately a
+    tolerance question (generated sets hit ``U = 1`` only up to float
+    rounding), so answering it exactly here would flip verdicts on sets
+    the float path accepts.
+    """
+    dc = sts.wcet_den
+    if at_capacity:
+        limit_num = sts.hyperperiod * dc  # limit = hyperperiod
+    else:
+        limit_num = _busy_period_num(sts, 100_000)
+    periods = sts.periods.tolist()
+    deadlines_rel = sts.deadlines.tolist()
+    d_min = min(deadlines_rel)
+    nums = _scaled_wcet_nums(sts)
+
+    def demand_num(t_num: int) -> int:
+        # W(t) over denominator dc, at rational t = t_num / dc (scaled time).
+        total = 0
+        for num, p, d in zip(nums, periods, deadlines_rel):
+            jobs = (t_num + (p - d) * dc) // (p * dc)
+            if jobs > 0:
+                total += jobs * num
+        return total
+
+    # Deadlines strictly below the limit: d*dc < limit_num.
+    t_max = -(-limit_num // dc) - 1  # largest integer strictly below limit
+    dl = deadline_points(sts, min(t_max, sts.hyperperiod)).tolist()
+    if not dl:
+        return True
+    d_min_num = d_min * dc
+    t_num = dl[-1] * dc
+    while True:
+        ht = demand_num(t_num)
+        if ht > t_num:
+            return False
+        if ht <= d_min_num:
+            return demand_num(d_min_num) <= d_min_num
+        if ht < t_num:
+            t_num = ht
+        else:
+            # Largest deadline strictly below t = t_num / dc.
+            threshold = -(-t_num // dc) - 1
+            idx = bisect_right(dl, threshold) - 1
+            if idx < 0:
+                return True
+            t_num = dl[idx] * dc
+
+
+# -- minQ hull pruning ---------------------------------------------------------
+
+_EPS64 = float(np.finfo(np.float64).eps)
+
+
+def binding_hull(pts: np.ndarray, w: np.ndarray, *, upper: bool) -> np.ndarray:
+    """Indices of the convex hull that can bind ``f_P`` (see module docs).
+
+    ``pts`` must be sorted ascending and unique (dlSet / schedP contract).
+    ``upper=True`` keeps the upper hull (EDF max, Eq. 11), ``False`` the
+    lower hull (FP min, Eq. 6). The monotone-chain turn test is rounded
+    *conservatively*: a middle point is only dropped when its cross product
+    clears a float-error bound, so points the exact test would keep are
+    never lost and the pruned extremum is bit-identical to the full one.
+    """
+    n = int(pts.size)
+    if n <= 2:
+        return np.arange(n)
+    x = np.asarray(pts, dtype=np.float64).tolist()
+    y = np.asarray(w, dtype=np.float64)
+    if not upper:
+        y = -y
+    y = y.tolist()
+    hull: list[int] = []
+    for i in range(n):
+        xi, yi = x[i], y[i]
+        while len(hull) >= 2:
+            i1, i2 = hull[-2], hull[-1]
+            x1, y1 = x[i1], y[i1]
+            a = (x[i2] - x1) * (yi - y1)
+            b = (xi - x1) * (y[i2] - y1)
+            # cross = a - b > 0 means i2 lies strictly below chord i1->i
+            # (for the upper hull) and can never bind. Only pop when the
+            # sign is certain: 4 rounded float ops, each within eps of
+            # exact, bound the error by 8*eps*max(|a|,|b|).
+            if a - b > 8.0 * _EPS64 * max(abs(a), abs(b)):
+                hull.pop()
+            else:
+                break
+        hull.append(i)
+    return np.asarray(hull, dtype=np.intp)
+
+
+__all__ = [
+    "MAX_DENOMINATOR",
+    "MAX_SCALED",
+    "ScaledTaskSet",
+    "binding_hull",
+    "busy_period_exact",
+    "counters_delta",
+    "deadline_points",
+    "demand_array",
+    "fast_kernels_enabled",
+    "kernel_counters",
+    "kernels_forced",
+    "note_selection",
+    "qpa_exact",
+    "rescale",
+    "reset_kernel_counters",
+    "scale_horizon",
+    "scale_points",
+    "scale_scalar",
+    "scheduling_points_scaled",
+    "set_fast_kernels",
+    "to_time",
+    "utilization_cmp",
+    "workload_array",
+]

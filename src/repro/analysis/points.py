@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.analysis import kernels
 from repro.model import Task
 from repro.util import EPS, check_positive, fuzzy_floor
 
@@ -39,8 +40,19 @@ def scheduling_points(task: Task, higher_priority: Sequence[Task]) -> tuple[floa
     points that the recursion can generate when ``D_i < T_j`` are discarded:
     no positive workload can be accommodated by time 0, so they can never be
     feasibility witnesses.
+
+    The recursion runs on the exact integer grid when ``(task, *hp)``
+    rescales (:mod:`repro.analysis.kernels`); the float fallback keeps the
+    ``fuzzy_floor`` tolerance.
     """
     check_positive("task deadline", task.deadline)
+    if kernels.fast_kernels_enabled():
+        sts = kernels.rescale((task, *higher_priority))
+        kernels.note_selection(sts is not None)
+        if sts is not None:
+            scaled = kernels.scheduling_points_scaled(sts)
+            scale = sts.scale
+            return tuple(s / scale for s in scaled)
     points: set[float] = set()
 
     def recurse(t: float, j: int) -> None:

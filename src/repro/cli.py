@@ -709,12 +709,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             f"; adaptive: {s.rounds} round(s) "
             f"[{sizes}]{open_info}{planning_info}"
         )
+    kernel_info = ""
+    kernel_total = s.kernel_fast + s.kernel_fallback
+    if kernel_total:
+        kernel_info = (
+            f"; kernels: {100.0 * s.kernel_fast / kernel_total:.1f}% fast "
+            f"({s.kernel_fast}/{kernel_total})"
+        )
     print(
         f"[campaign] {shard_tag}{s.total} points ({s.unique} unique): "
         f"{s.computed} computed, {s.cached} cached in {s.elapsed:.2f}s "
         f"with {s.workers} worker(s) x batch {s.batch_size}; "
         f"aggregate: {s.folded} folded, {s.skipped} resumed{extra}"
-        f"{round_info}",
+        f"{round_info}{kernel_info}",
         file=sys.stderr,
     )
     return 0

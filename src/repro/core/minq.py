@@ -29,7 +29,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.analysis import scheduling_points
+from repro.analysis import kernels, scheduling_points
 from repro.analysis.edf import edf_demand_points, demand_bound_array
 from repro.analysis.fp import fp_schedulable_supply
 from repro.analysis.edf import edf_schedulable_supply
@@ -109,6 +109,7 @@ class QuantumCurve:
         # Precompute (t, W) pairs; they are independent of P.
         self._groups: list[tuple[str, np.ndarray, np.ndarray]] = []
         if len(taskset) == 0:
+            self._eval_groups = self._groups
             return
         if alg == "EDF":
             pts = edf_demand_points(taskset)  # dlSet up to the hyperperiod (Eq. 11)
@@ -121,6 +122,23 @@ class QuantumCurve:
                 pts = np.asarray(scheduling_points(task, hp), dtype=float)
                 w = fp_workload_array(task, hp, pts)
                 self._groups.append((task.name, pts, w))
+        # f_P's superlevel (EDF) / sublevel (FP) sets are half-planes, so
+        # only the convex hull of the (t, W) pairs can bind Eq. 11 / Eq. 6:
+        # evaluate() sweeps a handful of hull points instead of the whole
+        # dlSet per candidate period, bit-identically (the conservative
+        # hull never drops a potential arg-extremum). detailed() keeps the
+        # full sets so binding points are reported from the same candidate
+        # list as before.
+        if kernels.fast_kernels_enabled():
+            self._eval_groups = [
+                (name, pts[idx], w[idx])
+                for name, pts, w in self._groups
+                for idx in (
+                    kernels.binding_hull(pts, w, upper=self._alg == "EDF"),
+                )
+            ]
+        else:
+            self._eval_groups = self._groups
 
     @property
     def algorithm(self) -> str:
@@ -139,7 +157,7 @@ class QuantumCurve:
         if np.any(ps <= 0):
             raise ValueError("periods must be > 0")
         out = np.zeros_like(ps)
-        for _name, pts, w in self._groups:
+        for _name, pts, w in self._eval_groups:
             # f has shape (n_points, n_periods)
             f = _f_quantum(pts[:, None], w[:, None], ps[None, :])
             if self._alg == "EDF":

@@ -33,6 +33,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, TextIO
 
+from repro.analysis import kernels
 from repro.runner.grid import grid_specs
 from repro.runner.points import get_experiment
 from repro.runner.progress import ProgressReporter
@@ -107,19 +108,26 @@ def evaluate_point(
 
 def evaluate_batch(
     payload: tuple[tuple[tuple[str, Mapping[str, Any]], ...], int]
-) -> list[tuple[bool, Any, float]]:
+) -> tuple[list[tuple[bool, Any, float]], dict[str, int]]:
     """Evaluate a whole ``((experiment, params), ...)`` batch in one task.
 
     One pool task, one pickled payload, one result message — regardless of
     how many points the batch holds. Outcomes are returned in batch order;
     each point is evaluated independently (a failing point never poisons
     its batch mates).
+
+    Returns ``(outcomes, kernel_delta)``: the per-point results plus this
+    batch's fast/fallback kernel-selection counts (see
+    :func:`repro.analysis.kernels.kernel_counters`), so the campaign can
+    aggregate kernel coverage across pool workers without shared state.
     """
     points, master_seed = payload
-    return [
+    before = kernels.kernel_counters()
+    outcomes = [
         evaluate_point((experiment, params, master_seed))
         for experiment, params in points
     ]
+    return outcomes, kernels.counters_delta(before)
 
 
 def default_workers() -> int:
@@ -166,6 +174,7 @@ def execute_points(
     finish_batch: "Callable[[list[tuple[PointSpec, bool, Any, float]]], None]",
     on_abort: "Callable[[], None] | None" = None,
     batch_size: int | None = None,
+    kernel_totals: "dict[str, int] | None" = None,
 ) -> int:
     """Evaluate ``todo`` sequentially or via a process pool, in batches.
 
@@ -180,6 +189,11 @@ def execute_points(
     paths, so e.g. snapshot flushing behaves identically at any worker
     count.
 
+    ``kernel_totals`` (a ``{"fast": n, "fallback": n}`` dict) accumulates
+    the fast-kernel selection counts of every evaluated batch in place —
+    inline deltas and pool workers' per-batch deltas alike. Purely
+    informational bookkeeping: results never depend on it.
+
     Submission is windowed: at most ``workers *`` a small factor of
     batches are in flight at once, so the pending-future set stays O(
     workers) however many points the campaign holds.
@@ -192,9 +206,15 @@ def execute_points(
     batches = [
         todo[i : i + batch_size] for i in range(0, len(todo), batch_size)
     ]
+    def note_kernels(delta: "Mapping[str, int]") -> None:
+        if kernel_totals is not None:
+            for key, value in delta.items():
+                kernel_totals[key] = kernel_totals.get(key, 0) + value
+
     if workers == 1 or len(todo) == 1:
         try:
             for batch in batches:
+                before = kernels.kernel_counters()
                 done: list[tuple[PointSpec, bool, Any, float]] = []
                 for spec in batch:
                     outcome = evaluate_point(
@@ -208,6 +228,7 @@ def execute_points(
                         # of the batch first.
                         finish_batch(done)
                         done = []
+                note_kernels(kernels.counters_delta(before))
                 if done:
                     finish_batch(done)
         except CampaignError:
@@ -239,7 +260,8 @@ def execute_points(
                 done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
                 for future in done:
                     batch = pending.pop(future)
-                    outcomes = future.result()
+                    outcomes, kdelta = future.result()
+                    note_kernels(kdelta)
                     finish_batch(
                         [
                             (spec, ok, result, elapsed)

@@ -92,6 +92,12 @@ class StreamStats(CampaignStats):
     #: Other shards' points this shard evaluated so an adaptive source
     #: could observe the full aggregate between rounds (0 otherwise).
     planning_points: int = 0
+    #: Analysis calls that ran on the integer fast kernels vs. the float
+    #: fallback across every *computed* point (cached/skipped points report
+    #: nothing — their kernel selections happened in an earlier run). See
+    #: :mod:`repro.analysis.kernels`.
+    kernel_fast: int = 0
+    kernel_fallback: int = 0
 
 
 @dataclass
@@ -521,6 +527,7 @@ def stream_campaign(
     rounds_run = 0
     batches = 0
     effective_batch: int | None = None
+    kernel_totals: dict[str, int] = {"fast": 0, "fallback": 0}
 
     def owns(digest: str) -> bool:
         return shard_count == 1 or shard_of(digest, shard_count) == shard_index
@@ -721,6 +728,7 @@ def stream_campaign(
             # aggregated
             on_abort=lambda: flush(force=True),
             batch_size=batch_size,
+            kernel_totals=kernel_totals,
         )
         if effective_batch is None:
             effective_batch = eb
@@ -763,6 +771,8 @@ def stream_campaign(
             round_sizes=tuple(round_sizes),
             open_bins=source.open_bins,
             planning_points=len(planning_seen),
+            kernel_fast=kernel_totals.get("fast", 0),
+            kernel_fallback=kernel_totals.get("fallback", 0),
         ),
     )
 

@@ -10,11 +10,15 @@ from repro.util.mathutils import (
     REL_TOL,
     approx_ge,
     approx_le,
+    boundary_le,
+    boundary_lt,
     feq,
     fgt,
     flt,
     fuzzy_ceil,
+    fuzzy_ceil_array,
     fuzzy_floor,
+    fuzzy_floor_array,
     lcm_fractions,
     lcm_ints,
     to_fraction,
@@ -33,11 +37,15 @@ __all__ = [
     "REL_TOL",
     "approx_ge",
     "approx_le",
+    "boundary_le",
+    "boundary_lt",
     "feq",
     "fgt",
     "flt",
     "fuzzy_ceil",
+    "fuzzy_ceil_array",
     "fuzzy_floor",
+    "fuzzy_floor_array",
     "lcm_fractions",
     "lcm_ints",
     "to_fraction",

@@ -13,6 +13,8 @@ import math
 from fractions import Fraction
 from typing import Iterable, Sequence
 
+import numpy as np
+
 #: Absolute tolerance used for event ordering and feasibility comparisons.
 EPS: float = 1e-9
 
@@ -67,6 +69,47 @@ def fuzzy_ceil(x: float, eps: float = EPS) -> int:
     if abs(x - nearest) <= tol:
         return int(nearest)
     return math.ceil(x)
+
+
+def fuzzy_floor_array(x: "np.ndarray", eps: float = EPS) -> "np.ndarray":
+    """Vectorised :func:`fuzzy_floor` (float array out).
+
+    The one tolerance rule for interference/job counts, shared by the scalar
+    and array demand paths: snap to the *nearest* integer within mixed
+    abs/rel tolerance, else plain floor. The former array rule
+    (``floor(x + EPS)``) lacked the relative term, so scalar and vector
+    demands diverged for large job counts — exactly at deadline boundaries.
+    """
+    x = np.asarray(x, dtype=float)
+    nearest = np.rint(x)
+    tol = np.maximum(eps, REL_TOL * np.abs(x))
+    return np.where(np.abs(x - nearest) <= tol, nearest, np.floor(x))
+
+
+def fuzzy_ceil_array(x: "np.ndarray", eps: float = EPS) -> "np.ndarray":
+    """Vectorised :func:`fuzzy_ceil` (float array out) — see fuzzy_floor_array."""
+    x = np.asarray(x, dtype=float)
+    nearest = np.rint(x)
+    tol = np.maximum(eps, REL_TOL * np.abs(x))
+    return np.where(np.abs(x - nearest) <= tol, nearest, np.ceil(x))
+
+
+def boundary_le(t: float, limit: float, eps: float = EPS) -> bool:
+    """Inclusion rule ``t <= limit`` with an on-boundary band of ``±eps``.
+
+    A point inside the band counts as *on* the boundary: included here,
+    excluded by :func:`boundary_lt`. ``deadline_set`` (horizon inclusion)
+    and QPA (strictly-below-limit filter) share exactly this rule, so a
+    deadline near the limit is never counted by one and dropped by the
+    other under two different conventions. The integer kernels implement
+    the same rule with the band collapsed to zero.
+    """
+    return t <= limit + eps
+
+
+def boundary_lt(t: float, limit: float, eps: float = EPS) -> bool:
+    """Strictly below ``limit``, beyond the ``±eps`` boundary band."""
+    return t < limit - eps
 
 
 def to_fraction(value: float | int | Fraction, max_denominator: int = 10**9) -> Fraction:

@@ -1,0 +1,303 @@
+"""Unit tests for the integer fast kernels: rescale, selection, exactness.
+
+The contract under test (see :mod:`repro.analysis.kernels`): whenever a task
+set rescales onto an exact integer time base the fast path must return
+*bit-identical* results to the float path, and whenever it does not the
+entry points must silently fall back — with the selection recorded in the
+module counters the campaign engine aggregates.
+"""
+
+import math
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    deadline_set,
+    demand_bound_function,
+    edf_schedulable_dedicated,
+    fp_workload,
+    fp_workload_array,
+    kernels,
+    qpa_schedulable,
+    scheduling_points,
+)
+from repro.analysis.edf import demand_bound_array, synchronous_busy_period
+from repro.model import Task, TaskSet
+from repro.util import EPS
+
+
+@pytest.fixture
+def integer_pair():
+    return TaskSet([Task("x", 2, 4), Task("y", 4, 8)])
+
+
+#: Two coprime ~1e9 integer periods: scale 1, but the hyperperiod is their
+#: product (~1e18 > 2**53), so the rescale pass must refuse the set.
+OVERFLOW_TASKS = TaskSet(
+    [
+        Task("p", 1000.0, 999999937.0, 5000.0),
+        Task("q", 1000.0, 999999893.0, 5000.0),
+    ]
+)
+
+
+class TestRescale:
+    def test_integer_periods_scale_one(self, integer_pair):
+        sts = kernels.rescale(integer_pair.tasks)
+        assert sts is not None
+        assert sts.scale == 1
+        assert sts.periods.tolist() == [4, 8]
+        assert sts.deadlines.tolist() == [4, 8]
+        assert sts.hyperperiod == 8
+
+    def test_dyadic_periods_power_of_two_scale(self):
+        ts = TaskSet([Task("a", 0.25, 0.5), Task("b", 0.5, 1.75)])
+        sts = kernels.rescale(ts.tasks)
+        assert sts is not None
+        assert sts.scale == 4
+        assert sts.periods.tolist() == [2, 7]
+        assert sts.hyperperiod == 14
+        assert sts.time_unit == 0.25
+
+    def test_non_dyadic_denominator_refused(self):
+        # float 0.1 is the dyadic 3602879701896397/2**55; its denominator
+        # blows the 1e9 faithfulness bound, so the set must fall back.
+        ts = TaskSet([Task("a", 0.01, 0.1)])
+        assert kernels.rescale(ts.tasks) is None
+
+    def test_hyperperiod_overflow_refused(self):
+        assert kernels.rescale(OVERFLOW_TASKS.tasks) is None
+
+    def test_empty_refused(self):
+        assert kernels.rescale(()) is None
+
+    def test_rescale_is_cached(self, integer_pair):
+        assert kernels.rescale(integer_pair.tasks) is kernels.rescale(
+            integer_pair.tasks
+        )
+
+    def test_wcets_exact_rationals(self):
+        ts = TaskSet([Task("a", 0.375, 4), Task("b", 1.5, 8)])
+        sts = kernels.rescale(ts.tasks)
+        assert sts is not None
+        assert sts.wcet_den == 8
+        assert sts.wcet_nums == (3, 12)
+
+
+class TestToggleAndCounters:
+    def test_set_fast_kernels_returns_previous_and_mirrors_env(self):
+        previous = kernels.set_fast_kernels(False)
+        try:
+            assert not kernels.fast_kernels_enabled()
+            assert os.environ["REPRO_FAST_KERNELS"] == "0"
+            assert kernels.set_fast_kernels(True) is False
+            assert os.environ["REPRO_FAST_KERNELS"] == "1"
+        finally:
+            kernels.set_fast_kernels(previous)
+
+    def test_kernels_forced_restores(self):
+        before = kernels.fast_kernels_enabled()
+        with kernels.kernels_forced(not before):
+            assert kernels.fast_kernels_enabled() is not before
+        assert kernels.fast_kernels_enabled() is before
+
+    def test_counters_track_selection(self, integer_pair):
+        before = kernels.kernel_counters()
+        with kernels.kernels_forced(True):
+            deadline_set(integer_pair)  # rescalable -> fast
+            qpa_schedulable(OVERFLOW_TASKS)  # overflow -> fallback
+        delta = kernels.counters_delta(before)
+        assert delta["fast"] >= 1
+        assert delta["fallback"] >= 1
+
+
+def random_taskset(rng: random.Random, dyadic: bool) -> TaskSet:
+    """Random constrained-deadline set, integer or dyadic-grid parameters."""
+    den = rng.choice([2, 4, 8]) if dyadic else 1
+    tasks = []
+    for i in range(rng.randint(1, 4)):
+        period = rng.randint(3 * den, 24 * den) / den
+        wcet = rng.uniform(0.05, period / 2)
+        deadline = rng.randint(max(1, int(wcet * den) + 1), int(period * den)) / den
+        tasks.append(Task(f"t{i}", wcet, period, min(deadline, period)))
+    return TaskSet(tasks)
+
+
+class TestFastMatchesFallback:
+    """The exactness gate: fast and float paths agree on rescalable sets."""
+
+    @pytest.mark.parametrize("dyadic", [False, True])
+    def test_edf_kernels_bit_identical(self, dyadic):
+        rng = random.Random(7 if dyadic else 11)
+        for _ in range(40):
+            ts = random_taskset(rng, dyadic)
+            if kernels.rescale(ts.tasks) is None:
+                continue
+            with kernels.kernels_forced(True):
+                fast_dl = deadline_set(ts)
+                fast_w = demand_bound_array(ts, fast_dl)
+                fast_qpa = qpa_schedulable(ts)
+                fast_edf = edf_schedulable_dedicated(ts)
+            with kernels.kernels_forced(False):
+                slow_dl = deadline_set(ts)
+                slow_w = demand_bound_array(ts, slow_dl)
+                slow_qpa = qpa_schedulable(ts)
+                slow_edf = edf_schedulable_dedicated(ts)
+            assert fast_dl == slow_dl
+            assert np.array_equal(fast_w, slow_w)
+            assert fast_qpa is slow_qpa
+            assert fast_edf.schedulable == slow_edf.schedulable
+            assert fast_edf.points_checked == slow_edf.points_checked
+
+    @pytest.mark.parametrize("dyadic", [False, True])
+    def test_fp_kernels_bit_identical(self, dyadic):
+        rng = random.Random(13 if dyadic else 17)
+        for _ in range(40):
+            ts = random_taskset(rng, dyadic)
+            tasks = sorted(ts, key=lambda t: t.deadline)
+            task, hp = tasks[-1], tasks[:-1]
+            if kernels.rescale((task, *hp)) is None:
+                continue
+            with kernels.kernels_forced(True):
+                fast_pts = scheduling_points(task, hp)
+                fast_w = fp_workload_array(task, hp, fast_pts) if fast_pts else None
+                fast_s = fp_workload(task, hp, task.deadline)
+            with kernels.kernels_forced(False):
+                slow_pts = scheduling_points(task, hp)
+                slow_w = fp_workload_array(task, hp, slow_pts) if slow_pts else None
+                slow_s = fp_workload(task, hp, task.deadline)
+            assert fast_pts == slow_pts
+            assert fast_s == slow_s
+            if fast_w is not None:
+                assert np.array_equal(fast_w, slow_w)
+
+    def test_busy_period_matches_fallback(self):
+        rng = random.Random(23)
+        for _ in range(40):
+            ts = random_taskset(rng, dyadic=rng.random() < 0.5)
+            if ts.utilization > 1.0 or kernels.rescale(ts.tasks) is None:
+                continue
+            with kernels.kernels_forced(True):
+                fast = synchronous_busy_period(ts)
+            with kernels.kernels_forced(False):
+                slow = synchronous_busy_period(ts)
+            # the exact rational rounds to float once; the float iteration
+            # accumulates rounding, so agreement is to the last ulp only
+            assert fast == pytest.approx(slow, rel=1e-12)
+
+    def test_overload_raises_both_paths(self):
+        ts = TaskSet([Task("a", 3, 4), Task("b", 3, 8)])
+        for enabled in (True, False):
+            with kernels.kernels_forced(enabled):
+                with pytest.raises(ValueError):
+                    synchronous_busy_period(ts)
+
+
+class TestToleranceUnification:
+    """Satellite regressions: one tolerance rule scalar and vector."""
+
+    def test_scalar_vector_demand_agree_in_snap_band(self):
+        # Historically the scalar path snapped (t + T - D)/T to the nearest
+        # integer within max(EPS, REL_TOL*|x|) while the vector path used
+        # floor(x + EPS): at t = 1e6 - 1e-5 the job counts diverged by one.
+        ts = TaskSet([Task("a", 0.5, 1.0)])
+        t = 1e6 - 1e-5
+        with kernels.kernels_forced(False):
+            scalar = demand_bound_function(ts, t)
+            vector = demand_bound_array(ts, [t])
+        assert scalar == vector[0] == 1e6 * 0.5
+
+    def test_scalar_vector_demand_agree_at_exact_deadlines(self):
+        ts = TaskSet([Task("a", 1, 4, 3), Task("b", 2, 6, 5)])
+        points = [k * p + d for p, d in ((4.0, 3.0), (6.0, 5.0)) for k in range(12)]
+        for enabled in (True, False):
+            with kernels.kernels_forced(enabled):
+                vector = demand_bound_array(ts, points)
+                for t, w in zip(points, vector):
+                    assert demand_bound_function(ts, t) == w
+
+    def test_deadline_on_horizon_included_both_paths(self, integer_pair):
+        for enabled in (True, False):
+            with kernels.kernels_forced(enabled):
+                pts = deadline_set(integer_pair, 12.0)
+            assert pts == (4.0, 8.0, 12.0)
+
+    def test_deadline_just_past_horizon_excluded_fallback(self):
+        # the float band rule: > EPS past the horizon is out, within is in
+        ts = TaskSet([Task("a", 1, 4)])
+        with kernels.kernels_forced(False):
+            assert 12.0 in deadline_set(ts, 12.0 + 2 * EPS)
+            assert deadline_set(ts, 12.0 - 2 * EPS) == (4.0, 8.0)
+
+    def test_busy_period_iterates_to_exact_fixed_point(self):
+        # The former convergence rule |w_next - w| <= EPS*max(1, w) opens a
+        # ~1e-3 band at w ~ 1e6 and accepts the penultimate iterate of this
+        # set (1000499.2495); the exact fixed point is one step further.
+        ts = TaskSet(
+            [Task("big", 999999.0, 4000000.0), Task("tiny", 0.000125, 0.25)]
+        )
+        for enabled in (True, False):
+            with kernels.kernels_forced(enabled):
+                assert synchronous_busy_period(ts) == 1000499.249625
+
+        # document the historical failure: replay the float iteration with
+        # the old tolerance and watch it stop early
+        w = float(sum(t.wcet for t in ts))
+        while True:
+            w_next = float(
+                sum(np.ceil(w / t.period - EPS) * t.wcet for t in ts)
+            )
+            if abs(w_next - w) <= EPS * max(1.0, w):
+                break
+            w = w_next
+        assert w == 1000499.2495  # != the true fixed point
+
+
+class TestOverflowFallback:
+    """Sets beyond the rescale bound must route to the float path."""
+
+    def test_overflow_set_falls_back_with_identical_verdicts(self):
+        before = kernels.kernel_counters()
+        with kernels.kernels_forced(True):
+            fast_qpa = qpa_schedulable(OVERFLOW_TASKS)
+            fast_dl = deadline_set(OVERFLOW_TASKS, 50_000.0)
+        assert kernels.counters_delta(before)["fast"] == 0
+        assert kernels.counters_delta(before)["fallback"] >= 2
+        with kernels.kernels_forced(False):
+            assert qpa_schedulable(OVERFLOW_TASKS) is fast_qpa
+            assert deadline_set(OVERFLOW_TASKS, 50_000.0) == fast_dl
+
+    def test_off_grid_point_falls_back(self, integer_pair):
+        # a query strictly between grid points cannot use the integer path
+        with kernels.kernels_forced(True):
+            before = kernels.kernel_counters()
+            demand_bound_function(integer_pair, 4.0 + 1e-4)
+            assert kernels.counters_delta(before)["fallback"] == 1
+
+
+def _f_quantum(t: np.ndarray, w: np.ndarray, period: float) -> np.ndarray:
+    tp = t - period
+    return 0.5 * (np.sqrt(tp * tp + 4.0 * period * w) - tp)
+
+
+class TestBindingHull:
+    def test_hull_preserves_extrema_bit_identically(self):
+        rng = np.random.default_rng(42)
+        for _ in range(200):
+            n = int(rng.integers(1, 60))
+            pts = np.unique(rng.uniform(0.1, 100.0, size=n))
+            w = rng.uniform(0.0, 50.0, size=pts.size)
+            period = float(rng.uniform(0.1, 50.0))
+            vals = _f_quantum(pts, w, period)
+            upper = kernels.binding_hull(pts, w, upper=True)
+            lower = kernels.binding_hull(pts, w, upper=False)
+            assert vals[upper].max() == vals.max()
+            assert vals[lower].min() == vals.min()
+
+    def test_small_inputs_untouched(self):
+        pts = np.asarray([1.0, 2.0])
+        w = np.asarray([3.0, 1.0])
+        assert kernels.binding_hull(pts, w, upper=True).tolist() == [0, 1]

@@ -85,7 +85,7 @@ class TestBatching:
     def test_evaluate_batch_matches_per_point_and_isolates_failures(self):
         ok_params = {"period": 3.0, "budget": 1.0, "pieces": 2}
         bad_params = {"period": 3.0, "budget": 1.0, "pieces": 0}
-        outcomes = evaluate_batch(
+        outcomes, kernel_delta = evaluate_batch(
             (
                 (
                     ("ablate-slot-split", ok_params),
@@ -98,6 +98,8 @@ class TestBatching:
         assert [ok for ok, _, _ in outcomes] == [True, False, True]
         # a failing point never poisons its batch mates
         assert outcomes[0][1] == outcomes[2][1]
+        assert set(kernel_delta) == {"fast", "fallback"}
+        assert all(v >= 0 for v in kernel_delta.values())
 
     @pytest.mark.parametrize("workers,batch", [(1, 3), (2, 3), (2, 64)])
     def test_batch_layout_covers_every_point_once(self, workers, batch):
@@ -229,3 +231,69 @@ class TestErrors:
     def test_bad_on_error_value(self):
         with pytest.raises(ValueError):
             run_campaign([], on_error="explode")
+
+
+class TestKernelCounters:
+    """Campaign-level fast/fallback bookkeeping (see repro.analysis.kernels)."""
+
+    #: Non-dyadic deadlines (D = 0.7 T) defeat the integer rescale while the
+    #: hyperperiod-limited periods keep the float fallback cheap.
+    FALLBACK_AXES = {
+        "u_total": [0.6, 1.2],
+        "n": [4],
+        "rep": [0, 1],
+        "deadline_factor": [0.7],
+    }
+
+    def test_sched_grid_runs_on_fast_kernels(self):
+        from repro.analysis import kernels
+        from repro.runner.aggregate import Aggregator
+        from repro.runner.grid import grid_specs
+        from repro.runner.stream import stream_campaign
+
+        with kernels.kernels_forced(True):
+            streamed = stream_campaign(
+                grid_specs("schedulability", SCHED_AXES),
+                Aggregator([]),
+                on_error="store",
+            )
+        s = streamed.stats
+        total = s.kernel_fast + s.kernel_fallback
+        assert s.kernel_fast > 0
+        assert s.kernel_fast >= 0.9 * total
+
+    def test_fallback_points_are_counted_with_identical_results(self):
+        from repro.analysis import kernels
+        from repro.runner.aggregate import Aggregator
+        from repro.runner.grid import grid_specs
+        from repro.runner.stream import stream_campaign
+
+        specs = grid_specs("schedulability", self.FALLBACK_AXES)
+        with kernels.kernels_forced(True):
+            fast = stream_campaign(
+                specs, Aggregator([]), collect=True, on_error="store"
+            )
+        with kernels.kernels_forced(False):
+            slow = stream_campaign(
+                specs, Aggregator([]), collect=True, on_error="store"
+            )
+        assert fast.stats.kernel_fallback > 0
+        assert slow.stats.kernel_fast == 0
+        # the exactness gate: byte-identical campaign output either way
+        assert fast.to_json() == slow.to_json()
+
+    def test_pool_workers_ship_counter_deltas(self):
+        from repro.analysis import kernels
+        from repro.runner.aggregate import Aggregator
+        from repro.runner.grid import grid_specs
+        from repro.runner.stream import stream_campaign
+
+        with kernels.kernels_forced(True):
+            streamed = stream_campaign(
+                grid_specs("schedulability", SCHED_AXES),
+                Aggregator([]),
+                workers=2,
+                batch_size=1,
+                on_error="store",
+            )
+        assert streamed.stats.kernel_fast > 0
