@@ -1,0 +1,142 @@
+"""Query-cache latency for ``repro serve``: cold vs cached answers.
+
+The server memoizes every typed query in a content-addressed cache
+(:class:`repro.reporting.QueryCache`, keyed by the aggregate state's
+sha256 plus the canonical query parameters), surfacing the decision in
+the ``X-Cache: hit|miss`` response header. This script builds a sched
+snapshot, uploads it to an in-thread server, and times the same curve
+query cold and repeated — reporting the latency split and gating the
+observable contract: the repeat must be a hit, and hit and miss bodies
+must be byte-identical.
+
+Standalone on purpose (stdlib HTTP client, no pytest-benchmark), so CI
+can run it as a smoke step and the table lands in the job log:
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke
+
+Exit code 1 when a repeated query misses the cache or the cached bytes
+differ from the cold answer's (never acceptable — that would mean the
+cache changes what clients see).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+
+from repro.runner import stream_campaign
+from repro.runner.presets import get_preset
+from repro.server import ReproServer
+
+#: Enough points for a multi-series curve, few enough to build in seconds.
+SMOKE_AXES = {"u_total": [0.5, 1.0, 1.5], "n": [4], "rep": [0, 1]}
+DEFAULT_AXES = {
+    "u_total": [0.5, 1.0, 1.5, 2.0, 2.5],
+    "n": [4, 8],
+    "rep": [0, 1, 2, 3],
+}
+
+QUERIES = [
+    "/report",
+    "/query/summary",
+    "/query/curve?metric=acceptance_feasible&axis=u_total",
+    "/query/curve?metric=weighted_feasible&axis=u_total",
+]
+
+
+def _request(port: int, path: str, body: "bytes | None" = None):
+    url = f"http://127.0.0.1:{port}{path}"
+    req = urllib.request.Request(
+        url, data=body, method="POST" if body is not None else "GET"
+    )
+    start = time.perf_counter()
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        payload = resp.read()
+        cache = resp.headers.get("X-Cache", "-")
+    return payload, cache, time.perf_counter() - start
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="cached-query repetitions per endpoint (default: 5)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast run for CI logs",
+    )
+    args = parser.parse_args(argv)
+    axes = SMOKE_AXES if args.smoke else DEFAULT_AXES
+
+    preset = get_preset("sched")
+    aggregator = preset.aggregator()
+    build_start = time.perf_counter()
+    stream_campaign(preset.specs(axes), aggregator, workers=1)
+    build = time.perf_counter() - build_start
+
+    import tempfile
+    from pathlib import Path
+
+    from repro.runner import save_snapshot
+
+    server = ReproServer(workers=1)
+    _host, port, stop = server.start_in_thread()
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            snap_path = Path(tmp) / "snap.json"
+            save_snapshot(
+                snap_path, aggregator, 0,
+                {s.digest for s in preset.specs(axes)},
+            )
+            body = snap_path.read_bytes()
+        upload, _cache, _t = _request(
+            port, "/snapshots?preset=sched", body=body
+        )
+        digest = json.loads(upload)["snapshot"]
+        base = f"/snapshots/{digest}"
+        points = sum(len(s) for s in axes.values())
+        print(
+            f"serve query cache — sched snapshot "
+            f"({points} axis values, built in {build:.1f}s), "
+            f"{args.repeats} repeats per query"
+        )
+        print(f"{'query':<52} {'cold':>9} {'cached':>9} {'speedup':>8}")
+        failures = 0
+        for path in QUERIES:
+            cold_body, cold_cache, cold_t = _request(port, base + path)
+            cached = []
+            for _ in range(args.repeats):
+                hit_body, hit_cache, hit_t = _request(port, base + path)
+                cached.append(hit_t)
+                if hit_cache != "hit":
+                    print(f"FAIL: repeat of {path} was {hit_cache!r}, not hit")
+                    failures += 1
+                if hit_body != cold_body:
+                    print(f"FAIL: cached bytes differ for {path}")
+                    failures += 1
+            best = min(cached)
+            print(
+                f"{path:<52} {cold_t * 1e3:>7.2f}ms {best * 1e3:>7.2f}ms "
+                f"{cold_t / best:>7.1f}x"
+            )
+            if cold_cache != "miss":
+                print(f"FAIL: first query of {path} was {cold_cache!r}")
+                failures += 1
+        stats = json.loads(_request(port, "/stats")[0])["query_cache"]
+        print(
+            f"cache: {stats['entries']} entries, {stats['hits']} hits, "
+            f"{stats['misses']} misses"
+        )
+        if failures:
+            return 1
+    finally:
+        stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,7 +45,18 @@ Commands
     preview snapshot explicitly marked ``"partial": true`` with the
     missing-shard list. ``--preset`` additionally renders the merged
     aggregate with that preset's renderer (e.g. the weighted curve tables
-    + ASCII plot).
+    + ASCII plot) through the snapshot query layer (:mod:`repro.reporting`)
+    — byte-identical to what ``repro campaign`` prints for the same
+    aggregate state.
+``serve [--host H] [--port N] [--workers N] [--spool-dir D]``
+    Serve campaigns over HTTP (:mod:`repro.server`, stdlib asyncio, no new
+    dependencies): ``POST /jobs`` runs a preset campaign through the same
+    deterministic engine, ``GET /jobs/{id}/deltas`` streams sequenced
+    aggregate deltas while points fold in, ``GET /jobs/{id}/snapshot``
+    serves the exact snapshot bytes, and the query endpoints answer
+    curve/taxonomy/summary questions through a content-addressed cache.
+    Identical job submissions are deduplicated (the job id is the
+    canonical request digest). See docs/campaigns.md.
 
 Task-set JSON is the :mod:`repro.model.serialization` format::
 
@@ -76,7 +87,8 @@ from repro.faults import FaultCampaign
 from repro.model import MODE_ORDER, Mode, TaskSet, taskset_from_json
 from repro.partition import PartitionError, partition_by_modes
 from repro.sim import MulticoreSim
-from repro.viz import axis_sort_token, format_table, render_region
+from repro.runner.presets import preset_names
+from repro.viz import format_table, render_region
 
 
 def _load_taskset(path: str) -> TaskSet:
@@ -208,304 +220,6 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if result.miss_count == 0 else 1
 
 
-#: Default grids of the synthetic campaign presets (overridable via --axis).
-_SCHED_AXES: dict = {
-    "u_total": [0.5, 1.0, 1.5, 2.0],
-    "n": [8],
-    "rep": list(range(5)),
-}
-_FAULTS_AXES: dict = {
-    "rate": [0.01, 0.02, 0.05, 0.1],
-    "cycles": [50],
-    "rep": list(range(3)),
-}
-_AXIS_PRESETS = ("sched", "faults", "weighted", "faultspace")
-_PRESETS = (
-    "table2", "figure4", "ablations", "sched", "faults", "weighted",
-    "faultspace",
-)
-#: Presets whose grids span infeasible corners of the generator space;
-#: failing points are stored and excluded instead of aborting the sweep.
-_STORE_ERROR_PRESETS = ("weighted", "faultspace")
-#: Presets with an adaptive-refinement point source (--strategy adaptive).
-_ADAPTIVE_PRESETS = ("weighted", "faultspace")
-
-
-def _campaign_specs(args: argparse.Namespace):
-    """Resolve a preset name (+ --axis overrides) to the spec list."""
-    from repro.experiments.ablations import ablation_specs
-    from repro.experiments.faultspace import faultspace_specs
-    from repro.experiments.figure4 import figure4_specs
-    from repro.experiments.table2 import table2_specs
-    from repro.experiments.weighted import WEIGHTED_FAULT_AXES, weighted_specs
-    from repro.runner import grid_specs, parse_axes
-
-    if args.axis and args.preset not in _AXIS_PRESETS:
-        raise SystemExit(
-            f"--axis only applies to the {'/'.join(_AXIS_PRESETS)} presets"
-        )
-    if args.scenario and args.preset != "faultspace":
-        raise SystemExit("--scenario only applies to the faultspace preset")
-    if args.preset == "faultspace":
-        return faultspace_specs(
-            parse_axes(args.axis or []), scenario=args.scenario
-        )
-    if args.preset == "table2":
-        return table2_specs()
-    if args.preset == "figure4":
-        return figure4_specs()
-    if args.preset == "ablations":
-        return ablation_specs()
-    if args.preset == "weighted":
-        axes = parse_axes(args.axis or [])
-        return weighted_specs(
-            sched_axes={k: v for k, v in axes.items() if k != "rate"},
-            fault_axes={k: v for k, v in axes.items() if k in WEIGHTED_FAULT_AXES},
-        )
-    defaults = _SCHED_AXES if args.preset == "sched" else _FAULTS_AXES
-    experiment = "schedulability" if args.preset == "sched" else "fault-injection"
-    axes = {**defaults, **parse_axes(args.axis or [])}
-    return grid_specs(experiment, axes)
-
-
-def _adaptive_source(args: argparse.Namespace):
-    """Resolve a preset name (+ --axis overrides) to its adaptive source."""
-    from repro.experiments.faultspace import faultspace_adaptive_source
-    from repro.experiments.weighted import weighted_adaptive_source
-    from repro.runner import parse_axes
-
-    if args.scenario and args.preset != "faultspace":
-        raise SystemExit("--scenario only applies to the faultspace preset")
-    axes = parse_axes(args.axis or [])
-    ci_width = args.ci_width if args.ci_width is not None else 0.05
-    if args.preset == "weighted":
-        return weighted_adaptive_source(
-            axes, ci_width=ci_width, max_points=args.max_points
-        )
-    return faultspace_adaptive_source(
-        axes,
-        scenario=args.scenario,
-        ci_width=ci_width,
-        max_points=args.max_points,
-    )
-
-
-def _sched_curve_key(params, result):
-    """Group sched points over reps: every non-rep, non-payload parameter."""
-    return sorted(
-        [k, v]
-        for k, v in params.items()
-        if k not in ("rep", "taskset", "partition")
-    )
-
-
-def _preset_aggregator(preset: str):
-    """The streaming aggregate each preset folds into."""
-    from repro.experiments.ablations import ablation_aggregator
-    from repro.experiments.faultspace import faultspace_aggregator
-    from repro.experiments.figure4 import figure4_aggregator
-    from repro.experiments.table2 import table2_aggregator
-    from repro.experiments.weighted import weighted_aggregator
-    from repro.runner import Aggregator, curve_metric, mean_metric
-
-    if preset == "faultspace":
-        return faultspace_aggregator()
-    if preset == "table2":
-        return table2_aggregator()
-    if preset == "figure4":
-        return figure4_aggregator()
-    if preset == "ablations":
-        return ablation_aggregator()
-    if preset == "weighted":
-        return weighted_aggregator()
-    if preset == "sched":
-        return Aggregator(
-            [
-                curve_metric(
-                    "acceptance_partitioned", _sched_curve_key, "partitioned",
-                    experiment="schedulability",
-                ),
-                curve_metric(
-                    "acceptance_feasible", _sched_curve_key, "feasible",
-                    experiment="schedulability",
-                ),
-                curve_metric(
-                    "weighted_feasible", _sched_curve_key, "feasible",
-                    weight="utilization", experiment="schedulability",
-                ),
-            ]
-        )
-    return Aggregator(
-        [
-            curve_metric(
-                "coverage",
-                _sched_curve_key,
-                lambda params, result: result["ft_misses"] == 0,
-                experiment="fault-injection",
-            ),
-            mean_metric("injected", "injected", experiment="fault-injection"),
-        ]
-    )
-
-
-def _fmt(value) -> str:
-    if isinstance(value, bool) or value is None:
-        return str(value)
-    if isinstance(value, float):
-        return f"{value:.4f}"
-    if isinstance(value, (dict, list)):
-        return json.dumps(value, sort_keys=True)
-    return str(value)
-
-
-def _render_campaign(campaign) -> str:
-    """Generic per-experiment tables of a campaign's rows."""
-    groups: dict[str, list] = {}
-    for spec, result in campaign.rows():
-        groups.setdefault(spec.experiment, []).append((spec, result))
-    blocks = []
-    for experiment, rows in groups.items():
-        param_keys = sorted(
-            {
-                k
-                for spec, _ in rows
-                for k in spec.params
-                if k not in ("taskset", "partition")
-            }
-        )
-        result_keys = sorted(
-            {k for _, result in rows for k in result if isinstance(result, dict)}
-        )
-        table = format_table(
-            param_keys + result_keys,
-            [
-                [_fmt(spec.params.get(k, "")) for k in param_keys]
-                + [
-                    _fmt(result.get(k, "") if isinstance(result, dict) else result)
-                    for k in result_keys
-                ]
-                for spec, result in rows
-            ],
-        )
-        blocks.append(f"== {experiment} ({len(rows)} points) ==\n{table}")
-    return "\n\n".join(blocks)
-
-
-def _render_acceptance(aggregator) -> str:
-    """Acceptance ratios of a ``schedulability`` campaign, grouped over reps.
-
-    Rendered from the streamed ``acceptance_*`` curve aggregates (exact
-    rational means), not from materialized per-point results.
-    """
-    feasible = aggregator["acceptance_feasible"]
-    partitioned = aggregator["acceptance_partitioned"]
-    items = sorted(
-        feasible.items(), key=lambda item: [axis_sort_token(v) for _, v in item[0]]
-    )
-    if not items:
-        return ""
-    keys = [k for k, _ in items[0][0]]
-    rows = []
-    for key, acc in items:
-        rows.append(
-            [_fmt(v) for _, v in key]
-            + [
-                acc.count,
-                f"{partitioned.bin(key).mean:.2f}",
-                f"{acc.mean:.2f}",
-            ]
-        )
-    return "acceptance ratios (over reps):\n" + format_table(
-        keys + ["reps", "partitioned", "feasible"], rows
-    )
-
-
-def _render_weighted(aggregator) -> str:
-    """The weighted preset's curve tables, ASCII curve plot + summary."""
-    from repro.experiments.weighted import (
-        render_weighted_ascii,
-        weighted_curve_rows,
-    )
-    from repro.viz import format_curve_pivot
-
-    blocks = []
-    headers, rows = weighted_curve_rows(
-        aggregator, "weighted_feasible", ["u_total", "n", "H"]
-    )
-    if rows:
-        blocks.append(
-            "weighted schedulability (utilization-weighted acceptance):\n"
-            + format_curve_pivot(headers, rows, x="u_total")
-        )
-    plot = render_weighted_ascii(aggregator)
-    if plot:
-        blocks.append("weighted acceptance curves:\n" + plot)
-    headers, rows = weighted_curve_rows(
-        aggregator, "weighted_partitioned", ["u_total", "n", "H"]
-    )
-    if rows:
-        blocks.append(
-            "weighted partitioning success:\n"
-            + format_curve_pivot(headers, rows, x="u_total")
-        )
-    headers, rows = weighted_curve_rows(
-        aggregator, "fault_coverage", ["rate", "u_total"]
-    )
-    if rows:
-        blocks.append(
-            "weighted fault coverage (zero FT-miss campaigns):\n"
-            + format_curve_pivot(headers, rows, x="rate")
-        )
-    summary = aggregator.summary()
-    scalars = {
-        "feasible_ratio": summary["feasible_ratio"]["mean"],
-        "partitioned_ratio": summary["partitioned_ratio"]["mean"],
-        "slack_ratio_p50": summary["slack_ratio"]["p50"],
-        "max_period": summary["period"]["max"],
-    }
-    blocks.append(
-        "summary: "
-        + "  ".join(
-            f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
-            for k, v in scalars.items()
-        )
-    )
-    return "\n\n".join(blocks)
-
-
-def _format_figure4(pts) -> str:
-    return "\n".join(
-        [
-            "Figure 4 points (paper values in brackets):",
-            f"  1. max P, EDF, Otot=0    : {pts.point1_max_period_edf:.3f}  [3.176]",
-            f"  2. max P, RM,  Otot=0    : {pts.point2_max_period_rm:.3f}  [2.381]",
-            f"  3. max Otot, EDF         : {pts.point3_max_overhead_edf:.3f}  [0.201]",
-            f"  4. max Otot, RM          : {pts.point4_max_overhead_rm:.3f}  [0.129]",
-            f"  5. max P, EDF, Otot=0.05 : {pts.point5_max_period_edf_otot:.3f}  [2.966]",
-        ]
-    )
-
-
-def _render_preset(preset: str, aggregator) -> str | None:
-    """Aggregate-based preset rendering, shared by ``campaign`` and
-    ``merge``. None for the presets rendered from materialized rows."""
-    from repro.experiments.faultspace import render_faultspace
-    from repro.experiments.figure4 import figure4_points_from_aggregate
-    from repro.experiments.table2 import table2_from_aggregate
-
-    if preset == "table2":
-        return table2_from_aggregate(aggregator).render()
-    if preset == "figure4":
-        return _format_figure4(figure4_points_from_aggregate(aggregator))
-    if preset == "weighted":
-        return _render_weighted(aggregator)
-    if preset == "faultspace":
-        return render_faultspace(aggregator)
-    if preset == "sched":
-        return _render_acceptance(aggregator)
-    return None
-
-
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.runner import (
         CampaignError,
@@ -516,6 +230,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         shard_specs,
         stream_campaign,
     )
+    from repro.runner.presets import PresetError, adaptive_message, get_preset
 
     args.preset = args.preset_flag or args.preset_pos
     if args.preset_pos and args.preset_flag and args.preset_pos != args.preset_flag:
@@ -525,6 +240,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         )
     if args.preset is None:
         raise SystemExit("campaign: a preset is required (see --help)")
+    preset = get_preset(args.preset)
     adaptive = args.strategy == "adaptive"
     if not adaptive:
         if args.ci_width is not None:
@@ -533,28 +249,28 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             raise SystemExit(
                 "campaign: --max-points requires --strategy adaptive"
             )
-    elif args.preset not in _ADAPTIVE_PRESETS:
-        raise SystemExit(
-            f"campaign: --strategy adaptive supports the "
-            f"{'/'.join(_ADAPTIVE_PRESETS)} presets"
-        )
+    elif not preset.adaptive:
+        raise SystemExit(f"campaign: {adaptive_message()}")
     shard_index = shard_count = None
     if args.shard is not None:
         try:
             shard_index, shard_count = parse_shard(args.shard)
         except ValueError as exc:
             raise SystemExit(f"campaign: {exc}")
-    aggregator = _preset_aggregator(args.preset)
+    aggregator = preset.aggregator()
     planning_aggregator = None
     state_path = args.state
     shard: "object | None" = None
     if adaptive:
-        if args.axis and args.preset not in _AXIS_PRESETS:
-            raise SystemExit(
-                f"--axis only applies to the {'/'.join(_AXIS_PRESETS)} presets"
-            )
         try:
-            source = _adaptive_source(args)
+            source = preset.adaptive_source(
+                args.axis,
+                args.scenario,
+                ci_width=args.ci_width,
+                max_points=args.max_points,
+            )
+        except PresetError as exc:
+            raise SystemExit(str(exc))
         except ValueError as exc:
             print(f"campaign failed: {exc}")
             return 1
@@ -570,7 +286,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             # folds to plan rounds identically, hence the planning twin.
             shard = (shard_index, shard_count)
             if shard_count > 1:
-                planning_aggregator = _preset_aggregator(args.preset)
+                planning_aggregator = preset.aggregator()
         collect = bool(args.out or args.json)
         runnable = source
         if state_path is None and args.cache_dir is not None:
@@ -591,7 +307,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             )
     else:
         try:
-            specs = _campaign_specs(args)
+            specs = preset.specs(args.axis, args.scenario)
+        except PresetError as exc:
+            raise SystemExit(str(exc))
         except ValueError as exc:
             print(f"campaign failed: {exc}")
             return 1
@@ -611,7 +329,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         # streaming-only — which also keeps the snapshot's skip-outright
         # resume shortcut active.
         collect = bool(args.out or args.json) or (
-            shard is None and args.preset in ("sched", "faults", "ablations")
+            shard is None and preset.row_rendered
         )
         runnable = specs
         if state_path is None and args.cache_dir is not None:
@@ -654,9 +372,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             # The weighted/faultspace sweeps span infeasible corners of the
             # generator space (a generated set may not even partition);
             # those points are recorded as errors and excluded.
-            on_error=(
-                "store" if args.preset in _STORE_ERROR_PRESETS else "raise"
-            ),
+            on_error=preset.on_error,
             shard=shard,
             batch_size=args.batch,
             planning_aggregator=planning_aggregator,
@@ -680,13 +396,18 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             f"the full campaign with: repro merge <all shard snapshots> "
             f"--preset {args.preset}"
         )
-    elif args.preset in ("sched", "faults", "ablations"):
-        print(_render_campaign(streamed))
-        if args.preset == "sched":
-            print()
-            print(_render_preset("sched", streamed.aggregator))
     else:
-        print(_render_preset(args.preset, streamed.aggregator))
+        from repro.reporting import SnapshotQuery
+        from repro.runner.presets import render_rows
+
+        query = SnapshotQuery.from_aggregator(preset, streamed.aggregator)
+        if preset.row_rendered:
+            print(render_rows(streamed))
+            if preset.render_fn is not None:
+                print()
+                print(query.report())
+        else:
+            print(query.report())
     s = streamed.stats
     extra = f", {s.errors} failed" if s.errors else ""
     shard_tag = (
@@ -743,25 +464,23 @@ def cmd_merge(args: argparse.Namespace) -> int:
         print(f"merge failed: {exc}")
         return 1
     text = canonical_json(merged)
-    aggregator = None
+    query = None
     if args.preset:
+        from repro.reporting import QueryError, SnapshotQuery
+
         # Validate before writing --out: a failed merge invocation must not
         # leave a plausible-looking merged snapshot behind.
-        aggregator = _preset_aggregator(args.preset)
-        if aggregator.config_digest != merged["config"]:
-            print(
-                f"merge failed: snapshots were not built by the "
-                f"{args.preset!r} preset's aggregate (config digest mismatch)"
+        try:
+            query = SnapshotQuery.from_snapshot(
+                merged, args.preset, where="merged snapshot"
             )
+        except QueryError as exc:
+            print(f"merge failed: {exc}")
             return 1
-        aggregator.load_state(merged["aggregate"])
     if args.out:
         atomic_write_text(Path(args.out), text)
-    if aggregator is not None:
-        rendered = _render_preset(args.preset, aggregator)
-        if rendered is None:  # row-rendered presets: summarize the aggregate
-            rendered = json.dumps(aggregator.summary(), indent=2, sort_keys=True)
-        print(rendered)
+    if query is not None:
+        print(query.report())
     elif not args.out:
         print(text)
     manifest = merged["shard"]
@@ -784,10 +503,24 @@ def cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import ReproServer
+
+    server = ReproServer(workers=args.workers, spool_dir=args.spool_dir)
+    try:
+        asyncio.run(server.serve_forever(args.host, args.port))
+    except KeyboardInterrupt:
+        print("[serve] stopped", file=sys.stderr)
+    return 0
+
+
 def cmd_paper(args: argparse.Namespace) -> int:
     from repro.experiments import compute_figure4_points, compute_table2
+    from repro.runner.presets import format_figure4
 
-    print(_format_figure4(compute_figure4_points()))
+    print(format_figure4(compute_figure4_points()))
     print()
     print("Table 2:")
     print(compute_table2().render())
@@ -852,11 +585,11 @@ def build_parser() -> argparse.ArgumentParser:
         "preset_pos",
         nargs="?",
         metavar="preset",
-        choices=list(_PRESETS),
+        choices=list(preset_names()),
         help="which campaign to run",
     )
     p.add_argument(
-        "--preset", dest="preset_flag", choices=list(_PRESETS), default=None,
+        "--preset", dest="preset_flag", choices=list(preset_names()), default=None,
         help="flag form of the positional preset",
     )
     p.add_argument(
@@ -947,7 +680,7 @@ def build_parser() -> argparse.ArgumentParser:
              "--preset renders)",
     )
     p.add_argument(
-        "--preset", choices=list(_PRESETS), default=None,
+        "--preset", choices=list(preset_names()), default=None,
         help="also render the merged aggregate with this preset's renderer",
     )
     p.add_argument(
@@ -957,6 +690,28 @@ def build_parser() -> argparse.ArgumentParser:
              "being refused (previews cannot be merged or resumed)",
     )
     p.set_defaults(func=cmd_merge)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve campaigns over HTTP (jobs, delta streams, queries)",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; 0.0.0.0 exposes the server)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (0 picks a free one; default 8765)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="default process-pool size per job (jobs may override)",
+    )
+    p.add_argument(
+        "--spool-dir", default=None,
+        help="directory for job snapshots (enables GET /jobs/{id}/snapshot)",
+    )
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -1,0 +1,22 @@
+"""Snapshot query layer: typed questions over exact aggregate states.
+
+``repro campaign`` renders an aggregate it just streamed; ``repro merge
+--preset`` renders one it reassembled from shards; ``repro serve`` answers
+HTTP queries about one it holds in memory. All three go through
+:class:`~repro.reporting.query.SnapshotQuery`, so the same snapshot always
+produces the same bytes no matter which door it entered through.
+"""
+
+from repro.reporting.query import (
+    QueryCache,
+    QueryError,
+    SnapshotQuery,
+    render_summary,
+)
+
+__all__ = [
+    "QueryCache",
+    "QueryError",
+    "SnapshotQuery",
+    "render_summary",
+]

@@ -76,6 +76,16 @@ from repro.runner.points import (
     partition_params,
     taskset_params,
 )
+from repro.runner.presets import (
+    PresetError,
+    PresetSpec,
+    adaptive_preset_names,
+    axis_preset_names,
+    get_preset,
+    preset_names,
+    register_preset,
+    scenario_preset_names,
+)
 from repro.runner.progress import ProgressReporter
 from repro.runner.shard import (
     MergeError,
@@ -96,9 +106,13 @@ from repro.runner.source import (
 )
 from repro.runner.spec import PointSpec, canonical_json, point_seed
 from repro.runner.stream import (
+    SNAPSHOT_SCHEMA,
+    SNAPSHOT_SCHEMA_MINOR,
+    SnapshotCompatWarning,
     SnapshotError,
     StreamResult,
     StreamStats,
+    check_snapshot_compat,
     fold_rows,
     load_snapshot,
     save_snapshot,
@@ -108,6 +122,8 @@ from repro.runner.stream import (
 
 __all__ = [
     "MAX_AUTO_BATCH",
+    "SNAPSHOT_SCHEMA",
+    "SNAPSHOT_SCHEMA_MINOR",
     "Accumulator",
     "AdaptiveRefinementSource",
     "Aggregator",
@@ -124,19 +140,25 @@ __all__ = [
     "Metric",
     "PointSource",
     "PointSpec",
+    "PresetError",
+    "PresetSpec",
     "ProgressReporter",
     "ResultCache",
     "ShardManifest",
     "SlotAccumulator",
+    "SnapshotCompatWarning",
     "SnapshotError",
     "StreamResult",
     "StreamStats",
     "WeightedMeanAccumulator",
     "accumulator_from_state",
+    "adaptive_preset_names",
     "atomic_write_text",
     "auto_batch_size",
+    "axis_preset_names",
     "axis_values",
     "canonical_json",
+    "check_snapshot_compat",
     "categorical_metric",
     "curve_metric",
     "default_workers",
@@ -149,6 +171,7 @@ __all__ = [
     "extrema_metric",
     "fold_rows",
     "get_experiment",
+    "get_preset",
     "grid_digest",
     "grid_specs",
     "histogram_metric",
@@ -162,9 +185,12 @@ __all__ = [
     "parse_shard",
     "partition_params",
     "point_seed",
+    "preset_names",
+    "register_preset",
     "reps_for_width",
     "run_campaign",
     "save_snapshot",
+    "scenario_preset_names",
     "shard_of",
     "shard_specs",
     "slot_metric",

@@ -63,6 +63,16 @@ class CampaignStats:
     #: value) — informational, like ``workers``; results never depend on it.
     batch_size: int = 1
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe mapping of every counter (tuples become lists)."""
+        from dataclasses import fields
+
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
 
 @dataclass
 class CampaignResult:

@@ -1,0 +1,666 @@
+"""Declarative campaign preset registry.
+
+Everything that defines what a campaign *preset* is — how its point grid
+(or adaptive point source) is built, which streaming aggregate it folds
+into, which capabilities its CLI surface exposes (``--axis`` overrides,
+``--strategy adaptive``, store-vs-raise error handling), and how its
+aggregate renders — used to live as private functions and parallel
+name tuples inside ``repro.cli``, so no second consumer could exist.
+This module bundles each preset into one :class:`PresetSpec` record and
+keeps them in a process-wide registry: ``repro campaign``, ``repro
+merge --preset``, the snapshot query layer (:mod:`repro.reporting`) and
+the HTTP server (:mod:`repro.server`) are all thin consumers of the same
+records, which is what keeps their rendered reports byte-identical.
+
+The registry is *declarative*: a :class:`PresetSpec` carries factory
+callables, not prebuilt objects, so constructing the registry imports
+nothing heavy — the experiment modules load lazily, on first use, exactly
+like the old CLI-private dispatch functions did.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.runner.aggregate import Aggregator
+from repro.runner.grid import grid_specs, parse_axes
+from repro.runner.source import GridSource, PointSource
+from repro.runner.spec import PointSpec
+
+
+class PresetError(ValueError):
+    """A preset was asked for a capability it does not declare."""
+
+
+def _normalize_axes(
+    axes: "Mapping[str, Any] | Sequence[str] | None",
+) -> dict[str, Any]:
+    """Accept both CLI ``--axis KEY=V1,V2`` strings and plain mappings."""
+    if axes is None:
+        return {}
+    if isinstance(axes, Mapping):
+        return dict(axes)
+    return parse_axes(list(axes))
+
+
+@dataclass(frozen=True)
+class PresetSpec:
+    """One campaign preset: grid, aggregate, capabilities, renderers.
+
+    The capability flags replace the drift-prone parallel name tuples the
+    CLI used to keep (``_AXIS_PRESETS``, ``_ADAPTIVE_PRESETS``,
+    ``_STORE_ERROR_PRESETS``): a preset's CLI wiring is now *derived* from
+    its record, and a test asserts the two can never disagree again.
+
+    ``specs_fn(axes, scenario)`` builds the exhaustive grid;
+    ``aggregator_fn()`` the streaming aggregate; ``adaptive_fn(axes,
+    scenario, ci_width, max_points)`` the adaptive refinement source (None
+    for grid-only presets); ``render_fn(aggregator)`` the aggregate-state
+    report shared by every consumer (None for presets rendered only from
+    materialized per-point rows).
+    """
+
+    name: str
+    description: str
+    specs_fn: Callable[[dict[str, Any], "str | None"], list[PointSpec]]
+    aggregator_fn: Callable[[], Aggregator]
+    adaptive_fn: "Callable[..., PointSource] | None" = None
+    render_fn: "Callable[[Aggregator], str] | None" = None
+    #: ``--axis`` overrides apply (synthetic grids; the paper-artifact
+    #: presets pin their exact point sets instead).
+    axis_overridable: bool = False
+    #: Failing points are stored and excluded instead of aborting (grids
+    #: spanning infeasible corners of the generator space).
+    store_errors: bool = False
+    #: ``--scenario`` narrows the scenario axis (faultspace only).
+    scenario_axis: bool = False
+    #: ``repro campaign`` renders materialized per-point rows (these
+    #: presets force ``collect=True`` on unsharded runs).
+    row_rendered: bool = False
+    #: Axis names of list-keyed curve metrics, for the query layer's
+    #: curve-by-axis queries (pair-keyed curves are self-describing).
+    curve_axes: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def adaptive(self) -> bool:
+        """True when the preset has an adaptive-refinement point source."""
+        return self.adaptive_fn is not None
+
+    @property
+    def on_error(self) -> str:
+        """The ``stream_campaign`` error policy this preset runs under."""
+        return "store" if self.store_errors else "raise"
+
+    # -- capability checks (the messages the CLI surfaces verbatim) -------
+
+    def check_axes(self, axes_given: bool) -> None:
+        if axes_given and not self.axis_overridable:
+            raise PresetError(axis_override_message())
+
+    def check_scenario(self, scenario_given: bool) -> None:
+        if scenario_given and not self.scenario_axis:
+            raise PresetError(scenario_message())
+
+    def check_adaptive(self) -> None:
+        if not self.adaptive:
+            raise PresetError(adaptive_message())
+
+    # -- construction ------------------------------------------------------
+
+    def specs(
+        self,
+        axes: "Mapping[str, Any] | Sequence[str] | None" = None,
+        scenario: "str | None" = None,
+    ) -> list[PointSpec]:
+        """The preset's exhaustive point grid (``--axis`` overrides applied)."""
+        self.check_axes(bool(axes))
+        self.check_scenario(scenario is not None)
+        return self.specs_fn(_normalize_axes(axes), scenario)
+
+    def aggregator(self) -> Aggregator:
+        """A fresh instance of the preset's streaming aggregate."""
+        return self.aggregator_fn()
+
+    def adaptive_source(
+        self,
+        axes: "Mapping[str, Any] | Sequence[str] | None" = None,
+        scenario: "str | None" = None,
+        *,
+        ci_width: "float | None" = None,
+        max_points: "int | None" = None,
+    ) -> PointSource:
+        """The preset's adaptive refinement source (``--strategy adaptive``)."""
+        self.check_adaptive()
+        self.check_axes(bool(axes))
+        self.check_scenario(scenario is not None)
+        kwargs: dict[str, Any] = {
+            "ci_width": DEFAULT_CI_WIDTH if ci_width is None else ci_width,
+            "max_points": max_points,
+        }
+        if self.scenario_axis:
+            kwargs["scenario"] = scenario
+        return self.adaptive_fn(_normalize_axes(axes), **kwargs)
+
+    def source(
+        self,
+        strategy: str = "grid",
+        axes: "Mapping[str, Any] | Sequence[str] | None" = None,
+        scenario: "str | None" = None,
+        *,
+        ci_width: "float | None" = None,
+        max_points: "int | None" = None,
+    ) -> PointSource:
+        """Resolve a point-supply strategy name to the preset's source."""
+        if strategy == "grid":
+            return GridSource(self.specs(axes, scenario))
+        if strategy == "adaptive":
+            return self.adaptive_source(
+                axes, scenario, ci_width=ci_width, max_points=max_points
+            )
+        raise PresetError(f"unknown point-source strategy {strategy!r}")
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, aggregator: Aggregator) -> "str | None":
+        """Render the aggregate-state report (None: rows-only preset)."""
+        if self.render_fn is None:
+            return None
+        return self.render_fn(aggregator)
+
+
+#: Convergence target ``--strategy adaptive`` refines toward by default.
+DEFAULT_CI_WIDTH = 0.05
+
+_REGISTRY: dict[str, PresetSpec] = {}
+
+
+def register_preset(spec: PresetSpec) -> PresetSpec:
+    """Add a preset to the registry (re-registering a name is an error)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"preset {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_preset(name: str) -> PresetSpec:
+    """Look up a registered preset by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise PresetError(
+            f"unknown preset {name!r}; known: {'/'.join(_REGISTRY)}"
+        ) from None
+
+
+def preset_names() -> tuple[str, ...]:
+    """Every registered preset, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def axis_preset_names() -> tuple[str, ...]:
+    """Presets accepting ``--axis`` grid overrides."""
+    return tuple(n for n, p in _REGISTRY.items() if p.axis_overridable)
+
+
+def adaptive_preset_names() -> tuple[str, ...]:
+    """Presets with an adaptive-refinement point source."""
+    return tuple(n for n, p in _REGISTRY.items() if p.adaptive)
+
+
+def scenario_preset_names() -> tuple[str, ...]:
+    """Presets whose grids have a narrowable fault-scenario axis."""
+    return tuple(n for n, p in _REGISTRY.items() if p.scenario_axis)
+
+
+def axis_override_message() -> str:
+    return f"--axis only applies to the {'/'.join(axis_preset_names())} presets"
+
+
+def scenario_message() -> str:
+    names = scenario_preset_names()
+    noun = "preset" if len(names) == 1 else "presets"
+    return f"--scenario only applies to the {'/'.join(names)} {noun}"
+
+
+def adaptive_message() -> str:
+    return (
+        f"--strategy adaptive supports the "
+        f"{'/'.join(adaptive_preset_names())} presets"
+    )
+
+
+# -- shared rendering helpers --------------------------------------------------
+
+
+def format_value(value: Any) -> str:
+    """One table cell: canonical formatting shared by every row renderer."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True)
+    return str(value)
+
+
+def render_rows(campaign: Any) -> str:
+    """Generic per-experiment tables of a campaign's materialized rows."""
+    from repro.viz import format_table
+
+    groups: dict[str, list] = {}
+    for spec, result in campaign.rows():
+        groups.setdefault(spec.experiment, []).append((spec, result))
+    blocks = []
+    for experiment, rows in groups.items():
+        param_keys = sorted(
+            {
+                k
+                for spec, _ in rows
+                for k in spec.params
+                if k not in ("taskset", "partition")
+            }
+        )
+        result_keys = sorted(
+            {k for _, result in rows for k in result if isinstance(result, dict)}
+        )
+        table = format_table(
+            param_keys + result_keys,
+            [
+                [format_value(spec.params.get(k, "")) for k in param_keys]
+                + [
+                    format_value(
+                        result.get(k, "") if isinstance(result, dict) else result
+                    )
+                    for k in result_keys
+                ]
+                for spec, result in rows
+            ],
+        )
+        blocks.append(f"== {experiment} ({len(rows)} points) ==\n{table}")
+    return "\n\n".join(blocks)
+
+
+# -- the built-in presets ------------------------------------------------------
+
+#: Default grids of the synthetic campaign presets (overridable via --axis).
+SCHED_AXES: dict[str, Any] = {
+    "u_total": [0.5, 1.0, 1.5, 2.0],
+    "n": [8],
+    "rep": list(range(5)),
+}
+FAULTS_AXES: dict[str, Any] = {
+    "rate": [0.01, 0.02, 0.05, 0.1],
+    "cycles": [50],
+    "rep": list(range(3)),
+}
+
+
+def _sched_curve_key(params: Mapping[str, Any], result: Any) -> Any:
+    """Group sched points over reps: every non-rep, non-payload parameter."""
+    return sorted(
+        [k, v]
+        for k, v in params.items()
+        if k not in ("rep", "taskset", "partition")
+    )
+
+
+def _sched_specs(axes: dict[str, Any], scenario: "str | None") -> list[PointSpec]:
+    return grid_specs("schedulability", {**SCHED_AXES, **axes})
+
+
+def _faults_specs(axes: dict[str, Any], scenario: "str | None") -> list[PointSpec]:
+    return grid_specs("fault-injection", {**FAULTS_AXES, **axes})
+
+
+def _sched_aggregator() -> Aggregator:
+    from repro.runner.aggregate import curve_metric
+
+    return Aggregator(
+        [
+            curve_metric(
+                "acceptance_partitioned", _sched_curve_key, "partitioned",
+                experiment="schedulability",
+            ),
+            curve_metric(
+                "acceptance_feasible", _sched_curve_key, "feasible",
+                experiment="schedulability",
+            ),
+            curve_metric(
+                "weighted_feasible", _sched_curve_key, "feasible",
+                weight="utilization", experiment="schedulability",
+            ),
+        ]
+    )
+
+
+def _faults_aggregator() -> Aggregator:
+    from repro.runner.aggregate import curve_metric, mean_metric
+
+    return Aggregator(
+        [
+            curve_metric(
+                "coverage",
+                _sched_curve_key,
+                lambda params, result: result["ft_misses"] == 0,
+                experiment="fault-injection",
+            ),
+            mean_metric("injected", "injected", experiment="fault-injection"),
+        ]
+    )
+
+
+def render_acceptance(aggregator: Aggregator) -> str:
+    """Acceptance ratios of a ``schedulability`` campaign, grouped over reps.
+
+    Rendered from the streamed ``acceptance_*`` curve aggregates (exact
+    rational means), not from materialized per-point results.
+    """
+    from repro.viz import axis_sort_token, format_table
+
+    feasible = aggregator["acceptance_feasible"]
+    partitioned = aggregator["acceptance_partitioned"]
+    items = sorted(
+        feasible.items(), key=lambda item: [axis_sort_token(v) for _, v in item[0]]
+    )
+    if not items:
+        return ""
+    keys = [k for k, _ in items[0][0]]
+    rows = []
+    for key, acc in items:
+        rows.append(
+            [format_value(v) for _, v in key]
+            + [
+                acc.count,
+                f"{partitioned.bin(key).mean:.2f}",
+                f"{acc.mean:.2f}",
+            ]
+        )
+    return "acceptance ratios (over reps):\n" + format_table(
+        keys + ["reps", "partitioned", "feasible"], rows
+    )
+
+
+def render_weighted(aggregator: Aggregator) -> str:
+    """The weighted preset's curve tables, ASCII curve plot + summary."""
+    from repro.experiments.weighted import (
+        render_weighted_ascii,
+        weighted_curve_rows,
+    )
+    from repro.viz import format_curve_pivot
+
+    blocks = []
+    headers, rows = weighted_curve_rows(
+        aggregator, "weighted_feasible", ["u_total", "n", "H"]
+    )
+    if rows:
+        blocks.append(
+            "weighted schedulability (utilization-weighted acceptance):\n"
+            + format_curve_pivot(headers, rows, x="u_total")
+        )
+    plot = render_weighted_ascii(aggregator)
+    if plot:
+        blocks.append("weighted acceptance curves:\n" + plot)
+    headers, rows = weighted_curve_rows(
+        aggregator, "weighted_partitioned", ["u_total", "n", "H"]
+    )
+    if rows:
+        blocks.append(
+            "weighted partitioning success:\n"
+            + format_curve_pivot(headers, rows, x="u_total")
+        )
+    headers, rows = weighted_curve_rows(
+        aggregator, "fault_coverage", ["rate", "u_total"]
+    )
+    if rows:
+        blocks.append(
+            "weighted fault coverage (zero FT-miss campaigns):\n"
+            + format_curve_pivot(headers, rows, x="rate")
+        )
+    summary = aggregator.summary()
+    scalars = {
+        "feasible_ratio": summary["feasible_ratio"]["mean"],
+        "partitioned_ratio": summary["partitioned_ratio"]["mean"],
+        "slack_ratio_p50": summary["slack_ratio"]["p50"],
+        "max_period": summary["period"]["max"],
+    }
+    blocks.append(
+        "summary: "
+        + "  ".join(
+            f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in scalars.items()
+        )
+    )
+    return "\n\n".join(blocks)
+
+
+def format_figure4(pts: Any) -> str:
+    return "\n".join(
+        [
+            "Figure 4 points (paper values in brackets):",
+            f"  1. max P, EDF, Otot=0    : {pts.point1_max_period_edf:.3f}  [3.176]",
+            f"  2. max P, RM,  Otot=0    : {pts.point2_max_period_rm:.3f}  [2.381]",
+            f"  3. max Otot, EDF         : {pts.point3_max_overhead_edf:.3f}  [0.201]",
+            f"  4. max Otot, RM          : {pts.point4_max_overhead_rm:.3f}  [0.129]",
+            f"  5. max P, EDF, Otot=0.05 : {pts.point5_max_period_edf_otot:.3f}  [2.966]",
+        ]
+    )
+
+
+def _table2_specs(axes: dict[str, Any], scenario: "str | None") -> list[PointSpec]:
+    from repro.experiments.table2 import table2_specs
+
+    return table2_specs()
+
+
+def _table2_aggregator() -> Aggregator:
+    from repro.experiments.table2 import table2_aggregator
+
+    return table2_aggregator()
+
+
+def _render_table2(aggregator: Aggregator) -> str:
+    from repro.experiments.table2 import table2_from_aggregate
+
+    return table2_from_aggregate(aggregator).render()
+
+
+def _figure4_specs(axes: dict[str, Any], scenario: "str | None") -> list[PointSpec]:
+    from repro.experiments.figure4 import figure4_specs
+
+    return figure4_specs()
+
+
+def _figure4_aggregator() -> Aggregator:
+    from repro.experiments.figure4 import figure4_aggregator
+
+    return figure4_aggregator()
+
+
+def _render_figure4(aggregator: Aggregator) -> str:
+    from repro.experiments.figure4 import figure4_points_from_aggregate
+
+    return format_figure4(figure4_points_from_aggregate(aggregator))
+
+
+def _ablations_specs(axes: dict[str, Any], scenario: "str | None") -> list[PointSpec]:
+    from repro.experiments.ablations import ablation_specs
+
+    return ablation_specs()
+
+
+def _ablations_aggregator() -> Aggregator:
+    from repro.experiments.ablations import ablation_aggregator
+
+    return ablation_aggregator()
+
+
+def _weighted_specs(axes: dict[str, Any], scenario: "str | None") -> list[PointSpec]:
+    from repro.experiments.weighted import WEIGHTED_FAULT_AXES, weighted_specs
+
+    return weighted_specs(
+        sched_axes={k: v for k, v in axes.items() if k != "rate"},
+        fault_axes={k: v for k, v in axes.items() if k in WEIGHTED_FAULT_AXES},
+    )
+
+
+def _weighted_aggregator() -> Aggregator:
+    from repro.experiments.weighted import weighted_aggregator
+
+    return weighted_aggregator()
+
+
+def _weighted_adaptive(
+    axes: dict[str, Any],
+    *,
+    ci_width: float,
+    max_points: "int | None",
+) -> PointSource:
+    from repro.experiments.weighted import weighted_adaptive_source
+
+    return weighted_adaptive_source(axes, ci_width=ci_width, max_points=max_points)
+
+
+def _faultspace_specs(
+    axes: dict[str, Any], scenario: "str | None"
+) -> list[PointSpec]:
+    from repro.experiments.faultspace import faultspace_specs
+
+    return faultspace_specs(axes, scenario=scenario)
+
+
+def _faultspace_aggregator() -> Aggregator:
+    from repro.experiments.faultspace import faultspace_aggregator
+
+    return faultspace_aggregator()
+
+
+def _faultspace_adaptive(
+    axes: dict[str, Any],
+    *,
+    scenario: "str | None",
+    ci_width: float,
+    max_points: "int | None",
+) -> PointSource:
+    from repro.experiments.faultspace import faultspace_adaptive_source
+
+    return faultspace_adaptive_source(
+        axes, scenario=scenario, ci_width=ci_width, max_points=max_points
+    )
+
+
+def _render_faultspace(aggregator: Aggregator) -> str:
+    from repro.experiments.faultspace import render_faultspace
+
+    return render_faultspace(aggregator)
+
+
+register_preset(
+    PresetSpec(
+        name="table2",
+        description="the paper's Table 2 artifact as campaign points",
+        specs_fn=_table2_specs,
+        aggregator_fn=_table2_aggregator,
+        render_fn=_render_table2,
+    )
+)
+register_preset(
+    PresetSpec(
+        name="figure4",
+        description="the paper's Figure 4 key points as campaign points",
+        specs_fn=_figure4_specs,
+        aggregator_fn=_figure4_aggregator,
+        render_fn=_render_figure4,
+    )
+)
+register_preset(
+    PresetSpec(
+        name="ablations",
+        description="the design-choice ablation suite",
+        specs_fn=_ablations_specs,
+        aggregator_fn=_ablations_aggregator,
+        row_rendered=True,
+    )
+)
+register_preset(
+    PresetSpec(
+        name="sched",
+        description="synthetic schedulability grid (acceptance ratios)",
+        specs_fn=_sched_specs,
+        aggregator_fn=_sched_aggregator,
+        render_fn=render_acceptance,
+        axis_overridable=True,
+        row_rendered=True,
+    )
+)
+register_preset(
+    PresetSpec(
+        name="faults",
+        description="fault-injection grid (coverage over rates)",
+        specs_fn=_faults_specs,
+        aggregator_fn=_faults_aggregator,
+        axis_overridable=True,
+        row_rendered=True,
+    )
+)
+register_preset(
+    PresetSpec(
+        name="weighted",
+        description="weighted-schedulability sweep over the generator space",
+        specs_fn=_weighted_specs,
+        aggregator_fn=_weighted_aggregator,
+        adaptive_fn=_weighted_adaptive,
+        render_fn=render_weighted,
+        axis_overridable=True,
+        store_errors=True,
+        curve_axes={
+            "weighted_feasible": ("u_total", "n", "period_hyperperiod"),
+            "weighted_partitioned": ("u_total", "n", "period_hyperperiod"),
+            "fault_coverage": ("rate", "u_total"),
+        },
+    )
+)
+register_preset(
+    PresetSpec(
+        name="faultspace",
+        description="dependability sweep: u_total x rate x fault scenario",
+        specs_fn=_faultspace_specs,
+        aggregator_fn=_faultspace_aggregator,
+        adaptive_fn=_faultspace_adaptive,
+        render_fn=_render_faultspace,
+        axis_overridable=True,
+        store_errors=True,
+        scenario_axis=True,
+        curve_axes={
+            "outcomes": ("scenario", "rate"),
+            "outcomes_by_mode": ("scenario", "rate"),
+            "ft_miss": ("scenario", "rate"),
+            "any_corruption": ("scenario", "rate"),
+            "corrupted_jobs": ("scenario", "rate"),
+        },
+    )
+)
+
+
+__all__ = [
+    "DEFAULT_CI_WIDTH",
+    "FAULTS_AXES",
+    "PresetError",
+    "PresetSpec",
+    "SCHED_AXES",
+    "adaptive_message",
+    "adaptive_preset_names",
+    "axis_override_message",
+    "axis_preset_names",
+    "format_figure4",
+    "format_value",
+    "get_preset",
+    "preset_names",
+    "register_preset",
+    "render_acceptance",
+    "render_rows",
+    "render_weighted",
+    "scenario_message",
+    "scenario_preset_names",
+]

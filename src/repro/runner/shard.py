@@ -161,7 +161,7 @@ def read_shard_snapshot(path: str | os.PathLike) -> dict[str, Any]:
     or corrupt file as "start fresh"), a merge input that cannot be read is
     an error — merging around it would silently drop a shard.
     """
-    from repro.runner.stream import SNAPSHOT_SCHEMA  # late: avoid cycle
+    from repro.runner.stream import check_snapshot_compat  # late: avoid cycle
 
     path = Path(path)
     try:
@@ -172,11 +172,7 @@ def read_shard_snapshot(path: str | os.PathLike) -> dict[str, Any]:
         raise MergeError(f"snapshot {path} is not valid JSON: {exc}") from None
     if not isinstance(snap, dict):
         raise MergeError(f"snapshot {path} is not a snapshot object")
-    if snap.get("schema") != SNAPSHOT_SCHEMA:
-        raise MergeError(
-            f"snapshot {path} has schema {snap.get('schema')!r}, "
-            f"expected {SNAPSHOT_SCHEMA}"
-        )
+    check_snapshot_compat(snap, path, error=MergeError)
     for key in ("master_seed", "config", "shard", "folded", "failed", "aggregate"):
         if key not in snap:
             raise MergeError(f"snapshot {path} is missing {key!r}")

@@ -42,9 +42,10 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, Mapping, Sequence, TextIO
+from typing import Any, Callable, Iterable, Mapping, Sequence, TextIO
 
 from repro.runner.aggregate import Aggregator
 from repro.runner.cache import ResultCache, atomic_write_text
@@ -66,6 +67,74 @@ from repro.runner.spec import PointSpec, canonical_json
 #: snapshots are byte-identical to pre-source-strategy ones, so the
 #: schema number is unchanged.
 SNAPSHOT_SCHEMA = 2
+
+#: Minor revision: additive, backward-readable snapshot changes. A reader
+#: encountering a *higher* minor than it knows warns and proceeds (new
+#: optional keys are ignorable by construction); a different major is still
+#: refused. Minor 0 is never written — snapshots gain a ``schema_minor``
+#: key only once a revision exists, so current bytes are unchanged.
+SNAPSHOT_SCHEMA_MINOR = 0
+
+#: Every key a current writer may put at a snapshot's top level. Anything
+#: else was written by a newer minor revision (or by hand) — tolerated
+#: with a warning, never an error.
+_KNOWN_SNAPSHOT_KEYS = frozenset(
+    {
+        "schema",
+        "schema_minor",
+        "master_seed",
+        "config",
+        "shard",
+        "folded",
+        "failed",
+        "aggregate",
+        "partial",
+        "missing_shards",
+        "source",
+        "planning",
+    }
+)
+
+
+class SnapshotCompatWarning(UserWarning):
+    """A snapshot from a newer minor revision was read best-effort."""
+
+
+def check_snapshot_compat(
+    snap: Mapping[str, Any],
+    where: Any,
+    *,
+    error: type[Exception] = SnapshotError,
+) -> None:
+    """Schema compatibility gate shared by every snapshot reader.
+
+    Major mismatch raises ``error`` (layout changed — reading on would
+    corrupt); a newer *minor* revision or unknown top-level keys only warn
+    (:class:`SnapshotCompatWarning`) and proceed, so clients of a newer
+    server can still fold what they understand.
+    """
+    if snap.get("schema") != SNAPSHOT_SCHEMA:
+        raise error(
+            f"snapshot {where} has schema {snap.get('schema')!r}, "
+            f"expected {SNAPSHOT_SCHEMA}"
+        )
+    minor = snap.get("schema_minor", 0)
+    if not isinstance(minor, int) or minor > SNAPSHOT_SCHEMA_MINOR:
+        warnings.warn(
+            f"snapshot {where} has schema minor {minor!r}, newer than this "
+            f"reader's {SNAPSHOT_SCHEMA_MINOR}; reading best-effort",
+            SnapshotCompatWarning,
+            stacklevel=2,
+        )
+    unknown = sorted(set(snap) - _KNOWN_SNAPSHOT_KEYS)
+    if unknown:
+        warnings.warn(
+            f"snapshot {where} has unknown top-level key(s) "
+            f"{', '.join(map(repr, unknown))}; ignoring them",
+            SnapshotCompatWarning,
+            stacklevel=2,
+        )
+
 
 #: Persist the snapshot at least every this many newly folded points. Each
 #: flush rewrites the whole snapshot (aggregate + folded digests), so the
@@ -143,11 +212,7 @@ def _validate_snapshot_core(
     master_seed: int,
 ) -> None:
     """Schema/seed/config/partial checks shared by every resume path."""
-    if snap.get("schema") != SNAPSHOT_SCHEMA:
-        raise SnapshotError(
-            f"snapshot {path} has schema {snap.get('schema')!r}, "
-            f"expected {SNAPSHOT_SCHEMA}"
-        )
+    check_snapshot_compat(snap, path)
     if snap.get("master_seed") != master_seed:
         raise SnapshotError(
             f"snapshot {path} was built with master seed "
@@ -315,6 +380,7 @@ def stream_campaign(
     shard: "ShardManifest | tuple[int, int] | None" = None,
     batch_size: int | None = None,
     planning_aggregator: Aggregator | None = None,
+    on_delta: "Callable[[Mapping[str, Any]], None] | None" = None,
 ) -> StreamResult:
     """Run a campaign, folding each finished point into ``aggregator``.
 
@@ -368,6 +434,15 @@ def stream_campaign(
     **bit-identical** for every ``(workers, batch_size)`` combination —
     batching only changes how work is packed, never what a point computes
     or how folds combine.
+
+    ``on_delta`` is a progress observer for live consumers (the
+    ``repro serve`` delta stream): it is called with a counters mapping
+    (``event``, ``folded``, ``failed``, ``cached``, ``computed``,
+    ``errors``, ``rounds``, ``batches``) after each round's cache scan
+    (``event="scan"``) and after each completed batch folds
+    (``event="batch"``). Emission *cadence* depends on worker scheduling
+    and is deliberately outside the determinism contract — only the final
+    aggregate is bit-identical; the hook must not mutate campaign state.
     """
     if on_error not in ("raise", "store"):
         raise ValueError(f"on_error must be 'raise' or 'store': got {on_error!r}")
@@ -608,6 +683,22 @@ def stream_campaign(
         if reporter:
             reporter.update()
 
+    def emit_delta(event: str) -> None:
+        if on_delta is None:
+            return
+        on_delta(
+            {
+                "event": event,
+                "folded": len(folded),
+                "failed": len(failed),
+                "cached": cached,
+                "computed": computed,
+                "errors": errors,
+                "rounds": rounds_run,
+                "batches": batches,
+            }
+        )
+
     def on_complete_batch(
         batch: list[tuple[PointSpec, bool, Any, float]]
     ) -> None:
@@ -621,6 +712,7 @@ def stream_campaign(
             )
         for spec, ok, result, _elapsed in batch:
             finish(spec, ok, result)
+        emit_delta("batch")
 
     for round_specs in source.rounds(planning_view):
         rounds_run += 1
@@ -717,6 +809,7 @@ def stream_campaign(
                 todo.append(spec)
                 owned_todo += 1
 
+        emit_delta("scan")
         computed += owned_todo
         eb = execute_points(
             todo,
@@ -790,7 +883,10 @@ def fold_rows(
 
 __all__ = [
     "SNAPSHOT_SCHEMA",
+    "SNAPSHOT_SCHEMA_MINOR",
+    "SnapshotCompatWarning",
     "SnapshotError",
+    "check_snapshot_compat",
     "StreamResult",
     "StreamStats",
     "fold_rows",

@@ -1,0 +1,14 @@
+"""``repro serve``: campaigns as an HTTP service (stdlib asyncio only).
+
+POST a campaign job (preset + axes + seed) and the server runs it through
+the unchanged deterministic engine; GET endpoints stream sequenced
+aggregate deltas while points fold in, serve the exact snapshot bytes,
+and answer typed curve/taxonomy/summary queries through a
+content-addressed cache. See :mod:`repro.server.app` for the endpoint
+table and ``docs/campaigns.md`` for the user guide.
+"""
+
+from repro.server.app import ReproServer
+from repro.server.jobs import Job, JobConfig, JobError, JobManager
+
+__all__ = ["Job", "JobConfig", "JobError", "JobManager", "ReproServer"]

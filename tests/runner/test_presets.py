@@ -1,0 +1,172 @@
+"""Preset-registry tests: capability flags, construction parity, messages.
+
+The registry replaces the CLI's parallel preset-name tuples; these tests
+pin that every registered preset's declared capabilities are what its
+factories actually deliver, and that the validation messages the CLI
+surfaces verbatim come from the registry (one source of truth — the
+drift the tuples allowed is now structurally impossible).
+"""
+
+import pytest
+
+from repro.runner import GridSource
+from repro.runner.presets import (
+    DEFAULT_CI_WIDTH,
+    PresetError,
+    PresetSpec,
+    adaptive_message,
+    adaptive_preset_names,
+    axis_override_message,
+    axis_preset_names,
+    get_preset,
+    preset_names,
+    register_preset,
+    scenario_message,
+    scenario_preset_names,
+)
+
+ALL_PRESETS = (
+    "table2", "figure4", "ablations", "sched", "faults", "weighted",
+    "faultspace",
+)
+
+
+class TestRegistry:
+    def test_all_presets_registered_in_order(self):
+        assert preset_names() == ALL_PRESETS
+
+    def test_capability_subsets(self):
+        assert axis_preset_names() == ("sched", "faults", "weighted", "faultspace")
+        assert adaptive_preset_names() == ("weighted", "faultspace")
+        assert scenario_preset_names() == ("faultspace",)
+
+    def test_unknown_preset_is_an_error(self):
+        with pytest.raises(PresetError, match="unknown preset 'nope'"):
+            get_preset("nope")
+
+    def test_duplicate_registration_is_an_error(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_preset(get_preset("sched"))
+
+    def test_store_errors_implies_on_error_store(self):
+        for name in ALL_PRESETS:
+            preset = get_preset(name)
+            expected = "store" if name in ("weighted", "faultspace") else "raise"
+            assert preset.store_errors == (expected == "store")
+            assert preset.on_error == expected
+
+    def test_row_rendered_presets(self):
+        rows = tuple(n for n in ALL_PRESETS if get_preset(n).row_rendered)
+        assert rows == ("ablations", "sched", "faults")
+        # sched is the only preset rendered BOTH ways
+        assert get_preset("sched").render_fn is not None
+        assert get_preset("faults").render_fn is None
+        assert get_preset("ablations").render_fn is None
+
+
+class TestMessages:
+    """The exact texts the CLI raises come from the registry."""
+
+    def test_axis_message_lists_axis_presets(self):
+        assert axis_override_message() == (
+            "--axis only applies to the sched/faults/weighted/faultspace "
+            "presets"
+        )
+
+    def test_scenario_message(self):
+        assert scenario_message() == (
+            "--scenario only applies to the faultspace preset"
+        )
+
+    def test_adaptive_message(self):
+        assert adaptive_message() == (
+            "--strategy adaptive supports the weighted/faultspace presets"
+        )
+
+
+class TestConstruction:
+    def test_every_preset_builds_specs_and_aggregator(self):
+        for name in ALL_PRESETS:
+            preset = get_preset(name)
+            specs = preset.specs()
+            assert specs, name
+            agg = preset.aggregator()
+            assert agg.config_digest
+            # fresh instances, not shared state
+            assert agg is not preset.aggregator()
+
+    def test_axis_override_on_non_axis_preset_refused(self):
+        with pytest.raises(PresetError, match="--axis only applies"):
+            get_preset("table2").specs({"u_total": [1.0]})
+
+    def test_scenario_on_non_scenario_preset_refused(self):
+        with pytest.raises(PresetError, match="--scenario only applies"):
+            get_preset("weighted").specs(None, "bursty")
+
+    def test_adaptive_on_grid_only_preset_refused(self):
+        with pytest.raises(PresetError, match="--strategy adaptive supports"):
+            get_preset("sched").adaptive_source()
+
+    def test_axes_accept_cli_strings_and_mappings(self):
+        preset = get_preset("sched")
+        from_strings = preset.specs(["u_total=0.5,1.0", "rep=0"])
+        from_mapping = preset.specs({"u_total": [0.5, 1.0], "rep": [0]})
+        assert [s.digest for s in from_strings] == [
+            s.digest for s in from_mapping
+        ]
+
+    def test_source_strategy_dispatch(self):
+        preset = get_preset("weighted")
+        grid = preset.source("grid")
+        assert isinstance(grid, GridSource)
+        adaptive = preset.source(
+            "adaptive", ci_width=0.2, max_points=8
+        )
+        assert adaptive.needs_feedback
+        with pytest.raises(PresetError, match="unknown point-source strategy"):
+            preset.source("random")
+
+    def test_adaptive_default_ci_width(self):
+        preset = get_preset("weighted")
+        default = preset.adaptive_source()
+        explicit = preset.adaptive_source(ci_width=DEFAULT_CI_WIDTH)
+        assert default.config_digest == explicit.config_digest
+
+    def test_scenario_narrows_faultspace_grid(self):
+        preset = get_preset("faultspace")
+        full = preset.specs()
+        narrowed = preset.specs(None, "bursty")
+        assert len(narrowed) < len(full)
+        assert all(
+            s.params["scenario"] == "bursty" for s in narrowed
+        )
+
+
+class TestRendering:
+    def test_render_none_for_rows_only_presets(self):
+        for name in ("faults", "ablations"):
+            preset = get_preset(name)
+            assert preset.render(preset.aggregator()) is None
+
+    def test_aggregate_renderers_produce_text(self):
+        # sched renders fine even empty (returns ""); weighted/faultspace
+        # renderers need folded state, covered by CLI/query tests.
+        preset = get_preset("sched")
+        assert preset.render(preset.aggregator()) == ""
+
+
+class TestPresetSpecRecord:
+    def test_flags_default_off(self):
+        spec = PresetSpec(
+            name="__x",
+            description="",
+            specs_fn=lambda axes, scenario: [],
+            aggregator_fn=lambda: None,
+        )
+        assert not spec.axis_overridable
+        assert not spec.adaptive
+        assert not spec.store_errors
+        assert not spec.scenario_axis
+        assert not spec.row_rendered
+        assert spec.on_error == "raise"
+        assert spec.curve_axes == {}

@@ -398,3 +398,76 @@ class TestCacheRepair:
             assert agg_bytes(again) == agg_bytes(first)
             # the corrupt entry was overwritten with a valid record
             assert ResultCache(cache_dir).get(spec, 0) is not None
+
+
+class TestOnDelta:
+    """The on_delta hook publishes progress while points fold; its cadence
+    is outside the determinism contract, but its counters are not."""
+
+    def test_deltas_track_folds_to_completion(self):
+        specs = grid_specs("schedulability", SCHED_AXES)
+        deltas = []
+        streamed = stream_campaign(
+            specs, sched_aggregator(), workers=1, on_delta=deltas.append
+        )
+        assert deltas, "no deltas emitted"
+        assert {d["event"] for d in deltas} <= {"scan", "batch"}
+        folded = [d["folded"] for d in deltas]
+        assert folded == sorted(folded), "folded count went backwards"
+        assert folded[-1] == streamed.stats.folded == len(specs)
+        assert all(d["failed"] == 0 for d in deltas)
+
+    def test_deltas_do_not_change_the_aggregate(self):
+        specs = grid_specs("schedulability", SCHED_AXES)
+        silent = stream_campaign(specs, sched_aggregator(), workers=1)
+        observed = stream_campaign(
+            specs, sched_aggregator(), workers=1, on_delta=lambda d: None
+        )
+        assert agg_bytes(observed) == agg_bytes(silent)
+
+
+class TestSnapshotForwardCompat:
+    """Older readers tolerate (warn about) newer-minor snapshots and
+    unknown top-level keys; wrong majors are still refused."""
+
+    def _snapshot(self, tmp_path):
+        from repro.runner import save_snapshot
+
+        specs = grid_specs("schedulability", SCHED_AXES)
+        agg = sched_aggregator()
+        stream_campaign(specs, agg, workers=1)
+        path = tmp_path / "snap.json"
+        save_snapshot(path, agg, 0, {s.digest for s in specs})
+        return path
+
+    def test_newer_minor_warns_through_shard_reader(self, tmp_path):
+        from repro.runner import SnapshotCompatWarning
+        from repro.runner.shard import read_shard_snapshot
+
+        path = self._snapshot(tmp_path)
+        snap = json.loads(path.read_text())
+        snap["schema_minor"] = 3
+        snap["provenance"] = {"host": "future"}
+        path.write_text(json.dumps(snap))
+        with pytest.warns(SnapshotCompatWarning) as caught:
+            read_shard_snapshot(path)
+        messages = [str(w.message) for w in caught]
+        assert any("schema minor 3" in m for m in messages)
+        assert any("provenance" in m for m in messages)
+
+    def test_wrong_major_still_refused_by_shard_reader(self, tmp_path):
+        from repro.runner import MergeError
+        from repro.runner.shard import read_shard_snapshot
+
+        path = self._snapshot(tmp_path)
+        snap = json.loads(path.read_text())
+        snap["schema"] = 3
+        path.write_text(json.dumps(snap))
+        with pytest.raises(MergeError, match="has schema 3"):
+            read_shard_snapshot(path)
+
+    def test_minor_zero_is_never_written(self, tmp_path):
+        # byte-stability: tolerating schema_minor on read must not change
+        # the bytes we write
+        path = self._snapshot(tmp_path)
+        assert "schema_minor" not in json.loads(path.read_text())

@@ -1,0 +1,330 @@
+"""End-to-end tests for ``repro serve`` over real sockets.
+
+These drive the acceptance contract of the HTTP layer: many concurrent
+clients can stream sequenced deltas from one in-flight campaign and all
+see the identical event log; the rendered report and snapshot bytes the
+server hands out are byte-identical to what the CLI produces for the
+same campaign; and a repeated identical query is answered from the
+content-addressed cache (``X-Cache: hit``) without recomputation.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.server import ReproServer
+
+# The smoke campaign every test shares: tiny but multi-point, so delta
+# events actually interleave with client polling.
+SCHED_JOB = {
+    "preset": "sched",
+    "axes": {"u_total": [0.5, 1.0], "n": [4], "rep": [0, 1]},
+    "workers": 1,
+}
+SCHED_CLI_AXES = ["--axis", "u_total=0.5,1.0", "--axis", "n=4",
+                  "--axis", "rep=0,1"]
+
+
+# -- plain-stdlib HTTP helpers -------------------------------------------
+
+
+def _request(port, path, *, method="GET", body=None):
+    url = f"http://127.0.0.1:{port}{path}"
+    data = None
+    if body is not None:
+        data = body if isinstance(body, bytes) else json.dumps(body).encode()
+    req = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def _get_json(port, path):
+    status, headers, body = _request(port, path)
+    return status, headers, json.loads(body)
+
+
+def _stream_events(port, job_id, since=0):
+    """Read one delta stream to EOF; returns the decoded event list."""
+    url = f"http://127.0.0.1:{port}/jobs/{job_id}/deltas?since={since}"
+    with urllib.request.urlopen(url, timeout=60) as resp:
+        assert resp.headers.get("Transfer-Encoding") == "chunked"
+        return [json.loads(line) for line in resp if line.strip()]
+
+
+# -- fixtures ------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    spool = tmp_path_factory.mktemp("spool")
+    srv = ReproServer(workers=1, spool_dir=spool)
+    host, port, stop = srv.start_in_thread()
+    yield {"server": srv, "port": port, "spool": spool}
+    stop()
+
+
+@pytest.fixture(scope="module")
+def done_job(server):
+    """The shared smoke job, submitted once and drained to completion."""
+    port = server["port"]
+    status, _headers, body = _request(port, "/jobs", method="POST",
+                                      body=SCHED_JOB)
+    assert status == 202
+    submitted = json.loads(body)
+    assert submitted["reused"] is False
+    job_id = submitted["job"]
+    events = _stream_events(port, job_id)
+    assert events[-1]["type"] == "complete"
+    return {"id": job_id, "events": events}
+
+
+# -- service surface -----------------------------------------------------
+
+
+class TestSurface:
+    def test_index_lists_endpoints_and_presets(self, server):
+        status, _h, body = _get_json(server["port"], "/")
+        assert status == 200
+        assert body["service"] == "repro serve"
+        assert "sched" in body["presets"]
+        assert "GET /jobs/{id}/deltas?since=N" in body["endpoints"]
+
+    def test_presets_mirror_registry_capabilities(self, server):
+        from repro.runner.presets import get_preset, preset_names
+
+        _s, _h, body = _get_json(server["port"], "/presets")
+        records = {r["name"]: r for r in body["presets"]}
+        assert tuple(records) == preset_names()
+        for name, record in records.items():
+            preset = get_preset(name)
+            assert record["adaptive"] == preset.adaptive
+            assert record["axis_overridable"] == preset.axis_overridable
+            assert record["scenario_axis"] == preset.scenario_axis
+            assert record["row_rendered"] == preset.row_rendered
+
+    def test_unknown_endpoint_404(self, server):
+        status, _h, body = _request(server["port"], "/nope")
+        assert status == 404
+        assert b"no such endpoint" in body
+
+    def test_wrong_method_405(self, server):
+        status, _h, _b = _request(server["port"], "/presets", method="POST",
+                                  body={})
+        assert status == 405
+
+    def test_bad_submit_400(self, server):
+        for payload, fragment in [
+            ({"preset": "nope"}, b"unknown preset"),
+            ({"preset": "sched", "bogus": 1}, b"unknown job field"),
+            ({"preset": "table2", "axes": {"x": [1]}}, b"--axis only applies"),
+            ({"preset": "sched", "strategy": "adaptive"},
+             b"--strategy adaptive supports"),
+            ([], b"must be a JSON object"),
+        ]:
+            status, _h, body = _request(server["port"], "/jobs",
+                                        method="POST", body=payload)
+            assert status == 400, payload
+            assert fragment in body
+
+
+# -- job lifecycle -------------------------------------------------------
+
+
+class TestJobLifecycle:
+    def test_event_log_shape(self, done_job):
+        events = done_job["events"]
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        assert events[0] == {"seq": 0, "type": "state", "state": "queued"}
+        assert events[1] == {"seq": 1, "type": "state", "state": "running"}
+        deltas = [e for e in events if e["type"] == "delta"]
+        assert deltas, "campaign emitted no progress deltas"
+        assert deltas[-1]["folded"] == 4
+        assert events[-1]["stats"]["folded"] == 4
+
+    def test_describe_done_job(self, server, done_job):
+        status, _h, body = _get_json(server["port"], f"/jobs/{done_job['id']}")
+        assert status == 200
+        assert body["state"] == "done"
+        assert body["preset"] == "sched"
+        assert body["stats"]["computed"] == 4
+        # unambiguous id prefixes resolve too (spool files use 16 chars)
+        status, _h, by_prefix = _get_json(
+            server["port"], f"/jobs/{done_job['id'][:16]}"
+        )
+        assert status == 200 and by_prefix["job"] == done_job["id"]
+
+    def test_replay_from_any_seq(self, server, done_job):
+        port, job_id = server["port"], done_job["id"]
+        assert _stream_events(port, job_id) == done_job["events"]
+        tail = _stream_events(port, job_id, since=2)
+        assert tail == done_job["events"][2:]
+        # since past the terminal event: clean EOF, not a hang
+        beyond = len(done_job["events"]) + 5
+        assert _stream_events(port, job_id, since=beyond) == []
+
+    def test_resubmit_is_deduped(self, server, done_job):
+        status, _h, body = _request(server["port"], "/jobs", method="POST",
+                                    body=SCHED_JOB)
+        assert status == 200
+        reply = json.loads(body)
+        assert reply == {"job": done_job["id"], "reused": True,
+                         "state": "done"}
+        # workers is not part of the identity: same campaign, same job
+        other = dict(SCHED_JOB, workers=2)
+        _s, _h, body = _request(server["port"], "/jobs", method="POST",
+                                body=other)
+        assert json.loads(body)["job"] == done_job["id"]
+
+    def test_unknown_job_404(self, server):
+        status, _h, body = _request(server["port"], "/jobs/feed")
+        assert status == 404
+        assert b"no such job" in body
+
+
+# -- the acceptance criteria ---------------------------------------------
+
+
+class TestConcurrentStreams:
+    def test_eight_concurrent_clients_see_identical_logs(self, server):
+        """≥ 8 clients stream deltas from ONE in-flight campaign; every
+        client replays the identical sequenced event log to EOF."""
+        port = server["port"]
+        job = dict(SCHED_JOB, seed=7,
+                   axes={"u_total": [0.5, 0.7, 0.9, 1.0], "n": [4, 8],
+                         "rep": [0, 1, 2]})
+        status, _h, body = _request(port, "/jobs", method="POST", body=job)
+        assert status == 202
+        job_id = json.loads(body)["job"]
+
+        results = [None] * 8
+        errors = []
+
+        def client(i):
+            try:
+                results[i] = _stream_events(port, job_id)
+            except Exception as exc:  # noqa: BLE001 - surfaced via errors
+                errors.append((i, exc))
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert all(r is not None for r in results)
+        first = results[0]
+        assert first[-1]["type"] == "complete"
+        assert first[-1]["stats"]["folded"] == 24
+        for other in results[1:]:
+            assert other == first
+
+
+class TestQueryCache:
+    def test_repeated_query_is_a_cache_hit_with_identical_bytes(
+        self, server, done_job
+    ):
+        port, job_id = server["port"], done_job["id"]
+        path = (f"/jobs/{job_id}/query/curve"
+                f"?metric=acceptance_feasible&axis=u_total")
+        _s, h1, b1 = _request(port, path)
+        _s, h2, b2 = _request(port, path)
+        assert h1["X-Cache"] == "miss"
+        assert h2["X-Cache"] == "hit"
+        assert b1 == b2
+        curve = json.loads(b1)
+        assert curve["axis"] == "u_total"
+
+    def test_report_cached_too(self, server, done_job):
+        port, job_id = server["port"], done_job["id"]
+        _s, h1, b1 = _request(port, f"/jobs/{job_id}/report")
+        _s, h2, b2 = _request(port, f"/jobs/{job_id}/report")
+        assert (h1["X-Cache"], h2["X-Cache"]) == ("miss", "hit")
+        assert b1 == b2
+        assert h2["Content-Type"].startswith("text/plain")
+
+    def test_cache_stats_account_hits(self, server, done_job):
+        _s, _h, stats = _get_json(server["port"], "/stats")
+        assert stats["query_cache"]["hits"] >= 2
+        assert stats["jobs"]["total"] >= 1
+
+    def test_bad_query_params(self, server, done_job):
+        port, job_id = server["port"], done_job["id"]
+        status, _h, body = _request(port, f"/jobs/{job_id}/query/plot")
+        assert status == 404 and b"unknown query kind" in body
+        status, _h, body = _request(port, f"/jobs/{job_id}/query/curve")
+        assert status == 400 and b"needs a 'metric'" in body
+        status, _h, body = _request(
+            port, f"/jobs/{job_id}/query/curve?metric=nope"
+        )
+        assert status == 400 and b"unknown metric" in body
+
+
+class TestCliByteIdentity:
+    """The server and the CLI must render one campaign identically."""
+
+    def test_snapshot_bytes_match_cli_state_file(
+        self, server, done_job, tmp_path, capsys
+    ):
+        status, _h, http_snap = _request(
+            server["port"], f"/jobs/{done_job['id']}/snapshot"
+        )
+        assert status == 200
+        state = tmp_path / "cli-state.json"
+        rc = main(["campaign", "sched", *SCHED_CLI_AXES, "--workers", "1",
+                   "--state", str(state), "--no-progress"])
+        assert rc == 0
+        capsys.readouterr()
+        assert http_snap == state.read_bytes()
+
+    def test_report_bytes_match_cli_merge_render(
+        self, server, done_job, tmp_path, capsys
+    ):
+        port, job_id = server["port"], done_job["id"]
+        _s, _h, http_report = _request(port, f"/jobs/{job_id}/report")
+        snap = tmp_path / "snap.json"
+        snap.write_bytes(_request(port, f"/jobs/{job_id}/snapshot")[2])
+        rc = main(["merge", str(snap), "--preset", "sched",
+                   "--out", str(tmp_path / "merged.json")])
+        assert rc == 0
+        # the merge summary goes to stderr; stdout is exactly the report
+        assert http_report.decode() == capsys.readouterr().out
+
+
+class TestUploadedSnapshots:
+    def test_upload_query_and_dedupe(self, server, done_job):
+        port = server["port"]
+        snap = _request(port, f"/jobs/{done_job['id']}/snapshot")[2]
+        status, _h, body = _request(
+            port, "/snapshots?preset=sched", method="POST", body=snap
+        )
+        assert status == 202
+        digest = json.loads(body)["snapshot"]
+        # same rendered report as the job it came from
+        _s, _h, report = _request(port, f"/snapshots/{digest}/report")
+        assert report == _request(port, f"/jobs/{done_job['id']}/report")[2]
+        # re-upload is recognized by content digest
+        status, _h, body = _request(
+            port, "/snapshots?preset=sched", method="POST", body=snap
+        )
+        assert status == 200 and json.loads(body)["reused"] is True
+
+    def test_upload_validation(self, server, done_job):
+        port = server["port"]
+        snap = _request(port, f"/jobs/{done_job['id']}/snapshot")[2]
+        status, _h, body = _request(port, "/snapshots", method="POST",
+                                    body=snap)
+        assert status == 400 and b"needs ?preset=" in body
+        status, _h, body = _request(
+            port, "/snapshots?preset=weighted", method="POST", body=snap
+        )
+        assert status == 400 and b"config digest mismatch" in body
+        status, _h, body = _request(port, "/snapshots/feed/report")
+        assert status == 404 and b"no such snapshot" in body

@@ -620,3 +620,88 @@ class TestErrors:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestPresetRegistryWiring:
+    """Satellite: the CLI is a thin consumer of the preset registry — the
+    on_error policy and every refusal text have one source of truth, so
+    the drift the old parallel name-tuples allowed is now impossible."""
+
+    def test_on_error_policy_wired_from_registry(self, monkeypatch):
+        from repro.runner.presets import get_preset, preset_names
+
+        class _Stop(Exception):
+            pass
+
+        captured = {}
+
+        def fake_stream(runnable, aggregator, **kwargs):
+            captured.update(kwargs)
+            raise _Stop
+
+        monkeypatch.setattr("repro.runner.stream_campaign", fake_stream)
+        for name in preset_names():
+            captured.clear()
+            with pytest.raises(_Stop):
+                main(["campaign", name, "--workers", "1", "--no-progress"])
+            assert captured["on_error"] == get_preset(name).on_error, name
+
+    def test_refusal_texts_come_from_registry(self):
+        from repro.runner.presets import (
+            adaptive_message,
+            axis_override_message,
+            scenario_message,
+        )
+
+        with pytest.raises(SystemExit) as exc:
+            main(["campaign", "table2", "--axis", "u_total=1.0",
+                  "--no-progress"])
+        assert str(exc.value) == axis_override_message()
+        with pytest.raises(SystemExit) as exc:
+            main(["campaign", "weighted", "--scenario", "bursty",
+                  "--no-progress"])
+        assert str(exc.value) == scenario_message()
+        with pytest.raises(SystemExit) as exc:
+            main(["campaign", "sched", "--strategy", "adaptive",
+                  "--no-progress"])
+        assert str(exc.value) == f"campaign: {adaptive_message()}"
+
+
+class TestCampaignMergeByteIdentity:
+    """Satellite: `repro merge --preset` renders through the same query
+    layer as `repro campaign`, so one snapshot yields one report."""
+
+    def test_weighted_report_identical_campaign_vs_merge(
+        self, tmp_path, capsys
+    ):
+        state = tmp_path / "state.json"
+        assert main(
+            ["campaign", "weighted", *WEIGHTED_TINY, "--workers", "1",
+             "--seed", "3", "--no-progress", "--state", str(state)]
+        ) == 0
+        campaign_report = capsys.readouterr().out
+        assert main(["merge", str(state), "--preset", "weighted",
+                     "--out", str(tmp_path / "merged.json")]) == 0
+        merge_report = capsys.readouterr().out
+        assert merge_report == campaign_report
+        assert "weighted schedulability" in merge_report
+
+    def test_merge_refuses_foreign_preset_via_query_layer(
+        self, tmp_path, capsys
+    ):
+        state = tmp_path / "state.json"
+        assert main(
+            ["campaign", "weighted", *WEIGHTED_TINY, "--workers", "1",
+             "--no-progress", "--state", str(state)]
+        ) == 0
+        capsys.readouterr()
+        out_file = tmp_path / "merged.json"
+        assert main(["merge", str(state), "--preset", "faultspace",
+                     "--out", str(out_file)]) == 1
+        out = capsys.readouterr().out
+        assert (
+            "merge failed: snapshots were not built by the 'faultspace' "
+            "preset's aggregate (config digest mismatch)"
+        ) in out
+        # a refused merge must not leave a merged snapshot behind
+        assert not out_file.exists()
