@@ -85,6 +85,7 @@ class AdmissionController:
             mode: config.schedule.usable(mode) for mode in Mode
         }
         self._slack = config.slack
+        self._dead: set[tuple[Mode, int]] = set()
 
     # -- state views -------------------------------------------------------------
 
@@ -101,6 +102,11 @@ class AdmissionController:
     def usable_quantum(self, mode: Mode) -> float:
         """Current usable slot length of a mode."""
         return self._usable[mode]
+
+    @property
+    def dead_processors(self) -> frozenset[tuple[Mode, int]]:
+        """Processor bins lost to permanent core failures."""
+        return frozenset(self._dead)
 
     def partition(self) -> PartitionedTaskSet:
         """Snapshot of the current partition."""
@@ -158,6 +164,13 @@ class AdmissionController:
                     False, mode, None, 0.0, self._slack,
                     reason=f"processor index {idx} out of range for {mode}",
                 )
+            if (mode, idx) in self._dead:
+                if processor is not None:
+                    return AdmissionDecision(
+                        False, mode, None, 0.0, self._slack,
+                        reason=f"processor {mode}[{idx}] has failed permanently",
+                    )
+                continue
             trial = [ts if i != idx else ts.add(task) for i, ts in enumerate(bins)]
             new_minq = self._mode_minq(mode, trial)
             growth = max(new_minq - self._usable[mode], 0.0)
@@ -170,7 +183,11 @@ class AdmissionController:
             cost = growth + extra_overhead
             if best is None or cost < best[0] - EPS:
                 best = (cost, idx, new_minq)
-        assert best is not None
+        if best is None:
+            return AdmissionDecision(
+                False, mode, None, 0.0, self._slack,
+                reason=f"every processor of mode {mode} has failed",
+            )
         cost, idx, new_minq = best
         if cost > self._slack + 1e-9:
             return AdmissionDecision(
@@ -186,6 +203,38 @@ class AdmissionController:
         self._usable[mode] = max(self._usable[mode], new_minq)
         self._slack -= cost
         return AdmissionDecision(True, mode, idx, grown, self._slack)
+
+    def kill_processor(self, mode: Mode, processor: int) -> tuple[Task, ...]:
+        """Mark a processor bin as permanently failed; return its orphans.
+
+        The bin's admitted tasks are evicted (they are the caller's to
+        re-assign, see :class:`repro.sim.online.OnlineSim`), the bin is
+        excluded from every future :meth:`try_admit`, and the quantum the
+        evicted tasks no longer need is reclaimed into the reserve —
+        shrinking the dead bin never hurts the survivors because ``minQ``
+        of a mode is the max over its (remaining) bins. Killing an
+        already-dead bin is a no-op returning no orphans.
+        """
+        bins = self._bins[mode]
+        if not 0 <= processor < len(bins):
+            raise ValueError(
+                f"processor index {processor} out of range for {mode}"
+            )
+        if (mode, processor) in self._dead:
+            return ()
+        self._dead.add((mode, processor))
+        orphans = tuple(bins[processor])
+        bins[processor] = TaskSet()
+        new_minq = self._mode_minq(mode)
+        old_usable = self._usable[mode]
+        new_usable = min(old_usable, max(new_minq, 0.0))
+        freed = old_usable - new_usable
+        if new_minq <= EPS and old_usable > EPS:
+            freed += self._overheads.of(mode)
+            new_usable = 0.0
+        self._usable[mode] = new_usable
+        self._slack += freed
+        return orphans
 
     def remove(self, task_name: str) -> float:
         """Remove a task and reclaim quantum into the reserve.

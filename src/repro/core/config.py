@@ -252,11 +252,11 @@ class PlatformConfig:
     core_count:
         Physical cores of the platform (the paper's chip has 4). Fault
         scenarios draw strike targets from ``0..core_count-1`` instead of a
-        hardcoded range, so dependability campaigns scale with the platform.
-        Note the bundled simulator's channel layouts
-        (:mod:`repro.platform.modes`) currently cover the 4-core chip only:
-        a config with more cores parameterizes scenario *generation*, but
-        simulating its strikes needs a matching layout.
+        hardcoded range, and the simulator's channel layouts
+        (:mod:`repro.platform.modes`) generalize to any core count — FT is
+        one all-core channel (voting with >= 3 members), FS consecutive
+        lock-step couples, NF independent singletons — so dependability
+        campaigns scale with the platform end-to-end.
     """
 
     schedule: SlotSchedule

@@ -387,6 +387,11 @@ class PermanentScenario(FaultScenario):
     time units until the horizon — the transient-fault sim's view of "this
     core is dead from here on": each strike silences or corrupts whatever
     the platform scheduled onto it.
+
+    The onset boundaries are exact: ``onset_fraction=0.0`` kills the core
+    at t=0 (the first strike lands exactly at 0) and ``onset_fraction=1.0``
+    means the core never dies within the horizon (an empty fault stream) —
+    neither is off by one cadence step at the horizon boundary.
     """
 
     kind = "permanent"
@@ -399,9 +404,9 @@ class PermanentScenario(FaultScenario):
         core: int | None = None,
     ):
         check_positive("rate", rate)
-        if not 0.0 <= onset_fraction < 1.0:
+        if not 0.0 <= onset_fraction <= 1.0:
             raise ValueError(
-                f"onset_fraction must be in [0, 1): got {onset_fraction}"
+                f"onset_fraction must be in [0, 1]: got {onset_fraction}"
             )
         self.rate = float(rate)
         self.onset_fraction = float(onset_fraction)

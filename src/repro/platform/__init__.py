@@ -20,7 +20,7 @@ captures exactly. See DESIGN.md §3.3.
 """
 
 from repro.platform.hardware import Checker, Core, FaultEffect, LockstepChannel
-from repro.platform.modes import ModeLayout, layout_for
+from repro.platform.modes import ModeLayout, layout_for, surviving_channels
 from repro.platform.switcher import ModeSwitchController, Segment, SegmentKind
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "FaultEffect",
     "ModeLayout",
     "layout_for",
+    "surviving_channels",
     "ModeSwitchController",
     "Segment",
     "SegmentKind",

@@ -40,8 +40,10 @@ class Core:
     index: int
 
     def __post_init__(self) -> None:
-        if not 0 <= self.index <= 3:
-            raise ValueError(f"core index must be 0..3: got {self.index}")
+        if not isinstance(self.index, int) or self.index < 0:
+            raise ValueError(
+                f"core index must be a nonnegative int: got {self.index}"
+            )
 
 
 @dataclass(frozen=True)
@@ -51,7 +53,8 @@ class LockstepChannel:
     Attributes
     ----------
     cores:
-        Member core indices (1, 2 or 4 cores).
+        Member core indices (>= 1 core; the paper's chip uses widths 1, 2
+        and 4, but larger platforms group more).
     voting:
         True when the channel has enough redundancy to *mask* a single fault
         by majority (the paper's 4-way redundant lock-step; 3 cores would
@@ -62,15 +65,15 @@ class LockstepChannel:
     voting: bool = False
 
     def __post_init__(self) -> None:
-        if len(self.cores) not in (1, 2, 4):
-            raise ValueError(
-                f"channel must group 1, 2 or 4 cores: got {len(self.cores)}"
-            )
+        if len(self.cores) < 1:
+            raise ValueError("channel must group at least one core")
         if len(set(self.cores)) != len(self.cores):
             raise ValueError(f"duplicate cores in channel: {self.cores}")
         for c in self.cores:
-            if not 0 <= c <= 3:
-                raise ValueError(f"core index must be 0..3: got {c}")
+            if not isinstance(c, int) or c < 0:
+                raise ValueError(
+                    f"core index must be a nonnegative int: got {c}"
+                )
         if self.voting and len(self.cores) < 3:
             raise ValueError(
                 "majority voting needs at least 3 lock-stepped cores"
@@ -119,12 +122,13 @@ class Checker:
     def configure(self, mode: Mode, channels: tuple[LockstepChannel, ...]) -> None:
         """Install a new channel layout (a mode switch).
 
-        Validates that the layout uses each physical core exactly once.
+        Validates that the layout uses each physical core of a contiguous
+        ``0..n-1`` platform exactly once.
         """
         used = [c for ch in channels for c in ch.cores]
-        if sorted(used) != [0, 1, 2, 3]:
+        if not used or sorted(used) != list(range(len(used))):
             raise ValueError(
-                f"layout must use each of cores 0..3 exactly once: got {used}"
+                f"layout must use each of cores 0..n-1 exactly once: got {used}"
             )
         self._channels = tuple(channels)
         self._mode = mode

@@ -1,16 +1,35 @@
-"""The three channel layouts of the reconfigurable platform (Section 2.4)."""
+"""The three channel layouts of the reconfigurable platform (Section 2.4).
+
+The paper's chip has four cores, and the classic layouts — one 4-way
+voting channel (FT), two dual lock-step couples (FS), four independent
+cores (NF) — are the ``core_count=4`` instances of the general rule
+implemented here:
+
+* **FT** — every core in one redundant lock-step channel; the channel
+  votes when it has >= 3 members (the Section 2.4 remark: three fault-free
+  outputs suffice for a majority), and degrades to fail-silent
+  comparison on a 2-core platform;
+* **FS** — consecutive dual lock-step couples ``(0,1), (2,3), ...``; an
+  odd trailing core runs as an unprotected singleton;
+* **NF** — every core an independent logical processor.
+
+Layouts are cached per ``(mode, core_count)`` so identity-based consumers
+(e.g. dict keys) see one object per configuration.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.model import Mode
 from repro.platform.hardware import LockstepChannel
+from repro.util import check_core_count
 
 
 @dataclass(frozen=True)
 class ModeLayout:
-    """Channel grouping of the four cores for one operating mode."""
+    """Channel grouping of the platform's cores for one operating mode."""
 
     mode: Mode
     channels: tuple[LockstepChannel, ...]
@@ -22,28 +41,63 @@ class ModeLayout:
 
     @property
     def replication(self) -> int:
-        """Cores per logical processor (degree of hardware replication)."""
+        """Cores per logical processor (degree of hardware replication).
+
+        On platforms where a mode's channels have unequal widths (an odd
+        ``core_count`` in FS), this is the width of the *protected*
+        channels — the first, widest one.
+        """
         return self.channels[0].width
 
-
-_LAYOUTS: dict[Mode, ModeLayout] = {
-    # All four cores in redundant lock-step: one fault-tolerant channel.
-    Mode.FT: ModeLayout(
-        Mode.FT, (LockstepChannel((0, 1, 2, 3), voting=True),)
-    ),
-    # Two dual lock-step couples: two independent fail-silent channels.
-    Mode.FS: ModeLayout(
-        Mode.FS,
-        (LockstepChannel((0, 1)), LockstepChannel((2, 3))),
-    ),
-    # Four independent cores: maximum parallelism, no protection.
-    Mode.NF: ModeLayout(
-        Mode.NF,
-        tuple(LockstepChannel((c,)) for c in range(4)),
-    ),
-}
+    @property
+    def core_count(self) -> int:
+        """Number of physical cores the layout covers."""
+        return sum(ch.width for ch in self.channels)
 
 
-def layout_for(mode: Mode) -> ModeLayout:
-    """The canonical channel layout of an operating mode."""
-    return _LAYOUTS[mode]
+@lru_cache(maxsize=None)
+def layout_for(mode: Mode, core_count: int = 4) -> ModeLayout:
+    """The canonical channel layout of an operating mode on ``core_count`` cores."""
+    check_core_count(core_count)
+    if mode is Mode.FT:
+        channels = (
+            LockstepChannel(tuple(range(core_count)), voting=core_count >= 3),
+        )
+    elif mode is Mode.FS:
+        pairs = [
+            LockstepChannel((c, c + 1)) for c in range(0, core_count - 1, 2)
+        ]
+        if core_count % 2:
+            pairs.append(LockstepChannel((core_count - 1,)))
+        channels = tuple(pairs)
+    else:
+        channels = tuple(LockstepChannel((c,)) for c in range(core_count))
+    return ModeLayout(mode, channels)
+
+
+def surviving_channels(
+    layout: ModeLayout, dead_cores: "frozenset[int] | set[int]"
+) -> tuple[int, ...]:
+    """Indices of ``layout``'s channels still operational given dead cores.
+
+    A channel survives a permanent core failure when it can still uphold
+    its fault semantics with the remaining members:
+
+    * a voting channel keeps voting while >= 3 members are alive (the
+      Section 2.4 majority remark);
+    * a non-voting lock-step couple needs *both* members — with one dead
+      there is nothing to compare against, so the channel is lost;
+    * a singleton dies with its core.
+    """
+    alive = []
+    for idx, ch in enumerate(layout.channels):
+        live = sum(1 for c in ch.cores if c not in dead_cores)
+        if ch.voting:
+            if live >= 3:
+                alive.append(idx)
+        elif live == ch.width:
+            alive.append(idx)
+    return tuple(alive)
+
+
+__all__ = ["ModeLayout", "layout_for", "surviving_channels"]

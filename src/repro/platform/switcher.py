@@ -84,9 +84,9 @@ class ModeSwitchController:
         """The underlying slot schedule."""
         return self._schedule
 
-    def layout_at(self, mode: Mode) -> ModeLayout:
+    def layout_at(self, mode: Mode, core_count: int = 4) -> ModeLayout:
         """Channel layout installed while serving ``mode``."""
-        return layout_for(mode)
+        return layout_for(mode, core_count)
 
     def segments(self, horizon: float) -> Iterator[Segment]:
         """All segments of ``[0, horizon)``, in time order (clipped at the end)."""

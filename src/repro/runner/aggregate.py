@@ -156,9 +156,21 @@ class MeanAccumulator(Accumulator):
         self.count = 0
         self.total = Fraction(0)
 
-    def fold(self, value: Any) -> None:
+    def fold(self, value: Any, count: int = 1) -> None:
+        """Fold ``value`` into the running sum.
+
+        With ``count > 1``, ``value`` is the *sum* over ``count``
+        observations folded at once — the exact multiplicity form used by
+        pre-binned curve data (e.g. an online acceptance bin carrying
+        ``accepted`` admissions out of ``offered`` arrivals). The state
+        shape is unchanged, so the merge contract is unaffected.
+        """
+        if isinstance(count, bool) or not isinstance(count, int):
+            raise TypeError(f"count must be an int: got {count!r}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1: got {count}")
         self.total += _exact(value)
-        self.count += 1
+        self.count += count
 
     def _merged(self, other: "MeanAccumulator") -> "MeanAccumulator":
         out = MeanAccumulator()

@@ -395,6 +395,107 @@ def fault_injection(params: Mapping[str, Any], seed: np.random.SeedSequence) -> 
     }
 
 
+@experiment("online")
+def online(params: Mapping[str, Any], seed: np.random.SeedSequence) -> dict:
+    """One online-simulation point: runtime arrivals under a live scenario.
+
+    A max-slack platform is designed for a generated initial task set, then
+    :class:`repro.sim.online.OnlineSim` replays a seed-spawned stream of
+    dynamic arrivals (``params["arrival_rate"]`` expected arrivals per
+    major cycle, each with an exponential lifetime) against the admission
+    controller while the fault scenario strikes. A ``permanent`` scenario
+    is mapped to a core-death event at its onset — the dead core's tasks
+    are orphaned and re-assigned to surviving channels — while transient
+    scenarios inject their fault stream unchanged.
+
+    Three child streams are spawned (task-set generation, arrival process,
+    fault scenario), so extending any one axis never perturbs the others.
+    """
+    from repro.dependability import PermanentScenario, scenario_from_params
+    from repro.model import Task
+    from repro.sim.online import OnlineArrival, OnlineSim
+
+    scenario = scenario_from_params(params)  # fail before any expensive work
+    gen_seed, arrival_seed, fault_seed = seed.spawn(3)
+    ts = _generate(params, np.random.default_rng(gen_seed))
+    part = partition_by_modes(
+        ts,
+        heuristic=params.get("heuristic", "worst-fit"),
+        admission="utilization",
+    )
+    config = design_platform(
+        part,
+        params.get("algorithm", "EDF"),
+        Overheads.uniform(params.get("otot", 0.05)),
+        params.get("goal", "max-slack"),
+    )
+    horizon = config.period * params.get("cycles", 30)
+
+    rng = np.random.default_rng(arrival_seed)
+    rate = float(params.get("arrival_rate", 1.0))
+    arrivals: list[OnlineArrival] = []
+    if rate > 0.0:
+        from repro.generators.periods import hyperperiod_limited_periods
+
+        t = float(rng.exponential(config.period / rate))
+        i = 0
+        while t < horizon:
+            # Draw the arriving task's shape from the same stream: mode mix
+            # skewed toward NF (half the arrivals), periods on the same
+            # hyperperiod-divisor lattice as the generated initial tasks —
+            # free continuous periods would make every admission check's
+            # exact EDF deadline set (and so the whole point) explode.
+            draw = rng.random()
+            mode = Mode.NF if draw < 0.5 else (Mode.FS if draw < 0.8 else Mode.FT)
+            period = float(
+                hyperperiod_limited_periods(
+                    1,
+                    rng,
+                    low=params.get("period_low", 10.0),
+                    high=params.get("period_high", 1000.0),
+                    hyperperiod=params.get("period_hyperperiod", 3600.0),
+                )[0]
+            )
+            wcet = period * float(rng.uniform(0.02, 0.08))
+            lifetime = float(rng.exponential(horizon / 4.0))
+            arrivals.append(
+                OnlineArrival(
+                    t,
+                    Task(f"dyn{i}", wcet, period, mode=mode),
+                    lifetime=lifetime,
+                )
+            )
+            i += 1
+            t += float(rng.exponential(config.period / rate))
+
+    faults = scenario.generate(
+        horizon,
+        np.random.default_rng(fault_seed),
+        core_count=config.core_count,
+    )
+    core_deaths: list[tuple[float, int]] = []
+    if isinstance(scenario, PermanentScenario):
+        # The permanent stream is one dead core's strike cadence; the
+        # online engine models the death itself, so the first strike
+        # becomes the core-death event and the rest are dropped.
+        if faults:
+            core_deaths = [(faults[0].time, faults[0].core)]
+        faults = []
+
+    result = OnlineSim(config, part).run(
+        horizon,
+        arrivals=arrivals,
+        core_deaths=core_deaths,
+        faults=faults,
+    )
+    record = result.to_record()
+    record["utilization"] = ts.utilization
+    record["arrivals_generated"] = len(arrivals)
+    record["period"] = config.period
+    record["slack_initial"] = config.slack
+    return record
+
+
 @experiment("dependability")
 def dependability(params: Mapping[str, Any], seed: np.random.SeedSequence) -> dict:
     """One dependability point: a scenario-driven fault campaign.

@@ -556,6 +556,26 @@ def _render_faultspace(aggregator: Aggregator) -> str:
     return render_faultspace(aggregator)
 
 
+def _online_specs(
+    axes: dict[str, Any], scenario: "str | None"
+) -> list[PointSpec]:
+    from repro.experiments.online import online_specs
+
+    return online_specs(axes, scenario=scenario)
+
+
+def _online_aggregator() -> Aggregator:
+    from repro.experiments.online import online_aggregator
+
+    return online_aggregator()
+
+
+def _render_online(aggregator: Aggregator) -> str:
+    from repro.experiments.online import render_online
+
+    return render_online(aggregator)
+
+
 register_preset(
     PresetSpec(
         name="table2",
@@ -638,6 +658,26 @@ register_preset(
             "ft_miss": ("scenario", "rate"),
             "any_corruption": ("scenario", "rate"),
             "corrupted_jobs": ("scenario", "rate"),
+        },
+    )
+)
+register_preset(
+    PresetSpec(
+        name="online",
+        description="event-driven online simulation: arrivals x load x scenario",
+        specs_fn=_online_specs,
+        aggregator_fn=_online_aggregator,
+        render_fn=_render_online,
+        axis_overridable=True,
+        store_errors=True,
+        scenario_axis=True,
+        curve_axes={
+            "acceptance": ("scenario", "arrival_rate", "cycle"),
+            "reassign_latency": ("scenario", "arrival_rate"),
+            "miss_window": ("scenario", "arrival_rate"),
+            "orphaned": ("scenario", "arrival_rate"),
+            "reassigned": ("scenario", "arrival_rate"),
+            "lost": ("scenario", "arrival_rate"),
         },
     )
 )

@@ -12,6 +12,13 @@ Built bottom-up for this repository (no external simulator):
   logical processor of every mode, applies fault effects through the
   :class:`~repro.platform.hardware.Checker` semantics, and aggregates
   deadline and fault statistics;
+* :mod:`repro.sim.events` — the deterministic event queue both the offline
+  and online simulation cores drain (arrival / departure / fault strike /
+  core death / re-assignment, totally ordered);
+* :mod:`repro.sim.online` — the online engine: runtime arrivals decided
+  live by the admission controller, departures reclaiming bandwidth, and
+  permanent core failures triggering re-assignment of the dead core's
+  tasks to surviving channels;
 * :mod:`repro.sim.trace` — execution traces, events, metrics, ASCII Gantt;
 * :mod:`repro.sim.validation` — analysis/simulation cross-checks (designs
   must run without misses; measured supply must dominate the analytic
@@ -24,7 +31,9 @@ from repro.sim.metrics import (
     summarize,
     time_accounting,
 )
+from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.multicore import MulticoreResult, MulticoreSim
+from repro.sim.online import OnlineArrival, OnlineResult, OnlineSim
 from repro.sim.scheduler import EDFPolicy, FixedPriorityPolicy, make_policy
 from repro.sim.trace import ExecutionSlice, SimEvent, SimEventKind, SimTrace
 from repro.sim.uniproc import UniprocResult, simulate_uniproc
@@ -38,6 +47,12 @@ __all__ = [
     "UniprocResult",
     "MulticoreSim",
     "MulticoreResult",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "OnlineArrival",
+    "OnlineResult",
+    "OnlineSim",
     "SimTrace",
     "SimEvent",
     "SimEventKind",

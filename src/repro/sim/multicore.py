@@ -4,8 +4,11 @@
 
 1. the :class:`~repro.platform.switcher.ModeSwitchController` expands the
    slot schedule into per-mode usable windows;
-2. injected faults are classified through the checker semantics of the mode
-   active at the fault instant (mask / silence / corrupt / harmless);
+2. a deterministic :class:`~repro.sim.events.EventQueue` is drained:
+   every task arrives at t=0 (offline is the event core's special case)
+   and injected faults are strike events, classified through the checker
+   semantics of the mode active at the fault instant (mask / silence /
+   corrupt / harmless);
 3. every logical processor of every mode runs its partition bin with the
    local scheduler inside its windows — fail-silent faults black out the
    remainder of the silenced channel's slot and abort the running job;
@@ -22,10 +25,11 @@ from typing import Mapping, Sequence
 
 from repro.core.config import PlatformConfig, SlotSchedule
 from repro.faults.model import Fault, FaultOutcome, FaultRecord
-from repro.model import Mode, PartitionedTaskSet
+from repro.model import Mode, PartitionedTaskSet, TaskSet
 from repro.platform.hardware import FaultEffect
 from repro.platform.modes import layout_for
 from repro.platform.switcher import ModeSwitchController, SegmentKind
+from repro.sim.events import EventKind, EventQueue
 from repro.sim.scheduler import make_policy
 from repro.sim.trace import SimEventKind, SimTrace
 from repro.sim.uniproc import (
@@ -110,7 +114,16 @@ class MulticoreResult:
 
 
 class MulticoreSim:
-    """Simulator of the flexible 4-core platform for one designed config.
+    """Simulator of the flexible multicore platform for one designed config.
+
+    The offline special case of the event-driven core: every task arrives
+    at t=0 (an :class:`~repro.sim.events.EventKind.ARRIVAL` event per task)
+    and the injected faults are
+    :class:`~repro.sim.events.EventKind.FAULT_STRIKE` events, all drained
+    from one deterministic :class:`~repro.sim.events.EventQueue` before the
+    per-processor schedules run. The online engine
+    (:mod:`repro.sim.online`) shares the same queue but feeds it runtime
+    arrivals, departures and core deaths.
 
     Parameters
     ----------
@@ -122,6 +135,9 @@ class MulticoreSim:
     algorithm:
         Local scheduler; defaults to the config's algorithm (required when a
         raw schedule is given).
+    core_count:
+        Number of physical cores; defaults to the config's ``core_count``
+        (a raw :class:`SlotSchedule` defaults to the paper's 4).
     """
 
     def __init__(
@@ -129,10 +145,14 @@ class MulticoreSim:
         partition: PartitionedTaskSet,
         config: PlatformConfig | SlotSchedule,
         algorithm: str | None = None,
+        *,
+        core_count: int | None = None,
     ):
         if isinstance(config, PlatformConfig):
             self._schedule = config.schedule
             algorithm = algorithm or config.algorithm
+            if core_count is None:
+                core_count = config.core_count
         else:
             self._schedule = config
         if algorithm is None:
@@ -140,6 +160,12 @@ class MulticoreSim:
         self._alg = algorithm.upper()
         self._partition = partition
         self._controller = ModeSwitchController(self._schedule)
+        self._core_count = 4 if core_count is None else int(core_count)
+
+    @property
+    def core_count(self) -> int:
+        """Number of physical cores the simulated platform has."""
+        return self._core_count
 
     @property
     def schedule(self) -> SlotSchedule:
@@ -164,18 +190,22 @@ class MulticoreSim:
 
     def classify_fault(self, fault: Fault) -> tuple[FaultOutcome, Mode | None, int | None, object]:
         """Checker view of a fault: (outcome, mode, channel index, segment)."""
+        if not 0 <= fault.core < self._core_count:
+            raise ValueError(
+                f"fault on core {fault.core} is outside the simulated "
+                f"platform's cores 0..{self._core_count - 1}: regenerate "
+                f"the fault stream with core_count={self._core_count}"
+            )
         seg = self._controller.segment_at(fault.time)
         if seg.kind is not SegmentKind.USABLE or seg.mode is None:
             return FaultOutcome.HARMLESS, seg.mode, None, seg
-        layout = layout_for(seg.mode)
+        layout = layout_for(seg.mode, self._core_count)
         for idx, channel in enumerate(layout.channels):
             if channel.contains(fault.core):
                 return _EFFECT_TO_OUTCOME[channel.fault_effect()], seg.mode, idx, seg
-        raise ValueError(
-            f"fault on core {fault.core} hits no channel of mode {seg.mode}: "
-            f"the simulated chip's layouts cover cores 0..3 — a fault stream "
-            f"generated for a larger core_count cannot be simulated here"
-        )
+        raise AssertionError(
+            f"layout for {seg.mode} does not cover core {fault.core}"
+        )  # pragma: no cover - layouts are total by construction
 
     # -- main entry ----------------------------------------------------------------
 
@@ -204,12 +234,31 @@ class MulticoreSim:
         horizon = horizon if horizon is not None else self.default_horizon()
         check_positive("horizon", horizon)
 
-        # 1. classify faults, build per-processor abort/blackout lists
+        # 1. drain the event queue: offline means every task arrives at
+        # t=0 and every fault is a strike event. Equal-time strikes pop in
+        # insertion order (the queue is FIFO per (time, kind)), matching
+        # the stable time-sort of the pre-event-queue loop bit-for-bit.
+        queue = EventQueue()
+        bin_counts: dict[Mode, int] = {}
+        for mode in Mode:
+            bins = self._partition.bins(mode)
+            bin_counts[mode] = len(bins)
+            for idx, taskset in enumerate(bins):
+                for task in taskset:
+                    queue.push_at(0.0, EventKind.ARRIVAL, (mode, idx, task))
+        for fault in faults:
+            queue.push_at(fault.time, EventKind.FAULT_STRIKE, fault)
+
+        arrivals: dict[tuple[Mode, int], list] = {}
         records: list[FaultRecord] = []
         aborts: dict[tuple[Mode, int], list[float]] = {}
         blackouts: dict[tuple[Mode, int], list[tuple[float, float]]] = {}
-        nf_corruptions: list[tuple[Fault, int]] = []
-        for fault in sorted(faults, key=lambda f: f.time):
+        for ev in queue.drain():
+            if ev.kind is EventKind.ARRIVAL:
+                mode, idx, task = ev.data
+                arrivals.setdefault((mode, idx), []).append(task)
+                continue
+            fault = ev.data
             if fault.time >= horizon:
                 raise ValueError(
                     f"fault at {fault.time} is beyond the horizon {horizon}"
@@ -241,7 +290,6 @@ class MulticoreSim:
                     )
                 )
             else:  # CORRUPTED — resolved against the trace afterwards
-                nf_corruptions.append((fault, chan))
                 records.append(
                     FaultRecord(
                         fault, outcome, mode, _proc_key(mode, chan),
@@ -249,12 +297,13 @@ class MulticoreSim:
                     )
                 )
 
-        # 2. run every logical processor
+        # 2. run every logical processor on the tasks the drain delivered
         merged = SimTrace(horizon)
         processors: dict[str, UniprocResult] = {}
         for mode in Mode:
             windows = self._controller.usable_windows(mode, horizon)
-            for idx, taskset in enumerate(self._partition.bins(mode)):
+            for idx in range(bin_counts[mode]):
+                taskset = TaskSet(arrivals.get((mode, idx), ()))
                 if len(taskset) == 0:
                     continue
                 key = _proc_key(mode, idx)

@@ -138,8 +138,31 @@ class TestPermanent:
         assert gaps == {2.0}
 
     def test_onset_fraction_validated(self):
-        with pytest.raises(ValueError):
-            PermanentScenario(0.1, onset_fraction=1.0)
+        for bad in (-0.01, 1.01):
+            with pytest.raises(ValueError, match=r"\[0, 1\]"):
+                PermanentScenario(0.1, onset_fraction=bad)
+
+    def test_onset_zero_kills_the_core_at_t0(self):
+        # Exact boundary: the first strike lands exactly at 0, and the
+        # cadence covers the whole horizon.
+        s = PermanentScenario(0.5, onset_fraction=0.0, core=0)
+        faults = s.generate(10.0, np.random.default_rng(0), core_count=4)
+        assert faults[0].time == 0.0
+        assert len(faults) == 5  # strikes at 0, 2, 4, 6, 8
+
+    def test_onset_one_never_dies(self):
+        # Exact boundary: onset == horizon is outside [0, horizon), so the
+        # core survives the whole run (empty stream, not one final strike).
+        s = PermanentScenario(0.5, onset_fraction=1.0, core=0)
+        assert s.generate(10.0, np.random.default_rng(0), core_count=4) == []
+
+    def test_onset_boundaries_roundtrip_params(self):
+        for fraction in (0.0, 1.0):
+            s = PermanentScenario(
+                0.1, onset_fraction=fraction, core=1
+            )
+            clone = PermanentScenario.from_params(s.params_dict() | {"rate": 0.1})
+            assert clone.onset_fraction == fraction
 
 
 class TestFaultCampaignIntegration:

@@ -9,12 +9,10 @@ from repro.platform.modes import layout_for
 
 class TestCore:
     def test_valid_indices(self):
-        for i in range(4):
+        for i in (0, 1, 2, 3, 4, 7, 63):
             Core(i)
 
     def test_invalid_index(self):
-        with pytest.raises(ValueError):
-            Core(4)
         with pytest.raises(ValueError):
             Core(-1)
 
@@ -37,17 +35,26 @@ class TestLockstepChannel:
         with pytest.raises(ValueError, match="voting"):
             LockstepChannel((0, 1), voting=True)
 
-    def test_bad_widths(self):
+    def test_three_wide_voting_masks(self):
+        # The Section 2.4 remark: 3 lock-stepped cores suffice to vote.
+        ch = LockstepChannel((0, 1, 2), voting=True)
+        assert ch.fault_effect() is FaultEffect.MASKED
+
+    def test_empty_channel_rejected(self):
         with pytest.raises(ValueError):
-            LockstepChannel((0, 1, 2))  # 3-wide channels not offered
+            LockstepChannel(())
 
     def test_duplicate_cores(self):
         with pytest.raises(ValueError):
             LockstepChannel((0, 0))
 
-    def test_bad_core_index(self):
+    def test_large_core_indices_allowed(self):
+        ch = LockstepChannel((5, 6))
+        assert ch.fault_effect() is FaultEffect.SILENCED
+
+    def test_negative_core_index(self):
         with pytest.raises(ValueError):
-            LockstepChannel((5,))
+            LockstepChannel((-1,))
 
     def test_contains(self):
         ch = LockstepChannel((2, 3))
@@ -83,8 +90,11 @@ class TestChecker:
 
     def test_layout_must_cover_all_cores(self):
         ck = Checker()
+        # Cores 0..1 alone form a valid (2-core) platform; a gap does not.
         with pytest.raises(ValueError, match="exactly once"):
-            ck.configure(Mode.FS, (LockstepChannel((0, 1)),))
+            ck.configure(
+                Mode.FS, (LockstepChannel((0, 1)), LockstepChannel((3,)))
+            )
 
     def test_unconfigured_checker_raises(self):
         with pytest.raises(RuntimeError):

@@ -30,3 +30,67 @@ class TestLayouts:
     def test_parallelism_matches_mode_enum(self):
         for mode in Mode:
             assert layout_for(mode).logical_processors == mode.parallelism
+
+
+class TestGeneralizedLayouts:
+    """Layouts beyond the paper's 4-core chip (PR: online core refactor)."""
+
+    def test_ft_is_one_all_core_channel(self):
+        for n in (2, 3, 6, 8):
+            layout = layout_for(Mode.FT, n)
+            assert layout.logical_processors == 1
+            assert layout.replication == n
+            # Voting needs >= 3 members; a 2-core FT degrades to fail-silent.
+            assert layout.channels[0].voting == (n >= 3)
+
+    def test_fs_consecutive_couples_with_odd_singleton(self):
+        assert [ch.cores for ch in layout_for(Mode.FS, 6).channels] == [
+            (0, 1), (2, 3), (4, 5)
+        ]
+        assert [ch.cores for ch in layout_for(Mode.FS, 5).channels] == [
+            (0, 1), (2, 3), (4,)
+        ]
+
+    def test_nf_singletons(self):
+        layout = layout_for(Mode.NF, 8)
+        assert layout.logical_processors == 8
+        assert [ch.cores for ch in layout.channels] == [
+            (i,) for i in range(8)
+        ]
+
+    def test_every_layout_covers_all_cores_once(self):
+        for n in (2, 5, 6, 8):
+            for mode in Mode:
+                cores = [
+                    c for ch in layout_for(mode, n).channels for c in ch.cores
+                ]
+                assert sorted(cores) == list(range(n))
+
+    def test_core_count_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            layout_for(Mode.FT, 0)
+
+
+class TestSurvivingChannels:
+    def test_voting_survives_down_to_three_members(self):
+        from repro.platform import surviving_channels
+
+        ft = layout_for(Mode.FT, 4)
+        assert surviving_channels(ft, set()) == (0,)
+        assert surviving_channels(ft, {2}) == (0,)      # 3 live: still votes
+        assert surviving_channels(ft, {1, 2}) == ()     # 2 live: no majority
+
+    def test_lockstep_couple_needs_both_members(self):
+        from repro.platform import surviving_channels
+
+        fs = layout_for(Mode.FS, 4)
+        assert surviving_channels(fs, set()) == (0, 1)
+        assert surviving_channels(fs, {3}) == (0,)
+
+    def test_singletons_die_with_their_core(self):
+        from repro.platform import surviving_channels
+
+        nf = layout_for(Mode.NF, 4)
+        assert surviving_channels(nf, {0, 2}) == (1, 3)

@@ -27,7 +27,7 @@ from repro.runner.presets import (
 
 ALL_PRESETS = (
     "table2", "figure4", "ablations", "sched", "faults", "weighted",
-    "faultspace",
+    "faultspace", "online",
 )
 
 
@@ -36,9 +36,11 @@ class TestRegistry:
         assert preset_names() == ALL_PRESETS
 
     def test_capability_subsets(self):
-        assert axis_preset_names() == ("sched", "faults", "weighted", "faultspace")
+        assert axis_preset_names() == (
+            "sched", "faults", "weighted", "faultspace", "online"
+        )
         assert adaptive_preset_names() == ("weighted", "faultspace")
-        assert scenario_preset_names() == ("faultspace",)
+        assert scenario_preset_names() == ("faultspace", "online")
 
     def test_unknown_preset_is_an_error(self):
         with pytest.raises(PresetError, match="unknown preset 'nope'"):
@@ -51,7 +53,11 @@ class TestRegistry:
     def test_store_errors_implies_on_error_store(self):
         for name in ALL_PRESETS:
             preset = get_preset(name)
-            expected = "store" if name in ("weighted", "faultspace") else "raise"
+            expected = (
+                "store"
+                if name in ("weighted", "faultspace", "online")
+                else "raise"
+            )
             assert preset.store_errors == (expected == "store")
             assert preset.on_error == expected
 
@@ -69,13 +75,13 @@ class TestMessages:
 
     def test_axis_message_lists_axis_presets(self):
         assert axis_override_message() == (
-            "--axis only applies to the sched/faults/weighted/faultspace "
-            "presets"
+            "--axis only applies to the sched/faults/weighted/faultspace/"
+            "online presets"
         )
 
     def test_scenario_message(self):
         assert scenario_message() == (
-            "--scenario only applies to the faultspace preset"
+            "--scenario only applies to the faultspace/online presets"
         )
 
     def test_adaptive_message(self):

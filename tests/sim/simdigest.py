@@ -1,0 +1,71 @@
+"""Canonical digesting of full simulation results.
+
+The event-queue refactor of :mod:`repro.sim.multicore` promises *byte
+identity*: the same partition, schedule, faults and offsets must produce
+the same jobs, slices, events and fault records before and after the
+rewrite. These helpers serialize a :class:`MulticoreResult` into canonical
+JSON and hash it, so goldens captured against the pre-refactor simulator
+pin the post-refactor one (see ``tests/sim/test_event_refactor.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.runner.spec import canonical_json
+from repro.sim.multicore import MulticoreResult
+
+
+def result_payload(result: MulticoreResult) -> dict[str, Any]:
+    """A :class:`MulticoreResult` as one canonical-JSON-able mapping."""
+    processors = {}
+    for key in sorted(result.processors):
+        res = result.processors[key]
+        processors[key] = {
+            "jobs": [
+                {
+                    "name": j.name,
+                    "state": str(j.state),
+                    "release": j.release,
+                    "remaining": j.remaining,
+                    "finish": j.completion_time,
+                    "corrupted": bool(getattr(j, "corrupted", False)),
+                }
+                for j in res.jobs
+            ],
+            "slices": [
+                [s.processor, s.job, s.start, s.end] for s in res.trace.slices
+            ],
+            "events": [
+                [e.time, str(e.kind), e.who, e.detail]
+                for e in res.trace.events
+            ],
+        }
+    return {
+        "horizon": result.horizon,
+        "processors": processors,
+        "trace_events": [
+            [e.time, str(e.kind), e.who, e.detail]
+            for e in result.trace.events
+        ],
+        "fault_records": [
+            {
+                "time": r.fault.time,
+                "core": r.fault.core,
+                "outcome": str(r.outcome),
+                "mode": str(r.mode) if r.mode is not None else None,
+                "processor": r.processor,
+                "victim": r.victim,
+                "detail": r.detail,
+            }
+            for r in result.fault_records
+        ],
+    }
+
+
+def result_digest(result: MulticoreResult) -> str:
+    """SHA-256 of the canonical result payload."""
+    return hashlib.sha256(
+        canonical_json(result_payload(result)).encode("utf-8")
+    ).hexdigest()

@@ -1,0 +1,151 @@
+"""Event-queue tests: total order, FIFO stability, validation, drain.
+
+The queue is the shared core of the offline and online simulators; its
+determinism contract — events pop by (time, kind priority, insertion
+order), bit-identically for any push order of distinct-time events — is
+what keeps both simulation modes reproducible, so the ordering laws are
+pinned property-style here.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Event, EventKind, EventQueue
+
+
+class TestEvent:
+    def test_fields(self):
+        ev = Event(1.5, EventKind.ARRIVAL, data="payload")
+        assert ev.time == 1.5
+        assert ev.kind is EventKind.ARRIVAL
+        assert ev.data == "payload"
+
+    def test_time_must_be_finite_nonnegative(self):
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                Event(bad, EventKind.ARRIVAL)
+        with pytest.raises(TypeError):
+            Event("soon", EventKind.ARRIVAL)
+
+    def test_kind_must_be_eventkind(self):
+        with pytest.raises(TypeError):
+            Event(0.0, "arrival")
+
+    def test_kind_priorities(self):
+        # Deaths are observed before strikes; departures free bandwidth
+        # before same-instant admissions; orphans re-admit before new
+        # arrivals compete for the reserve.
+        assert (
+            EventKind.CORE_DEATH
+            < EventKind.FAULT_STRIKE
+            < EventKind.DEPARTURE
+            < EventKind.REASSIGN
+            < EventKind.ARRIVAL
+        )
+
+    def test_str_is_lowercase_name(self):
+        assert str(EventKind.CORE_DEATH) == "core_death"
+
+
+class TestEventQueue:
+    def test_pop_orders_by_time(self):
+        q = EventQueue()
+        q.push_at(3.0, EventKind.ARRIVAL)
+        q.push_at(1.0, EventKind.ARRIVAL)
+        q.push_at(2.0, EventKind.ARRIVAL)
+        assert [q.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_same_time_orders_by_kind_priority(self):
+        q = EventQueue()
+        q.push_at(1.0, EventKind.ARRIVAL)
+        q.push_at(1.0, EventKind.CORE_DEATH)
+        q.push_at(1.0, EventKind.DEPARTURE)
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == [
+            EventKind.CORE_DEATH, EventKind.DEPARTURE, EventKind.ARRIVAL
+        ]
+
+    def test_same_time_same_kind_is_fifo(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push_at(1.0, EventKind.FAULT_STRIKE, data=i)
+        assert [q.pop().data for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_push_requires_event(self):
+        q = EventQueue()
+        with pytest.raises(TypeError):
+            q.push((1.0, EventKind.ARRIVAL))
+
+    def test_pop_peek_empty(self):
+        q = EventQueue()
+        assert len(q) == 0 and not q
+        with pytest.raises(IndexError):
+            q.pop()
+        with pytest.raises(IndexError):
+            q.peek()
+
+    def test_peek_does_not_consume(self):
+        q = EventQueue()
+        ev = q.push_at(1.0, EventKind.ARRIVAL)
+        assert q.peek() is ev
+        assert len(q) == 1
+        assert q.pop() is ev
+
+    def test_drain_stops_at_until(self):
+        q = EventQueue()
+        q.push_at(1.0, EventKind.ARRIVAL, data="in")
+        q.push_at(5.0, EventKind.ARRIVAL, data="out")
+        drained = [ev.data for ev in q.drain(until=5.0)]
+        assert drained == ["in"]
+        assert q.pop().data == "out"
+
+    def test_drain_supports_pushes_mid_drain(self):
+        # The online engine schedules re-assignments while draining.
+        q = EventQueue()
+        q.push_at(1.0, EventKind.CORE_DEATH)
+        seen = []
+        for ev in q.drain():
+            seen.append((ev.time, ev.kind))
+            if ev.kind is EventKind.CORE_DEATH:
+                q.push_at(2.0, EventKind.REASSIGN)
+        assert seen == [
+            (1.0, EventKind.CORE_DEATH), (2.0, EventKind.REASSIGN)
+        ]
+
+
+@st.composite
+def event_batches(draw):
+    n = draw(st.integers(min_value=0, max_value=30))
+    times = st.floats(
+        min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+    )
+    kinds = st.sampled_from(list(EventKind))
+    return [
+        Event(draw(times), draw(kinds), data=i) for i in range(n)
+    ]
+
+
+class TestOrderingProperties:
+    @given(event_batches())
+    @settings(max_examples=100, deadline=None)
+    def test_pop_sequence_is_sorted_and_stable(self, events):
+        q = EventQueue()
+        for ev in events:
+            q.push(ev)
+        popped = [q.pop() for _ in range(len(events))]
+        keys = [(ev.time, int(ev.kind)) for ev in popped]
+        assert keys == sorted(keys)
+        # FIFO within equal (time, kind): insertion indices stay ascending.
+        for a, b in zip(popped, popped[1:]):
+            if (a.time, a.kind) == (b.time, b.kind):
+                assert a.data < b.data
+
+    @given(event_batches())
+    @settings(max_examples=50, deadline=None)
+    def test_drain_equals_pop_loop(self, events):
+        q1, q2 = EventQueue(), EventQueue()
+        for ev in events:
+            q1.push(ev)
+            q2.push(ev)
+        assert list(q1.drain()) == [q2.pop() for _ in range(len(events))]

@@ -138,3 +138,63 @@ class TestHorizonDefaults:
 
     def test_default_horizon_covers_hyperperiod(self, sim, paper_ts):
         assert sim.default_horizon() >= paper_ts.hyperperiod()
+
+
+class TestClassifyFaultGeneralizedPlatforms:
+    """classify_fault beyond the hardcoded 4-core chip (2/5/6/8 cores)."""
+
+    def _sim(self, core_count):
+        from repro.core import SlotSchedule
+        from repro.experiments.paper import paper_partition
+
+        sched = SlotSchedule(
+            3.0, {Mode.FT: 1.0, Mode.FS: 1.0, Mode.NF: 1.0}
+        )
+        return MulticoreSim(
+            paper_partition(), sched, "EDF", core_count=core_count
+        )
+
+    def test_ft_masks_with_three_or_more_cores(self):
+        for n in (6, 8):
+            sim = self._sim(n)
+            for core in (0, n - 1):
+                outcome, mode, _idx, _seg = sim.classify_fault(
+                    Fault(0.5, core, n)
+                )
+                assert (outcome, mode) == (FaultOutcome.MASKED, Mode.FT)
+
+    def test_two_core_ft_degrades_to_fail_silent(self):
+        sim = self._sim(2)
+        outcome, mode, _idx, _seg = sim.classify_fault(Fault(0.5, 1, 2))
+        assert (outcome, mode) == (FaultOutcome.SILENCED, Mode.FT)
+
+    def test_fs_couples_silence_on_any_width(self):
+        for n in (2, 6, 8):
+            sim = self._sim(n)
+            outcome, mode, idx, _seg = sim.classify_fault(
+                Fault(1.5, n - 1, n)
+            )
+            assert (outcome, mode) == (FaultOutcome.SILENCED, Mode.FS)
+            assert idx == (n - 1) // 2
+
+    def test_odd_fs_trailing_singleton_corrupts(self):
+        sim = self._sim(5)
+        outcome, mode, idx, _seg = sim.classify_fault(Fault(1.5, 4, 5))
+        assert (outcome, mode) == (FaultOutcome.CORRUPTED, Mode.FS)
+        assert idx == 2
+
+    def test_nf_corrupts_everywhere(self):
+        for n in (2, 6, 8):
+            sim = self._sim(n)
+            outcome, mode, idx, _seg = sim.classify_fault(
+                Fault(2.5, n - 1, n)
+            )
+            assert (outcome, mode) == (FaultOutcome.CORRUPTED, Mode.NF)
+            assert idx == n - 1
+
+    def test_fault_beyond_platform_rejected_with_hint(self):
+        import pytest
+
+        sim = self._sim(6)
+        with pytest.raises(ValueError, match="core_count=6"):
+            sim.classify_fault(Fault(0.5, 6, 8))
