@@ -36,6 +36,8 @@ from repro.experiments.weighted import (
 )
 from repro.runner import reps_for_width, stream_campaign
 
+from bench_util import write_bench_json
+
 #: The smoke sweep: two utilizations far from the boundary, so every bin
 #: converges fast and the grid-equivalent gap is the headline.
 SMOKE_AXES = {
@@ -122,6 +124,18 @@ def main(argv: list[str] | None = None) -> int:
         f"grid equivalent: {bins} bins x {reps_for_width(0.5, ci)} "
         f"worst-case reps + {static} static = {grid_equivalent} points "
         f"-> adaptive spent {stats.total / grid_equivalent:.1%}"
+    )
+    write_bench_json(
+        "adaptive",
+        config={"ci_width": ci, "workers": args.workers, "smoke": args.smoke},
+        points=stats.total,
+        rounds=stats.rounds,
+        round_sizes=list(stats.round_sizes),
+        elapsed_seconds=round(elapsed, 3),
+        grid_equivalent_points=grid_equivalent,
+        spend_ratio=round(stats.total / grid_equivalent, 4),
+        open_bins=stats.open_bins,
+        reruns_identical=True,
     )
     if stats.open_bins:
         print(f"FAIL: {stats.open_bins} bin(s) short of the ci target")

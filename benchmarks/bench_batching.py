@@ -28,6 +28,8 @@ import time
 
 from repro.runner import Aggregator, grid_specs, mean_metric, stream_campaign
 
+from bench_util import write_bench_json
+
 #: The cheap point: one supply-delay evaluation (pure closed-form math), so
 #: per-task IPC overhead — not the experiment — is what gets measured. The
 #: free ``rep`` axis makes every point a distinct spec/digest, like a real
@@ -97,6 +99,17 @@ def main(argv: list[str] | None = None) -> int:
         f"speedup batch 64 vs 1: {speedup:.1f}x  "
         f"(auto vs 1: {rates[None] / rates[1]:.1f}x); "
         f"aggregates bit-identical across all batch sizes"
+    )
+    write_bench_json(
+        "batching",
+        config={"points": points, "workers": args.workers},
+        points_per_sec={
+            "auto" if b is None else str(b): round(r, 1)
+            for b, r in rates.items()
+        },
+        speedup_64_vs_1=round(speedup, 3),
+        speedup_auto_vs_1=round(rates[None] / rates[1], 3),
+        aggregates_identical=True,
     )
     if args.min_speedup is not None and speedup < args.min_speedup:
         print(

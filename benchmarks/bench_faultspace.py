@@ -26,6 +26,8 @@ import time
 from repro.experiments.faultspace import faultspace_aggregator, faultspace_specs
 from repro.runner import stream_campaign
 
+from bench_util import write_bench_json
+
 #: Cheap-but-real dependability axes: small generated sets, short horizons,
 #: one scenario per arrival-process family.
 BENCH_AXES = {
@@ -68,6 +70,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"{'workers':>8}  {'points':>7}  {'elapsed':>8}  {'points/sec':>10}")
     baseline: str | None = None
     diverged = False
+    rates: dict[str, float] = {}
     for workers in WORKER_COUNTS:
         pps, elapsed, points, agg = run_once(reps, workers)
         if baseline is None:
@@ -75,9 +78,16 @@ def main(argv: list[str] | None = None) -> int:
         identical = agg == baseline
         diverged = diverged or not identical
         tag = "" if identical else "  AGGREGATE BYTES DIVERGED"
+        rates[str(workers)] = round(pps, 1)
         print(
             f"{workers:>8}  {points:>7}  {elapsed:>7.2f}s  {pps:>10.1f}{tag}"
         )
+    write_bench_json(
+        "faultspace",
+        config={"reps": reps, "smoke": args.smoke},
+        points_per_sec_by_workers=rates,
+        aggregates_identical=not diverged,
+    )
     if diverged:
         print("FAIL: aggregates are not bit-identical across worker counts")
         return 1

@@ -43,6 +43,8 @@ from repro.experiments.weighted import weighted_aggregator, weighted_specs
 from repro.generators import generate_mixed_taskset
 from repro.runner import stream_campaign
 
+from bench_util import write_bench_json
+
 #: minQ period grid of the per-set pass (Figure-4 style sweep).
 PERIOD_GRID = np.linspace(0.5, 200.0, 4001)
 
@@ -162,6 +164,14 @@ def main(argv: list[str] | None = None) -> int:
     print(f"{'off':>8}  {slow_rate:>9.1f}")
     speedup = fast_rate / slow_rate
     print(f"speedup: {speedup:.1f}x; results bit-identical")
+    write_bench_json(
+        "kernels",
+        config={"sets": count, "seed": args.seed, "smoke": args.smoke},
+        sets_per_sec_fast=round(fast_rate, 2),
+        sets_per_sec_float=round(slow_rate, 2),
+        speedup=round(speedup, 3),
+        results_identical=True,
+    )
 
     if args.smoke:
         status = smoke_campaign()

@@ -40,6 +40,8 @@ from repro.runner.spec import canonical_json
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.multicore import MulticoreSim
 
+from bench_util import write_bench_json
+
 #: Fixed-step quantum of the reference loop, as a fraction of the mean
 #: inter-event gap — fine enough that steps rarely deliver two events.
 STEP_FRACTION = 0.25
@@ -151,6 +153,7 @@ def main(argv: list[str] | None = None) -> int:
     sizes = [top // 10, top]
 
     failed = False
+    rates: dict[str, dict[str, float]] = {}
     print("event dispatch throughput (offline-shaped stream)")
     print(
         f"{'events':>8}  {'queue ev/s':>12}  {'fixed-step ev/s':>15}  "
@@ -167,6 +170,11 @@ def main(argv: list[str] | None = None) -> int:
         ]
         failed = failed or not same
         tag = "" if same else "  DELIVERY ORDER DIVERGED"
+        rates[str(len(stream))] = {
+            "queue_events_per_sec": round(len(stream) / q_elapsed, 1),
+            "fixed_step_events_per_sec": round(len(stream) / s_elapsed, 1),
+            "speedup": round(s_elapsed / q_elapsed, 3),
+        }
         print(
             f"{len(stream):>8}  {len(stream) / q_elapsed:>12.0f}  "
             f"{len(stream) / s_elapsed:>15.0f}  "
@@ -179,6 +187,12 @@ def main(argv: list[str] | None = None) -> int:
         failed = True
     else:
         print(f"offline sim determinism: ok ({digests.pop()[:16]}…)")
+    write_bench_json(
+        "online",
+        config={"events": top, "smoke": args.smoke},
+        dispatch=rates,
+        deterministic=not failed,
+    )
     if failed:
         print("FAIL: determinism gate")
         return 1

@@ -31,6 +31,8 @@ from repro.runner import stream_campaign
 from repro.runner.presets import get_preset
 from repro.server import ReproServer
 
+from bench_util import write_bench_json
+
 #: Enough points for a multi-series curve, few enough to build in seconds.
 SMOKE_AXES = {"u_total": [0.5, 1.0, 1.5], "n": [4], "rep": [0, 1]}
 DEFAULT_AXES = {
@@ -106,6 +108,7 @@ def main(argv: "list[str] | None" = None) -> int:
         )
         print(f"{'query':<52} {'cold':>9} {'cached':>9} {'speedup':>8}")
         failures = 0
+        timings: dict[str, dict[str, float]] = {}
         for path in QUERIES:
             cold_body, cold_cache, cold_t = _request(port, base + path)
             cached = []
@@ -119,6 +122,11 @@ def main(argv: "list[str] | None" = None) -> int:
                     print(f"FAIL: cached bytes differ for {path}")
                     failures += 1
             best = min(cached)
+            timings[path] = {
+                "cold_ms": round(cold_t * 1e3, 3),
+                "cached_ms": round(best * 1e3, 3),
+                "speedup": round(cold_t / best, 2),
+            }
             print(
                 f"{path:<52} {cold_t * 1e3:>7.2f}ms {best * 1e3:>7.2f}ms "
                 f"{cold_t / best:>7.1f}x"
@@ -130,6 +138,14 @@ def main(argv: "list[str] | None" = None) -> int:
         print(
             f"cache: {stats['entries']} entries, {stats['hits']} hits, "
             f"{stats['misses']} misses"
+        )
+        write_bench_json(
+            "serve",
+            config={"repeats": args.repeats, "smoke": args.smoke},
+            build_seconds=round(build, 3),
+            queries=timings,
+            query_cache=stats,
+            failures=failures,
         )
         if failures:
             return 1

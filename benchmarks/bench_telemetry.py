@@ -1,0 +1,168 @@
+"""Telemetry overhead and byte-identity: the recorder must be free when off
+and cheap when on.
+
+Runs the same schedulability sweep repeatedly with telemetry off and on
+(with a trace sink attached, interleaved so machine drift hits both sides
+equally) and checks the contract the subsystem is built around:
+
+* **byte identity**: the aggregate JSON with telemetry on is bit-identical
+  to the runs with it off (exit 2 on divergence — never acceptable);
+* **overhead**: best-of-N wall-clock with telemetry on is within
+  ``--max-overhead`` (default 3%) of the best telemetry-off run;
+* **coverage**: the recorded trace's root span covers >= 95% of measured
+  wall time, so ``repro profile`` output is trustworthy.
+
+Standalone on purpose (no pytest-benchmark dependency), so CI can run it
+as a smoke step:
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --smoke
+
+The sweep runs inline (``workers=1``) because that is the worst case for
+recorder overhead: every span/counter lands on the measured thread, with
+no pool IPC to hide behind.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import telemetry
+from repro.runner import Aggregator, grid_specs, mean_metric, stream_campaign
+from repro.telemetry import Telemetry, TraceSink, load_trace
+
+from bench_util import write_bench_json
+
+#: A representative point: one schedulability evaluation (generate,
+#: partition, slot design) — the workload real campaigns spend their time
+#: on, so the measured overhead is the overhead users actually pay.
+SCHED_AXES = {"u_total": [0.6, 1.2], "n": [6]}
+
+
+def run_once(points: int) -> tuple[float, str]:
+    """One inline sweep; returns (elapsed seconds, aggregate bytes)."""
+    reps = max(1, points // len(SCHED_AXES["u_total"]))
+    specs = grid_specs(
+        "schedulability", {**SCHED_AXES, "rep": list(range(reps))}
+    )
+    aggregator = Aggregator([mean_metric("feasible", "feasible")])
+    start = time.perf_counter()
+    result = stream_campaign(specs, aggregator, workers=1)
+    elapsed = time.perf_counter() - start
+    return elapsed, result.aggregate_json()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--points", type=int, default=300,
+        help="points per sweep (default: 300)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N repeats per configuration (default: 3)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast run for CI logs (80 points)",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=0.03, metavar="X",
+        help="fail when telemetry-on best time exceeds off by more than "
+             "this fraction (default: 0.03)",
+    )
+    parser.add_argument(
+        "--trace-dir", default=None,
+        help="keep the recorded trace here (default: a temp dir)",
+    )
+    args = parser.parse_args(argv)
+    points = 80 if args.smoke else args.points
+
+    import tempfile
+    from pathlib import Path
+
+    trace_dir = (
+        Path(args.trace_dir)
+        if args.trace_dir
+        else Path(tempfile.mkdtemp(prefix="bench_telemetry_"))
+    )
+    trace_path = trace_dir / "trace.ndjson"
+
+    print(
+        f"telemetry overhead — {points} schedulability points, "
+        f"inline, best of {args.repeats}"
+    )
+
+    # untimed warm-up: imports, numpy caches and allocator pools all land
+    # on this run instead of skewing the first measured off-run
+    run_once(points)
+
+    off_times: list[float] = []
+    on_times: list[float] = []
+    baseline_agg: str | None = None
+    traced_agg: str | None = None
+    for rep in range(args.repeats):
+        # interleave off/on so machine drift hits both sides equally
+        elapsed, agg = run_once(points)
+        off_times.append(elapsed)
+        if baseline_agg is None:
+            baseline_agg = agg
+        elif agg != baseline_agg:
+            print("FATAL: telemetry-off reruns diverged (broken determinism)")
+            return 2
+
+        sink = TraceSink(trace_path, bench="telemetry", points=points)
+        recorder = Telemetry(sink)
+        previous = telemetry.activate(recorder)
+        try:
+            elapsed, agg = run_once(points)
+        finally:
+            telemetry.activate(previous)
+            sink.close(recorder)
+        on_times.append(elapsed)
+        traced_agg = agg
+        if agg != baseline_agg:
+            print("FATAL: telemetry changed the aggregate bytes")
+            return 2
+        print(
+            f"  rep {rep}: off {off_times[-1]:.3f}s / on {on_times[-1]:.3f}s"
+        )
+
+    best_off, best_on = min(off_times), min(on_times)
+    overhead = best_on / best_off - 1.0
+    print(
+        f"best off {best_off:.3f}s, best on {best_on:.3f}s "
+        f"-> overhead {overhead * 100:+.2f}%"
+    )
+    print("aggregates bit-identical with telemetry on and off")
+
+    profile = load_trace(trace_path)
+    coverage = profile.coverage()
+    coverage_str = "n/a" if coverage is None else f"{coverage * 100:.1f}%"
+    print(f"trace coverage of root span: {coverage_str}")
+
+    write_bench_json(
+        "telemetry",
+        config={"points": points, "repeats": args.repeats},
+        best_off_seconds=round(best_off, 4),
+        best_on_seconds=round(best_on, 4),
+        overhead_fraction=round(overhead, 4),
+        coverage=None if coverage is None else round(coverage, 4),
+        aggregates_identical=traced_agg == baseline_agg,
+    )
+
+    if coverage is None or coverage < 0.95:
+        print(f"FAIL: trace coverage {coverage_str} below 95%")
+        return 1
+    if overhead > args.max_overhead:
+        print(
+            f"FAIL: telemetry overhead {overhead * 100:.2f}% exceeds "
+            f"{args.max_overhead * 100:.1f}%"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Reporting helper shared by the benchmark modules.
+"""Reporting helpers shared by the benchmark modules.
 
 pytest captures stdout at the file-descriptor level, so artifacts printed
 during a test would vanish from ``pytest ... | tee bench_output.txt``.
@@ -6,12 +6,56 @@ Benchmarks therefore *register* their regenerated paper artifacts here, and
 the conftest hook :func:`emit_reports` flushes them into the terminal
 summary — after capture has ended — so every table/figure lands in the teed
 output file.
+
+Every benchmark also leaves a machine-readable result behind:
+:func:`write_bench_json` writes ``BENCH_<name>.json`` (into
+``$REPRO_BENCH_DIR``, default the working directory) so CI and trend
+tooling can diff runs without scraping terminal tables. The standalone
+scripts call it from ``main()``; pytest-benchmark modules get one file per
+module emitted automatically by the conftest terminal-summary hook.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+#: Bump when the BENCH_*.json layout changes.
+BENCH_SCHEMA = 1
+
 #: (title, body) pairs registered by benchmarks during the session.
 REPORTS: list[tuple[str, str]] = []
+
+
+def bench_dir() -> Path:
+    """Where BENCH_*.json files land (``$REPRO_BENCH_DIR`` or the cwd)."""
+    return Path(os.environ.get("REPRO_BENCH_DIR", "."))
+
+
+def write_bench_json(
+    name: str, *, config: "dict[str, Any] | None" = None, **metrics: Any
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``metrics`` is a flat mapping of measured values (rates, ratios,
+    timings); ``config`` records the knobs that produced them so a result
+    file is self-describing. Keys are sorted for stable diffs.
+    """
+    payload: dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "bench": name,
+        "unix_time": round(time.time(), 3),
+        "metrics": metrics,
+    }
+    if config:
+        payload["config"] = config
+    out = bench_dir() / f"BENCH_{name}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    return out
 
 
 def report(title: str, body: str) -> None:

@@ -13,17 +13,62 @@ figures) or an ablation indexed in DESIGN.md. Regenerated numbers are
 
 from __future__ import annotations
 
+from pathlib import Path
+from typing import Any
+
 import pytest
 
 from repro.core import FeasibleRegion, Overheads, design_platform
 from repro.experiments import paper_partition, paper_taskset
 
-from bench_util import emit_reports
+from bench_util import emit_reports, write_bench_json
+
+
+def _emit_bench_json(config) -> list[Path]:
+    """One ``BENCH_<module>.json`` per pytest-benchmark module.
+
+    The standalone scripts write their own files from ``main()``; this
+    hook covers the pytest-benchmark modules so *every* ``bench_*.py``
+    leaves a machine-readable result behind.
+    """
+    session = getattr(config, "_benchmarksession", None)
+    benchmarks = getattr(session, "benchmarks", None) if session else None
+    if not benchmarks:
+        return []
+    by_module: dict[str, dict[str, Any]] = {}
+    for bench in benchmarks:
+        fullname = getattr(bench, "fullname", "") or ""
+        stem = Path(fullname.split("::", 1)[0]).stem
+        name = stem[len("bench_"):] if stem.startswith("bench_") else stem
+        if not name:
+            continue
+        stats = getattr(bench, "stats", None)
+        record: dict[str, Any] = {}
+        for field in ("min", "max", "mean", "stddev", "median", "rounds"):
+            value = getattr(stats, field, None)
+            if isinstance(value, (int, float)):
+                record[field] = value
+        extra = getattr(bench, "extra_info", None)
+        if extra:
+            record["extra_info"] = dict(extra)
+        test = getattr(bench, "name", None) or fullname
+        by_module.setdefault(name, {})[test] = record
+    return [
+        write_bench_json(name, **tests)
+        for name, tests in sorted(by_module.items())
+    ]
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     """Flush the regenerated paper artifacts after capture has ended."""
     emit_reports(terminalreporter.write_line)
+    try:
+        written = _emit_bench_json(config)
+    except Exception as exc:  # noqa: BLE001 - reporting must not fail the run
+        terminalreporter.write_line(f"[bench-json] emit failed: {exc}")
+        return
+    for path in written:
+        terminalreporter.write_line(f"[bench-json] wrote {path}")
 
 
 @pytest.fixture(scope="session")

@@ -62,6 +62,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.model import Task
 
 #: Scaled times beyond this cannot be represented exactly as floats (and
@@ -130,6 +131,7 @@ class kernels_forced:
 def note_selection(fast: bool) -> None:
     """Record one kernel selection (entry points call this once per call)."""
     _counters["fast" if fast else "fallback"] += 1
+    telemetry.count("kernels.fast" if fast else "kernels.fallback")
 
 
 def kernel_counters() -> dict[str, int]:

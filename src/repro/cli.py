@@ -35,7 +35,10 @@ Commands
     snapshot carries a shard manifest for ``repro merge``. ``--batch N``
     packs N points into each worker task (default: auto-sized) — batching
     cuts IPC overhead on cheap-point sweeps without changing a single
-    output byte. See docs/campaigns.md.
+    output byte. ``--telemetry DIR`` records a span trace
+    (``trace.ndjson``) and run manifest (``run-manifest.json``) for
+    ``repro profile`` — observation only, snapshots stay byte-identical.
+    See docs/campaigns.md.
 ``merge <snapshot>... [--out F] [--preset P] [--allow-partial]``
     Fold shard snapshots (:mod:`repro.runner.shard`) into the canonical
     full-campaign aggregate snapshot — byte-identical to an unsharded run.
@@ -56,7 +59,16 @@ Commands
     serves the exact snapshot bytes, and the query endpoints answer
     curve/taxonomy/summary questions through a content-addressed cache.
     Identical job submissions are deduplicated (the job id is the
-    canonical request digest). See docs/campaigns.md.
+    canonical request digest). ``--access-log FILE`` writes one NDJSON
+    record per request (``-`` for stderr); ``GET /metrics`` and
+    ``GET /jobs/{id}/telemetry`` expose server-wide and per-job
+    telemetry. See docs/campaigns.md.
+``profile <trace-dir-or-file> [--top N] [--min-coverage X]``
+    Render a ``--telemetry`` trace as an ascii phase tree with the
+    sibling run-manifest summary; ``--min-coverage`` gates (exit 1) when
+    the root span's direct children explain less than the given fraction
+    of its wall time — CI's guard that instrumentation keeps up with the
+    pipeline.
 
 Task-set JSON is the :mod:`repro.model.serialization` format::
 
@@ -70,9 +82,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
+from repro import telemetry
 from repro.analysis import edf_schedulable_dedicated, fp_schedulable_dedicated
 from repro.dependability import scenario_names
 from repro.core import (
@@ -220,6 +234,35 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if result.miss_count == 0 else 1
 
 
+def _write_run_telemetry(
+    recorder,
+    sink,
+    directory: Path,
+    config: dict | None,
+    *,
+    stats: dict | None = None,
+    aggregate_json: str | None = None,
+    error: str | None = None,
+) -> None:
+    """Finalize one ``--telemetry`` run: close the trace, write the manifest."""
+    from repro.telemetry import build_manifest, write_manifest
+
+    sink.close(recorder)
+    manifest = build_manifest(
+        recorder,
+        stats=stats,
+        config=config,
+        aggregate_json=aggregate_json,
+        error=error,
+    )
+    write_manifest(directory / "run-manifest.json", manifest)
+    print(
+        f"[telemetry] trace {sink.path} + manifest "
+        f"{directory / 'run-manifest.json'}",
+        file=sys.stderr,
+    )
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.runner import (
         CampaignError,
@@ -359,6 +402,30 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         if args.progress is not None
         else sys.stderr.isatty()
     )
+    recorder = sink = None
+    telemetry_dir: Path | None = None
+    telemetry_config: dict | None = None
+    if args.telemetry is not None:
+        from repro.telemetry import Telemetry, TraceSink
+
+        telemetry_dir = Path(args.telemetry)
+        telemetry_config = {
+            "preset": args.preset,
+            "seed": args.seed,
+            "strategy": args.strategy,
+            "workers": args.workers,
+            "batch": args.batch,
+            "shard": args.shard,
+            "config_digest": aggregator.config_digest,
+        }
+        sink = TraceSink(
+            telemetry_dir / "trace.ndjson",
+            preset=args.preset,
+            seed=args.seed,
+            strategy=args.strategy,
+        )
+        recorder = Telemetry(sink)
+    previous = telemetry.activate(recorder) if recorder is not None else None
     try:
         streamed = stream_campaign(
             runnable,
@@ -378,8 +445,27 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             planning_aggregator=planning_aggregator,
         )
     except (CampaignError, SnapshotError, OSError) as exc:
+        if recorder is not None:
+            # A failed run still leaves a trace and a manifest (with the
+            # error recorded) — that is when the phase breakdown matters
+            # most.
+            _write_run_telemetry(
+                recorder, sink, telemetry_dir, telemetry_config, error=str(exc)
+            )
         print(f"campaign failed: {exc}")
         return 1
+    finally:
+        if recorder is not None:
+            telemetry.activate(previous)
+    if recorder is not None:
+        _write_run_telemetry(
+            recorder,
+            sink,
+            telemetry_dir,
+            telemetry_config,
+            stats=streamed.stats.to_dict(),
+            aggregate_json=streamed.aggregate_json(),
+        )
     if args.out:
         Path(args.out).write_text(streamed.to_json())
     if args.agg_out:
@@ -508,11 +594,60 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.server import ReproServer
 
-    server = ReproServer(workers=args.workers, spool_dir=args.spool_dir)
+    access_log = None
+    if args.access_log is not None:
+        access_log = (
+            sys.stderr if args.access_log == "-" else open(args.access_log, "a")
+        )
+    server = ReproServer(
+        workers=args.workers, spool_dir=args.spool_dir, access_log=access_log
+    )
     try:
         asyncio.run(server.serve_forever(args.host, args.port))
     except KeyboardInterrupt:
         print("[serve] stopped", file=sys.stderr)
+    finally:
+        if access_log is not None and access_log is not sys.stderr:
+            access_log.close()
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.telemetry.profile import (
+        load_trace,
+        manifest_summary,
+        render_profile,
+    )
+
+    target = Path(args.trace)
+    try:
+        profile = load_trace(target)
+    except OSError as exc:
+        print(f"profile failed: {exc}", file=sys.stderr)
+        return 1
+    print(render_profile(profile, top=args.top))
+    manifest_dir = target if target.is_dir() else target.parent
+    manifest_path = manifest_dir / "run-manifest.json"
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except ValueError:
+            manifest = None
+        if isinstance(manifest, dict):
+            summary = manifest_summary(manifest)
+            if summary:
+                print()
+                print(f"manifest: {summary}")
+    if args.min_coverage is not None:
+        coverage = profile.coverage()
+        if coverage is None or coverage < args.min_coverage:
+            have = "n/a" if coverage is None else f"{coverage * 100:.1f}%"
+            print(
+                f"profile: phase coverage {have} is below the required "
+                f"{args.min_coverage * 100:.1f}%",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -664,7 +799,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-progress", action="store_false", dest="progress",
         help="disable progress reporting",
     )
+    p.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="record run telemetry: an NDJSON span trace (DIR/trace.ndjson) "
+             "and a run manifest (DIR/run-manifest.json); campaign results "
+             "are byte-identical with or without it",
+    )
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "profile",
+        help="render the phase breakdown of a --telemetry trace",
+    )
+    p.add_argument(
+        "trace",
+        help="trace.ndjson file (or the --telemetry directory holding one)",
+    )
+    p.add_argument(
+        "--min-coverage", type=float, default=None, metavar="FRACTION",
+        help="exit nonzero unless the root span's direct children cover at "
+             "least this fraction of its wall time (e.g. 0.95)",
+    )
+    p.add_argument(
+        "--top", type=int, default=40, metavar="N",
+        help="show at most N phases outside the root span (default 40)",
+    )
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
         "merge",
@@ -711,6 +871,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--spool-dir", default=None,
         help="directory for job snapshots (enables GET /jobs/{id}/snapshot)",
     )
+    p.add_argument(
+        "--access-log", default=None, metavar="FILE",
+        help="append one NDJSON record per request (method, path, status, "
+             "duration, job digest) to FILE; '-' logs to stderr",
+    )
     p.set_defaults(func=cmd_serve)
     return parser
 
@@ -719,7 +884,14 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point (returns the process exit code)."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `repro profile | head`); point
+        # the fd at devnull so the interpreter's shutdown flush can't
+        # raise again, and exit with the conventional SIGPIPE code.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -33,6 +33,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, TextIO
 
+from repro import telemetry
 from repro.analysis import kernels
 from repro.runner.grid import grid_specs
 from repro.runner.points import get_experiment
@@ -110,7 +111,8 @@ def evaluate_point(
     fn = get_experiment(experiment)
     start = time.perf_counter()
     try:
-        result = fn(params, point_seed(spec, master_seed))
+        with telemetry.span("point"):
+            result = fn(params, point_seed(spec, master_seed))
     except Exception as exc:  # noqa: BLE001 - reported via CampaignError/on_error
         return False, f"{type(exc).__name__}: {exc}", time.perf_counter() - start
     return True, result, time.perf_counter() - start
@@ -118,7 +120,7 @@ def evaluate_point(
 
 def evaluate_batch(
     payload: tuple[tuple[tuple[str, Mapping[str, Any]], ...], int]
-) -> tuple[list[tuple[bool, Any, float]], dict[str, int]]:
+) -> tuple[list[tuple[bool, Any, float]], dict[str, int], "dict[str, Any] | None"]:
     """Evaluate a whole ``((experiment, params), ...)`` batch in one task.
 
     One pool task, one pickled payload, one result message — regardless of
@@ -126,18 +128,31 @@ def evaluate_batch(
     each point is evaluated independently (a failing point never poisons
     its batch mates).
 
-    Returns ``(outcomes, kernel_delta)``: the per-point results plus this
-    batch's fast/fallback kernel-selection counts (see
-    :func:`repro.analysis.kernels.kernel_counters`), so the campaign can
-    aggregate kernel coverage across pool workers without shared state.
+    Returns ``(outcomes, kernel_delta, telemetry_delta)``: the per-point
+    results, this batch's fast/fallback kernel-selection counts (see
+    :func:`repro.analysis.kernels.kernel_counters`), and — when the payload
+    carries a truthy third element — this batch's telemetry export
+    (counters, span phases, CPU seconds), recorded into a private
+    per-batch collector so pool workers need no shared state. Without the
+    flag the delta is ``None`` and no collector is ever created, keeping
+    the disabled path allocation-free.
     """
-    points, master_seed = payload
+    points, master_seed, *rest = payload
+    with_telemetry = bool(rest[0]) if rest else False
     before = kernels.kernel_counters()
-    outcomes = [
-        evaluate_point((experiment, params, master_seed))
-        for experiment, params in points
-    ]
-    return outcomes, kernels.counters_delta(before)
+    if not with_telemetry:
+        outcomes = [
+            evaluate_point((experiment, params, master_seed))
+            for experiment, params in points
+        ]
+        return outcomes, kernels.counters_delta(before), None
+    collector = telemetry.Telemetry()
+    with telemetry.activated(collector):
+        outcomes = [
+            evaluate_point((experiment, params, master_seed))
+            for experiment, params in points
+        ]
+    return outcomes, kernels.counters_delta(before), collector.export()
 
 
 def default_workers() -> int:
@@ -221,15 +236,38 @@ def execute_points(
             for key, value in delta.items():
                 kernel_totals[key] = kernel_totals.get(key, 0) + value
 
+    recorder = telemetry.active()
+
+    def note_batch(points: int, tdelta: "Mapping[str, Any] | None") -> None:
+        if recorder is None:
+            return
+        if tdelta is not None:
+            recorder.absorb(tdelta)
+        recorder.count("engine.batches")
+        recorder.count("engine.points", points)
+
     if workers == 1 or len(todo) == 1:
         try:
             for batch in batches:
                 before = kernels.kernel_counters()
+                # Inline batches record into a throwaway collector exactly
+                # like a pool worker would, so traces keep the same
+                # ``worker/`` shape at any worker count. CPU is zeroed
+                # before absorbing: this process's own clock already
+                # covers inline work.
+                collector = (
+                    telemetry.Telemetry() if recorder is not None else None
+                )
                 done: list[tuple[PointSpec, bool, Any, float]] = []
                 for spec in batch:
-                    outcome = evaluate_point(
-                        (spec.experiment, spec.params, master_seed)
-                    )
+                    previous = telemetry.activate(collector) if collector else None
+                    try:
+                        outcome = evaluate_point(
+                            (spec.experiment, spec.params, master_seed)
+                        )
+                    finally:
+                        if collector is not None:
+                            telemetry.activate(previous)
                     done.append((spec, *outcome))
                     if not outcome[0]:
                         # Surface failures immediately: inline execution
@@ -239,6 +277,10 @@ def execute_points(
                         finish_batch(done)
                         done = []
                 note_kernels(kernels.counters_delta(before))
+                if collector is not None:
+                    inline_delta = collector.export()
+                    inline_delta["cpu_seconds"] = 0.0
+                    note_batch(len(batch), inline_delta)
                 if done:
                     finish_batch(done)
         except CampaignError:
@@ -261,17 +303,20 @@ def execute_points(
                     (
                         tuple((s.experiment, s.params) for s in batch),
                         master_seed,
+                        recorder is not None,
                     ),
                 )
                 pending[future] = batch
+                telemetry.count("engine.submitted")
         try:
             top_up()
             while pending:
                 done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
                 for future in done:
                     batch = pending.pop(future)
-                    outcomes, kdelta = future.result()
+                    outcomes, kdelta, tdelta = future.result()
                     note_kernels(kdelta)
+                    note_batch(len(batch), tdelta)
                     finish_batch(
                         [
                             (spec, ok, result, elapsed)

@@ -21,6 +21,7 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import (
     DesignError,
     FeasibleRegion,
@@ -313,7 +314,8 @@ def schedulability(params: Mapping[str, Any], seed: np.random.SeedSequence) -> d
     by failure cause.
     """
     rng = np.random.default_rng(seed.spawn(1)[0])
-    ts = _generate(params, rng)
+    with telemetry.span("generate"):
+        ts = _generate(params, rng)
     out: dict[str, Any] = {
         "utilization": ts.utilization,
         "partitioned": False,
@@ -322,21 +324,23 @@ def schedulability(params: Mapping[str, Any], seed: np.random.SeedSequence) -> d
         "slack_ratio": None,
     }
     try:
-        part = partition_by_modes(
-            ts,
-            heuristic=params.get("heuristic", "worst-fit"),
-            admission="utilization",
-        )
+        with telemetry.span("partition"):
+            part = partition_by_modes(
+                ts,
+                heuristic=params.get("heuristic", "worst-fit"),
+                admission="utilization",
+            )
     except PartitionError:
         return out
     out["partitioned"] = True
     try:
-        config = design_platform(
-            part,
-            params.get("algorithm", "EDF"),
-            Overheads.uniform(params.get("otot", 0.0)),
-            params.get("goal", "min-overhead-bandwidth"),
-        )
+        with telemetry.span("design"):
+            config = design_platform(
+                part,
+                params.get("algorithm", "EDF"),
+                Overheads.uniform(params.get("otot", 0.0)),
+                params.get("goal", "min-overhead-bandwidth"),
+            )
     except DesignError:
         return out
     out["feasible"] = True
@@ -354,30 +358,33 @@ def fault_injection(params: Mapping[str, Any], seed: np.random.SeedSequence) -> 
     the generated task sets.
     """
     gen_seed, fault_seed = seed.spawn(2)
-    if params.get("source", "paper") == "generated":
-        ts = _generate(params, np.random.default_rng(gen_seed))
-        part = partition_by_modes(
-            ts,
-            heuristic=params.get("heuristic", "worst-fit"),
-            admission="utilization",
+    with telemetry.span("generate"):
+        if params.get("source", "paper") == "generated":
+            ts = _generate(params, np.random.default_rng(gen_seed))
+            part = partition_by_modes(
+                ts,
+                heuristic=params.get("heuristic", "worst-fit"),
+                admission="utilization",
+            )
+        else:
+            part = _resolve_partition(params)
+    with telemetry.span("design"):
+        config = design_platform(
+            part,
+            params.get("algorithm", "EDF"),
+            Overheads.uniform(params.get("otot", 0.05)),
+            params.get("goal", "min-overhead-bandwidth"),
         )
-    else:
-        part = _resolve_partition(params)
-    config = design_platform(
-        part,
-        params.get("algorithm", "EDF"),
-        Overheads.uniform(params.get("otot", 0.05)),
-        params.get("goal", "min-overhead-bandwidth"),
-    )
     campaign = FaultCampaign(
         part,
         config,
         rate=params["rate"],
         min_separation=params.get("min_separation"),
     )
-    result = campaign.run(
-        horizon=config.period * params.get("cycles", 50), seed=fault_seed
-    )
+    with telemetry.span("simulate"):
+        result = campaign.run(
+            horizon=config.period * params.get("cycles", 50), seed=fault_seed
+        )
     return {
         "injected": result.injected,
         "outcomes": {
@@ -417,18 +424,20 @@ def online(params: Mapping[str, Any], seed: np.random.SeedSequence) -> dict:
 
     scenario = scenario_from_params(params)  # fail before any expensive work
     gen_seed, arrival_seed, fault_seed = seed.spawn(3)
-    ts = _generate(params, np.random.default_rng(gen_seed))
-    part = partition_by_modes(
-        ts,
-        heuristic=params.get("heuristic", "worst-fit"),
-        admission="utilization",
-    )
-    config = design_platform(
-        part,
-        params.get("algorithm", "EDF"),
-        Overheads.uniform(params.get("otot", 0.05)),
-        params.get("goal", "max-slack"),
-    )
+    with telemetry.span("generate"):
+        ts = _generate(params, np.random.default_rng(gen_seed))
+        part = partition_by_modes(
+            ts,
+            heuristic=params.get("heuristic", "worst-fit"),
+            admission="utilization",
+        )
+    with telemetry.span("design"):
+        config = design_platform(
+            part,
+            params.get("algorithm", "EDF"),
+            Overheads.uniform(params.get("otot", 0.05)),
+            params.get("goal", "max-slack"),
+        )
     horizon = config.period * params.get("cycles", 30)
 
     rng = np.random.default_rng(arrival_seed)
@@ -482,12 +491,13 @@ def online(params: Mapping[str, Any], seed: np.random.SeedSequence) -> dict:
             core_deaths = [(faults[0].time, faults[0].core)]
         faults = []
 
-    result = OnlineSim(config, part).run(
-        horizon,
-        arrivals=arrivals,
-        core_deaths=core_deaths,
-        faults=faults,
-    )
+    with telemetry.span("simulate"):
+        result = OnlineSim(config, part).run(
+            horizon,
+            arrivals=arrivals,
+            core_deaths=core_deaths,
+            faults=faults,
+        )
     record = result.to_record()
     record["utilization"] = ts.utilization
     record["arrivals_generated"] = len(arrivals)
@@ -516,21 +526,23 @@ def dependability(params: Mapping[str, Any], seed: np.random.SeedSequence) -> di
 
     scenario = scenario_from_params(params)  # fail before any expensive work
     gen_seed, fault_seed = seed.spawn(2)
-    if params.get("source", "paper") == "generated":
-        ts = _generate(params, np.random.default_rng(gen_seed))
-        part = partition_by_modes(
-            ts,
-            heuristic=params.get("heuristic", "worst-fit"),
-            admission="utilization",
+    with telemetry.span("generate"):
+        if params.get("source", "paper") == "generated":
+            ts = _generate(params, np.random.default_rng(gen_seed))
+            part = partition_by_modes(
+                ts,
+                heuristic=params.get("heuristic", "worst-fit"),
+                admission="utilization",
+            )
+        else:
+            part = _resolve_partition(params)
+    with telemetry.span("design"):
+        config = design_platform(
+            part,
+            params.get("algorithm", "EDF"),
+            Overheads.uniform(params.get("otot", 0.05)),
+            params.get("goal", "min-overhead-bandwidth"),
         )
-    else:
-        part = _resolve_partition(params)
-    config = design_platform(
-        part,
-        params.get("algorithm", "EDF"),
-        Overheads.uniform(params.get("otot", 0.05)),
-        params.get("goal", "min-overhead-bandwidth"),
-    )
     if isinstance(scenario, PoissonScenario) and "min_separation" not in params:
         # The poisson scenario is the paper baseline: keep its single-fault
         # assumption (one platform period between transients, matching the
@@ -545,7 +557,8 @@ def dependability(params: Mapping[str, Any], seed: np.random.SeedSequence) -> di
         np.random.default_rng(fault_seed),
         core_count=config.core_count,
     )
-    result = FaultCampaign(part, config).run(horizon=horizon, faults=faults)
+    with telemetry.span("simulate"):
+        result = FaultCampaign(part, config).run(horizon=horizon, faults=faults)
     record = dependability_record(result)
     record["utilization"] = part.all_tasks().utilization
     return record

@@ -33,6 +33,7 @@ class ProgressReporter:
         self.computed = 0
         self.cached = 0
         self.errors = 0
+        self.batches = 0
         self._stream = stream if stream is not None else sys.stderr
         self._min_interval = min_interval
         self._started = time.monotonic()
@@ -52,10 +53,31 @@ class ProgressReporter:
         self.total += n
         self._line_step = max(1, self.total // 10)
 
+    def note_batch(self) -> None:
+        """Record one completed engine batch (no rendering — the per-point
+        :meth:`update` calls that follow it do that)."""
+        self.batches += 1
+
     @property
     def done(self) -> int:
         """Points finished so far (computed + cached + errored)."""
         return self.computed + self.cached + self.errors
+
+    @property
+    def cache_ratio(self) -> float | None:
+        """Cache hits as a share of finished points (None before any)."""
+        if self.done <= 0:
+            return None
+        return self.cached / self.done
+
+    def batch_rate(self) -> float | None:
+        """Completed batches per second (None before the first batch)."""
+        if self.batches <= 0:
+            return None
+        elapsed = self.elapsed
+        if elapsed <= 0.0:
+            return None
+        return self.batches / elapsed
 
     @property
     def elapsed(self) -> float:
@@ -89,6 +111,8 @@ class ProgressReporter:
             "errors": self.errors,
             "elapsed": self.elapsed,
             "eta": self.eta(),
+            "batches": self.batches,
+            "cache_ratio": self.cache_ratio,
         }
 
     def update(self, *, cached: bool = False, error: bool = False) -> None:
@@ -126,7 +150,14 @@ class ProgressReporter:
             f"eta {eta_s}",
         ]
         if self.cached:
-            bits.append(f"cache {self.cached}")
+            ratio = self.cache_ratio
+            bits.append(
+                f"cache {self.cached}"
+                + (f" ({ratio * 100:.0f}%)" if ratio is not None else "")
+            )
+        rate = self.batch_rate()
+        if rate is not None:
+            bits.append(f"{rate:.1f} batch/s")
         if self.errors:
             bits.append(f"errors {self.errors}")
         return "  ".join(bits)

@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence, TextIO
 
+from repro import telemetry
 from repro.runner.aggregate import Aggregator
 from repro.runner.cache import ResultCache, atomic_write_text
 from repro.runner.engine import (
@@ -194,6 +195,25 @@ class StreamResult:
     def aggregate_json(self) -> str:
         """Canonical JSON of the aggregate state — the bytes CI diffs."""
         return canonical_json(self.aggregator.state_dict())
+
+
+def _timed_rounds(rounds: "Iterable[Sequence[PointSpec]]"):
+    """Yield rounds, timing each planning step as a ``plan`` span.
+
+    Planning happens inside the source's generator between yields; pulling
+    items through ``next`` under a span attributes that time without
+    restructuring the campaign loop.
+    """
+    iterator = iter(rounds)
+    while True:
+        with telemetry.span("plan"):
+            batch = next(iterator, _ROUNDS_DONE)
+        if batch is _ROUNDS_DONE:
+            return
+        yield batch
+
+
+_ROUNDS_DONE = object()
 
 
 def _read_snapshot(path: Path) -> dict[str, Any] | None:
@@ -618,16 +638,18 @@ def stream_campaign(
                     "folded": sorted(planning_folded),
                     "aggregate": planning_aggregator.state_dict(),
                 }
-            save_snapshot(
-                state_path,
-                aggregator,
-                master_seed,
-                folded,
-                failed,
-                manifest,
-                source=source.state_dict(),
-                planning=planning_blob,
-            )
+            with telemetry.span("snapshot"):
+                save_snapshot(
+                    state_path,
+                    aggregator,
+                    master_seed,
+                    folded,
+                    failed,
+                    manifest,
+                    source=source.state_dict(),
+                    planning=planning_blob,
+                )
+            telemetry.count("campaign.snapshots")
             new_folds = 0
 
     def fold_planning(spec: PointSpec, result: Any) -> None:
@@ -704,140 +726,160 @@ def stream_campaign(
     ) -> None:
         nonlocal batches
         batches += 1
+        if reporter:
+            reporter.note_batch()
         if cache is not None:
-            cache.put_many(
-                (spec, master_seed, result, elapsed)
-                for spec, ok, result, elapsed in batch
-                if ok
-            )
-        for spec, ok, result, _elapsed in batch:
-            finish(spec, ok, result)
+            with telemetry.span("write"):
+                cache.put_many(
+                    (spec, master_seed, result, elapsed)
+                    for spec, ok, result, elapsed in batch
+                    if ok
+                )
+        with telemetry.span("fold"):
+            for spec, ok, result, _elapsed in batch:
+                finish(spec, ok, result)
         emit_delta("batch")
 
-    for round_specs in source.rounds(planning_view):
-        rounds_run += 1
-        owned_round = 0
-        for spec in round_specs:
+    with telemetry.span("campaign"):
+        for round_specs in _timed_rounds(source.rounds(planning_view)):
+            rounds_run += 1
+            telemetry.count("campaign.rounds")
+            owned_round = 0
+            for spec in round_specs:
+                if dynamic:
+                    get_experiment(spec.experiment)
+                digest = spec.digest
+                if owns(digest):
+                    owned_round += 1
+                    ordered_specs.append(spec)
+                    if digest not in unique:
+                        unique[digest] = spec
+                        if digest in initial_folded:
+                            already_folded += 1
+                elif sharded_dynamic:
+                    planning_seen.add(digest)
+                # else: grid shard narrowing — other shards' points are
+                # simply not this run's work (no feedback to serve).
+            round_sizes.append(owned_round)
+
             if dynamic:
-                get_experiment(spec.experiment)
-            digest = spec.digest
-            if owns(digest):
-                owned_round += 1
-                ordered_specs.append(spec)
-                if digest not in unique:
-                    unique[digest] = spec
-                    if digest in initial_folded:
-                        already_folded += 1
-            elif sharded_dynamic:
-                planning_seen.add(digest)
-            # else: grid shard narrowing — other shards' points are simply
-            # not this run's work (no feedback to serve).
-        round_sizes.append(owned_round)
-
-        if dynamic:
-            if shard_count > 1:
-                manifest = ShardManifest(
-                    index=shard_index,
-                    count=shard_count,
-                    grid=grid_digest(set(unique) | planning_seen),
-                    points=tuple(unique),
-                )
-            else:
-                manifest = ShardManifest.full(unique)
-            flush_every = max(
-                _FLUSH_EVERY, (len(unique) + len(planning_seen)) // 64
-            )
-            if reporter:
-                reporter.grow(
-                    len(unique) + len(planning_seen) - reporter.total
-                )
-
-        # Points already in the snapshot are done: no cache read, no
-        # compute, no re-fold. Known-failed points are skipped the same way
-        # in "store" mode (deterministic evaluation fails identically on
-        # every re-run). Both shortcuts are off when the caller wants the
-        # raw results back.
-        todo: list[PointSpec] = []
-        owned_todo = 0
-        round_seen: set[str] = set()
-        for spec in round_specs:
-            digest = spec.digest
-            if digest in round_seen:
-                continue
-            round_seen.add(digest)
-            if not owns(digest):
-                if not sharded_dynamic:
-                    continue
-                if digest in planning_folded or digest in planning_failed:
-                    if reporter:
-                        reporter.update(cached=True)
-                    continue
-                hit = cache.get(spec, master_seed) if cache is not None else None
-                if hit is not None:
-                    fold_planning(spec, hit)
-                    flush()
-                    if reporter:
-                        reporter.update(cached=True)
+                if shard_count > 1:
+                    manifest = ShardManifest(
+                        index=shard_index,
+                        count=shard_count,
+                        grid=grid_digest(set(unique) | planning_seen),
+                        points=tuple(unique),
+                    )
                 else:
-                    todo.append(spec)
-                continue
-            if digest in folded and collected is None:
+                    manifest = ShardManifest.full(unique)
+                flush_every = max(
+                    _FLUSH_EVERY, (len(unique) + len(planning_seen)) // 64
+                )
                 if reporter:
-                    reporter.update(cached=True)
-                continue
-            if digest in failed and collected is None and on_error == "store":
-                errors += 1
-                resumed_failed += 1
-                if reporter:
-                    reporter.update(error=True)
-                continue
-            hit = cache.get(spec, master_seed) if cache is not None else None
-            if hit is not None:
-                cached += 1
-                if collected is not None:
-                    collected[digest] = hit
-                if digest not in folded:
-                    aggregator.fold(spec, hit)
-                    folded.add(digest)
-                    new_folds += 1
-                    if sharded_dynamic:
-                        fold_planning(spec, hit)
-                    flush()
-                if reporter:
-                    reporter.update(cached=True)
-            else:
-                todo.append(spec)
-                owned_todo += 1
+                    reporter.grow(
+                        len(unique) + len(planning_seen) - reporter.total
+                    )
 
-        emit_delta("scan")
-        computed += owned_todo
-        eb = execute_points(
-            todo,
-            workers,
-            master_seed,
-            on_complete_batch,
-            # persist what has been folded so far even when a point aborts
-            # the campaign — a resumed run then skips everything already
-            # aggregated
-            on_abort=lambda: flush(force=True),
-            batch_size=batch_size,
-            kernel_totals=kernel_totals,
-        )
+            # Points already in the snapshot are done: no cache read, no
+            # compute, no re-fold. Known-failed points are skipped the same
+            # way in "store" mode (deterministic evaluation fails
+            # identically on every re-run). Both shortcuts are off when the
+            # caller wants the raw results back.
+            todo: list[PointSpec] = []
+            owned_todo = 0
+            round_seen: set[str] = set()
+            with telemetry.span("scan"):
+                for spec in round_specs:
+                    digest = spec.digest
+                    if digest in round_seen:
+                        continue
+                    round_seen.add(digest)
+                    if not owns(digest):
+                        if not sharded_dynamic:
+                            continue
+                        if digest in planning_folded or digest in planning_failed:
+                            if reporter:
+                                reporter.update(cached=True)
+                            continue
+                        hit = (
+                            cache.get(spec, master_seed)
+                            if cache is not None
+                            else None
+                        )
+                        if hit is not None:
+                            fold_planning(spec, hit)
+                            flush()
+                            if reporter:
+                                reporter.update(cached=True)
+                        else:
+                            todo.append(spec)
+                        continue
+                    if digest in folded and collected is None:
+                        if reporter:
+                            reporter.update(cached=True)
+                        continue
+                    if (
+                        digest in failed
+                        and collected is None
+                        and on_error == "store"
+                    ):
+                        errors += 1
+                        resumed_failed += 1
+                        if reporter:
+                            reporter.update(error=True)
+                        continue
+                    hit = (
+                        cache.get(spec, master_seed)
+                        if cache is not None
+                        else None
+                    )
+                    if hit is not None:
+                        cached += 1
+                        if collected is not None:
+                            collected[digest] = hit
+                        if digest not in folded:
+                            aggregator.fold(spec, hit)
+                            folded.add(digest)
+                            new_folds += 1
+                            if sharded_dynamic:
+                                fold_planning(spec, hit)
+                            flush()
+                        if reporter:
+                            reporter.update(cached=True)
+                    else:
+                        todo.append(spec)
+                        owned_todo += 1
+
+            emit_delta("scan")
+            computed += owned_todo
+            with telemetry.span("execute"):
+                eb = execute_points(
+                    todo,
+                    workers,
+                    master_seed,
+                    on_complete_batch,
+                    # persist what has been folded so far even when a point
+                    # aborts the campaign — a resumed run then skips
+                    # everything already aggregated
+                    on_abort=lambda: flush(force=True),
+                    batch_size=batch_size,
+                    kernel_totals=kernel_totals,
+                )
+            if effective_batch is None:
+                effective_batch = eb
+
         if effective_batch is None:
-            effective_batch = eb
+            # No rounds ran (empty grid, or a resumed-complete adaptive
+            # snapshot); report the batch size an empty execution would use.
+            effective_batch = execute_points(
+                [], workers, master_seed, on_complete_batch, batch_size=batch_size
+            )
 
-    if effective_batch is None:
-        # No rounds ran (empty grid, or a resumed-complete adaptive
-        # snapshot); report the batch size an empty execution would use.
-        effective_batch = execute_points(
-            [], workers, master_seed, on_complete_batch, batch_size=batch_size
-        )
-
-    if not (dynamic and rounds_run == 0 and resumed_complete):
-        # A resumed-complete adaptive run replans nothing; rewriting the
-        # snapshot would shrink its manifest to the (empty) point set seen
-        # this run and corrupt it.
-        flush(force=True)
+        if not (dynamic and rounds_run == 0 and resumed_complete):
+            # A resumed-complete adaptive run replans nothing; rewriting the
+            # snapshot would shrink its manifest to the (empty) point set
+            # seen this run and corrupt it.
+            flush(force=True)
     computed -= errors - resumed_failed
 
     results: list[Any] | None = None

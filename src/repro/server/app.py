@@ -18,6 +18,10 @@ POST   ``/snapshots?preset=P``          upload a snapshot for querying
 GET    ``/snapshots/{digest}/report``   rendered report of an upload
 GET    ``/snapshots/{digest}/query/..`` typed query over an upload
 GET    ``/stats``                       job counts + query-cache hit rates
+GET    ``/metrics``                     uptime, request/status counters, and
+                                        telemetry counters summed over jobs
+GET    ``/jobs/{id}/telemetry``         the job's run manifest (phases,
+                                        counters, cache/kernel ratios)
 ====== ================================ =======================================
 
 Query and report responses are memoized in a
@@ -31,8 +35,10 @@ stale in-flight answer.
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
-from typing import Any
+import time
+from typing import Any, TextIO
 
 from repro.reporting import QueryCache, QueryError, SnapshotQuery
 from repro.runner.presets import get_preset, preset_names
@@ -56,6 +62,33 @@ _POLL_SECONDS = 0.05
 _QUERY_KINDS = ("summary", "metrics", "report", "curve", "categorical")
 
 
+class _StatusSniffer:
+    """A pass-through writer that remembers the response status line.
+
+    The router writes complete response byte-strings; the first write of a
+    response always begins ``HTTP/1.1 NNN``, so observing writes is enough
+    to attribute a status to the request without restructuring every
+    handler to return one.
+    """
+
+    __slots__ = ("_writer", "status")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self._writer = writer
+        self.status: "int | None" = None
+
+    def write(self, data: bytes) -> None:
+        if self.status is None and data[:9] == b"HTTP/1.1 ":
+            try:
+                self.status = int(data[9:12])
+            except ValueError:
+                pass
+        self._writer.write(data)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._writer, name)
+
+
 class ReproServer:
     """One server instance: job manager + uploaded snapshots + query cache."""
 
@@ -65,33 +98,43 @@ class ReproServer:
         workers: "int | None" = None,
         spool_dir: "str | None" = None,
         cache_entries: int = 1024,
+        access_log: "TextIO | None" = None,
     ):
         self.jobs = JobManager(spool_dir=spool_dir, default_workers=workers)
         self.cache = QueryCache(max_entries=cache_entries)
         self._snapshots: dict[str, SnapshotQuery] = {}
         self._snapshots_lock = threading.Lock()
+        self._access_log = access_log
+        self._http_lock = threading.Lock()
+        self._started = time.monotonic()
+        self._request_total = 0
+        self._route_counts: dict[str, int] = {}
+        self._status_counts: dict[str, int] = {}
 
     # -- connection handling ----------------------------------------------
 
     async def handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        began = time.perf_counter()
+        sniffer = _StatusSniffer(writer)
+        request: "Request | None" = None
         try:
             try:
                 request = await read_request(reader)
                 if request is None:
                     return
-                await self._dispatch(request, writer)
+                await self._dispatch(request, sniffer)
             except asyncio.CancelledError:
                 return  # server shutting down mid-request; just close
             except HttpError as exc:
-                writer.write(error_response(exc.status, str(exc)))
+                sniffer.write(error_response(exc.status, str(exc)))
                 await writer.drain()
             except (ConnectionError, asyncio.IncompleteReadError):
                 pass  # client went away mid-stream; nothing to answer
             except Exception as exc:  # noqa: BLE001 - last-resort 500
                 try:
-                    writer.write(
+                    sniffer.write(
                         error_response(500, f"{type(exc).__name__}: {exc}")
                     )
                     await writer.drain()
@@ -103,6 +146,54 @@ class ReproServer:
                 await writer.wait_closed()
             except (ConnectionError, RuntimeError, asyncio.CancelledError):
                 pass
+            if request is not None or sniffer.status is not None:
+                self._account(
+                    request, sniffer.status, time.perf_counter() - began
+                )
+
+    def _account(
+        self,
+        request: "Request | None",
+        status: "int | None",
+        duration: float,
+    ) -> None:
+        """Count the request and append one NDJSON access-log record."""
+        if request is not None:
+            route = "/" + (request.parts[0] if request.parts else "")
+        else:
+            route = "-"  # the request head never parsed
+        with self._http_lock:
+            self._request_total += 1
+            self._route_counts[route] = self._route_counts.get(route, 0) + 1
+            status_key = str(status) if status is not None else "aborted"
+            self._status_counts[status_key] = (
+                self._status_counts.get(status_key, 0) + 1
+            )
+        if self._access_log is None:
+            return
+        record: dict[str, Any] = {
+            "type": "access",
+            "time": round(time.time(), 3),
+            "method": request.method if request is not None else "-",
+            "path": request.path if request is not None else "-",
+            "status": status,
+            "duration_ms": round(duration * 1000.0, 3),
+        }
+        if request is not None and request.job is not None:
+            record["job"] = request.job
+        self._log(record)
+
+    def _log(self, record: dict[str, Any]) -> None:
+        if self._access_log is None:
+            return
+        try:
+            with self._http_lock:
+                self._access_log.write(
+                    json.dumps(record, sort_keys=True) + "\n"
+                )
+                self._access_log.flush()
+        except (OSError, ValueError):
+            pass  # a dead log stream must never take a response down
 
     async def _dispatch(
         self, request: Request, writer: asyncio.StreamWriter
@@ -114,6 +205,8 @@ class ReproServer:
             writer.write(self._presets(request))
         elif parts == ["stats"]:
             writer.write(self._stats(request))
+        elif parts == ["metrics"]:
+            writer.write(self._metrics(request))
         elif parts == ["jobs"]:
             if request.method == "POST":
                 writer.write(self._submit(request))
@@ -147,10 +240,12 @@ class ReproServer:
                     "GET /jobs/{id}/snapshot",
                     "GET /jobs/{id}/report",
                     "GET /jobs/{id}/query/{kind}",
+                    "GET /jobs/{id}/telemetry",
                     "POST /snapshots?preset=P",
                     "GET /snapshots/{digest}/report",
                     "GET /snapshots/{digest}/query/{kind}",
                     "GET /stats",
+                    "GET /metrics",
                 ],
             },
         )
@@ -191,6 +286,42 @@ class ReproServer:
             },
         )
 
+    def _metrics(self, request: Request) -> bytes:
+        """Operational counters: HTTP traffic, job states, query cache,
+        and every job's telemetry counters summed into one view."""
+        self._need(request, "GET")
+        jobs = self.jobs.all()
+        by_state: dict[str, int] = {}
+        counters: dict[str, int] = {}
+        telemetry_jobs = 0
+        for job in jobs:
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+            exported = job.telemetry_counters()
+            if exported is None:
+                continue
+            telemetry_jobs += 1
+            for name, value in exported.items():
+                counters[name] = counters.get(name, 0) + int(value)
+        with self._http_lock:
+            requests = {
+                "total": self._request_total,
+                "by_route": dict(sorted(self._route_counts.items())),
+                "by_status": dict(sorted(self._status_counts.items())),
+            }
+        return json_response(
+            200,
+            {
+                "uptime_seconds": round(time.monotonic() - self._started, 3),
+                "requests": requests,
+                "jobs": {"total": len(jobs), "by_state": by_state},
+                "query_cache": self.cache.stats(),
+                "telemetry": {
+                    "jobs": telemetry_jobs,
+                    "counters": dict(sorted(counters.items())),
+                },
+            },
+        )
+
     def _submit(self, request: Request) -> bytes:
         try:
             job, reused = self.jobs.submit(request.json())
@@ -211,6 +342,7 @@ class ReproServer:
         job = self.jobs.get(rest[0])
         if job is None:
             raise HttpError(404, f"no such job: {rest[0]!r}")
+        request.job = job.id  # attribute the access-log record
         sub = rest[1:]
         if not sub:
             self._need(request, "GET")
@@ -224,6 +356,15 @@ class ReproServer:
         elif sub == ["report"]:
             self._need(request, "GET")
             writer.write(self._answer(job.query(), "report"))
+        elif sub == ["telemetry"]:
+            self._need(request, "GET")
+            manifest = job.telemetry_manifest()
+            if manifest is None:
+                raise HttpError(
+                    409,
+                    f"job {job.id[:16]} is {job.state}; no telemetry yet",
+                )
+            writer.write(json_response(200, manifest))
         elif len(sub) == 2 and sub[0] == "query":
             self._need(request, "GET")
             writer.write(
@@ -381,7 +522,17 @@ class ReproServer:
     async def serve_forever(self, host: str, port: int) -> None:
         server = await self.start(host, port)
         addr = server.sockets[0].getsockname()
-        print(f"[serve] listening on http://{addr[0]}:{addr[1]}", flush=True)
+        url = f"http://{addr[0]}:{addr[1]}"
+        print(f"[serve] listening on {url}", flush=True)
+        self._log(
+            {
+                "type": "listening",
+                "time": round(time.time(), 3),
+                "host": addr[0],
+                "port": addr[1],
+                "url": url,
+            }
+        )
         async with server:
             await server.serve_forever()
 

@@ -54,6 +54,9 @@ class Request:
     query: dict[str, str]
     headers: dict[str, str]
     body: bytes = b""
+    #: Job digest this request resolved to, if any — filled in by the
+    #: router so the access log can attribute the request to a campaign.
+    job: "str | None" = field(default=None, compare=False)
 
     def json(self) -> Any:
         """The body parsed as JSON (400 on malformed input)."""

@@ -22,10 +22,12 @@ import threading
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro import telemetry
 from repro.reporting import SnapshotQuery
 from repro.runner.presets import PresetError, PresetSpec, get_preset
 from repro.runner.spec import canonical_json
 from repro.runner.stream import stream_campaign
+from repro.telemetry import Telemetry, build_manifest
 
 
 class JobError(ValueError):
@@ -168,6 +170,9 @@ class Job:
         self.error: "str | None" = None
         self.stats: "dict[str, Any] | None" = None
         self._latest_state: "dict[str, Any] | None" = None
+        #: Per-job telemetry recorder, created when the worker thread
+        #: starts so wall-clock measures the run, not the queue wait.
+        self.recorder: "Telemetry | None" = None
         self._emit({"type": "state", "state": "queued"})
 
     # -- event log ---------------------------------------------------------
@@ -189,8 +194,18 @@ class Job:
     # -- execution (worker thread) ----------------------------------------
 
     def run(self, default_workers: "int | None" = None) -> None:
-        """Execute the campaign; every outcome lands in the event log."""
+        """Execute the campaign; every outcome lands in the event log.
+
+        The *whole* body runs inside the try/except: an exception after
+        the campaign itself (stats serialization, aggregate publication)
+        must still mark the job ``failed`` in the record instead of
+        leaving it stuck "running" with the traceback only in the
+        process log.
+        """
         config = self.config
+        recorder = Telemetry()
+        self.recorder = recorder
+        previous = telemetry.activate(recorder)
         try:
             source = self._preset.source(
                 config.strategy,
@@ -218,16 +233,17 @@ class Job:
                 batch_size=config.batch,
                 on_delta=self._on_delta,
             )
+            self.stats = streamed.stats.to_dict()
+            with self._lock:
+                self._latest_state = self._aggregator.state_dict()
+            self.state = "done"
+            self._emit({"type": "complete", "stats": self.stats})
         except Exception as exc:  # noqa: BLE001 - the log IS the error channel
             self.error = f"{type(exc).__name__}: {exc}"
             self.state = "failed"
             self._emit({"type": "failed", "error": self.error})
-            return
-        self.stats = streamed.stats.to_dict()
-        with self._lock:
-            self._latest_state = self._aggregator.state_dict()
-        self.state = "done"
-        self._emit({"type": "complete", "stats": self.stats})
+        finally:
+            telemetry.activate(previous)
 
     def _on_delta(self, delta: Mapping[str, Any]) -> None:
         # Runs on the folding thread, between folds, so reading the
@@ -250,6 +266,31 @@ class Job:
         if latest is not None:
             aggregator.load_state(latest)
         return SnapshotQuery.from_aggregator(self._preset, aggregator)
+
+    def telemetry_counters(self) -> "dict[str, int] | None":
+        """This job's raw telemetry counters (None before the run starts).
+
+        Safe from any thread: the recorder's export takes retried copies
+        of its dicts, so a concurrent fold at worst delays the read.
+        """
+        recorder = self.recorder
+        if recorder is None:
+            return None
+        return recorder.export()["counters"]
+
+    def telemetry_manifest(self) -> "dict[str, Any] | None":
+        """A run-manifest view of this job (None before the run starts)."""
+        recorder = self.recorder
+        if recorder is None:
+            return None
+        manifest = build_manifest(
+            recorder,
+            stats=self.stats,
+            config={"job": self.id, **self.config.to_dict()},
+            error=self.error,
+        )
+        manifest["state"] = self.state
+        return manifest
 
     def describe(self) -> dict[str, Any]:
         with self._lock:
@@ -317,10 +358,13 @@ class JobManager:
             ]
             return matches[0] if len(matches) == 1 else None
 
-    def list(self) -> list[dict[str, Any]]:
+    def all(self) -> list[Job]:
+        """Every registered job object, newest submission last."""
         with self._lock:
-            jobs = list(self._jobs.values())
-        return [job.describe() for job in jobs]
+            return list(self._jobs.values())
+
+    def list(self) -> list[dict[str, Any]]:
+        return [job.describe() for job in self.all()]
 
 
 __all__ = ["Job", "JobConfig", "JobError", "JobManager"]

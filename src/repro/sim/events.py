@@ -32,6 +32,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro import telemetry
+
 
 class EventKind(enum.IntEnum):
     """Discrete simulation events; the int value is the same-time priority."""
@@ -49,6 +51,13 @@ class EventKind(enum.IntEnum):
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.name.lower()
+
+
+#: Telemetry counter name per kind, precomputed so the dispatch hot path
+#: never builds strings.
+_DISPATCH_COUNTER = {
+    kind: f"sim.events.{kind.name.lower()}" for kind in EventKind
+}
 
 
 @dataclass(frozen=True)
@@ -96,6 +105,7 @@ class EventQueue:
             self._heap, (event.time, int(event.kind), self._seq, event)
         )
         self._seq += 1
+        telemetry.count("sim.events.pushed")
 
     def push_at(self, time: float, kind: EventKind, data: Any = None) -> Event:
         """Build and insert an event; returns it."""
@@ -107,7 +117,10 @@ class EventQueue:
         """Remove and return the next event (IndexError when empty)."""
         if not self._heap:
             raise IndexError("pop from an empty EventQueue")
-        return heapq.heappop(self._heap)[3]
+        event = heapq.heappop(self._heap)[3]
+        telemetry.count("sim.events.dispatched")
+        telemetry.count(_DISPATCH_COUNTER[event.kind])
+        return event
 
     def peek(self) -> Event:
         """The next event without removing it (IndexError when empty)."""
@@ -131,7 +144,10 @@ class EventQueue:
         while self._heap:
             if until is not None and self._heap[0][0] >= until:
                 return
-            yield heapq.heappop(self._heap)[3]
+            event = heapq.heappop(self._heap)[3]
+            telemetry.count("sim.events.dispatched")
+            telemetry.count(_DISPATCH_COUNTER[event.kind])
+            yield event
 
 
 __all__ = ["Event", "EventKind", "EventQueue"]

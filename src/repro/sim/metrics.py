@@ -73,7 +73,10 @@ class ModeService:
 
     @property
     def delivered_alpha(self) -> float:
-        """Granted usable time per unit of horizon."""
+        """Granted usable time per unit of horizon (0.0 on a zero-length
+        run — nothing was promised over nothing)."""
+        if self.horizon <= 0:
+            return 0.0
         return self.window_time / self.horizon
 
     @property
@@ -121,7 +124,13 @@ class TimeAccounting:
 
     @property
     def overhead_bandwidth(self) -> float:
-        """Measured ``O/P`` over the run (Table 2's overhead row)."""
+        """Measured ``O/P`` over the run (Table 2's overhead row).
+
+        A zero-length horizon accrues no overhead: report 0.0 instead of
+        dividing by zero.
+        """
+        if self.horizon <= 0:
+            return 0.0
         return self.overhead / self.horizon
 
 

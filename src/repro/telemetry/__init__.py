@@ -1,0 +1,42 @@
+"""Run telemetry: spans, counters, traces, manifests and profiling.
+
+Import the module-level helpers (``count``, ``gauge``, ``span``) from here
+in instrumented code; they are O(1) no-ops until a :class:`Telemetry`
+recorder is :func:`activate`-d on the current thread.
+"""
+
+from .core import (
+    NULL_SPAN,
+    TRACE_SCHEMA,
+    Telemetry,
+    TraceSink,
+    activate,
+    activated,
+    active,
+    count,
+    enabled,
+    gauge,
+    span,
+)
+from .manifest import MANIFEST_SCHEMA, build_manifest, write_manifest
+from .profile import TraceProfile, load_trace, render_profile
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "NULL_SPAN",
+    "TRACE_SCHEMA",
+    "Telemetry",
+    "TraceProfile",
+    "TraceSink",
+    "activate",
+    "activated",
+    "active",
+    "build_manifest",
+    "count",
+    "enabled",
+    "gauge",
+    "load_trace",
+    "render_profile",
+    "span",
+    "write_manifest",
+]

@@ -1,0 +1,97 @@
+"""The per-run ``run-manifest.json``: one JSON document describing a run.
+
+The manifest is the machine-readable sibling of the stats line
+``repro campaign`` prints: configuration digest and seed (what ran),
+wall/CPU breakdown by phase (where time went), cache hit ratio and kernel
+fast share (how well the fast paths engaged), and the content digest of
+the aggregate the run produced (what came out). It is derived purely from
+the telemetry recorder and the finished stats — never fed back into any
+accumulator — so writing it cannot perturb the byte-identity contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Bump when the manifest layout changes.
+MANIFEST_SCHEMA = 1
+
+
+def _ratio(hits: int, total: int) -> "float | None":
+    return (hits / total) if total > 0 else None
+
+
+def build_manifest(
+    telemetry: "Any",
+    *,
+    stats: "Mapping[str, Any] | None" = None,
+    config: "Mapping[str, Any] | None" = None,
+    aggregate_json: "str | None" = None,
+    error: "str | None" = None,
+) -> dict[str, Any]:
+    """Assemble the manifest dict from a recorder and run metadata.
+
+    ``telemetry`` is a :class:`repro.telemetry.core.Telemetry`;
+    ``stats`` is the campaign's ``StreamStats.to_dict()`` (absent when the
+    run failed before producing stats); ``config`` carries caller-provided
+    run identity (preset, seed, axes, workers, ...); ``aggregate_json`` is
+    the canonical aggregate snapshot text, digested — not embedded — so the
+    manifest can vouch for the run's output without duplicating it.
+    """
+    export = telemetry.export()
+    counters: dict[str, int] = export["counters"]
+
+    cache_hits = counters.get("cache.hit", 0)
+    cache_misses = counters.get("cache.miss", 0)
+    kernel_fast = counters.get("kernels.fast", 0)
+    kernel_fallback = counters.get("kernels.fallback", 0)
+
+    phases = {
+        path: {"count": n, "wall_seconds": total}
+        for path, (n, total) in sorted(export["phases"].items())
+    }
+
+    manifest: dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "config": dict(config or {}),
+        "wall_seconds": export["wall_seconds"],
+        "cpu_seconds": export["cpu_seconds"],
+        "phases": phases,
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(export["gauges"].items())),
+        "cache": {
+            "hits": cache_hits,
+            "misses": cache_misses,
+            "hit_ratio": _ratio(cache_hits, cache_hits + cache_misses),
+        },
+        "kernels": {
+            "fast": kernel_fast,
+            "fallback": kernel_fallback,
+            "fast_share": _ratio(kernel_fast, kernel_fast + kernel_fallback),
+        },
+    }
+    if stats is not None:
+        manifest["stats"] = dict(stats)
+    if aggregate_json is not None:
+        manifest["aggregate_digest"] = hashlib.sha256(
+            aggregate_json.encode("utf-8")
+        ).hexdigest()
+    if error is not None:
+        manifest["error"] = error
+    return manifest
+
+
+def write_manifest(path: "str | Path", manifest: Mapping[str, Any]) -> Path:
+    """Atomically write the manifest (sorted keys, trailing newline)."""
+    from ..runner.cache import atomic_write_text
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(target, json.dumps(manifest, sort_keys=True, indent=2) + "\n")
+    return target
+
+
+__all__ = ["MANIFEST_SCHEMA", "build_manifest", "write_manifest"]

@@ -242,3 +242,66 @@ class TestProgressReporter:
             rep.update()
         assert out.writes == 0  # every update throttled: nothing rendered
         assert out.flushes == 0  # ... and therefore nothing flushed
+
+
+class TestProgressBatchAndCacheLine:
+    """PR 10 additions: batch throughput and cache-hit ratio on the line."""
+
+    def test_note_batch_counts_without_rendering(self):
+        out = CountingStream()
+        rep = ProgressReporter(10, stream=out)
+        for _ in range(4):
+            rep.note_batch()
+        assert rep.batches == 4
+        assert out.writes == 0  # note_batch never renders
+
+    def test_batch_rate_none_before_first_batch(self):
+        rep = ProgressReporter(10, stream=io.StringIO())
+        assert rep.batch_rate() is None
+        rep.note_batch()
+        rate = rep.batch_rate()
+        assert rate is not None and rate > 0.0
+
+    def test_cache_ratio(self):
+        rep = ProgressReporter(4, stream=io.StringIO())
+        assert rep.cache_ratio is None
+        rep.update(cached=True)
+        rep.update(cached=True)
+        rep.update()
+        rep.update(error=True)
+        assert rep.cache_ratio == pytest.approx(0.5)
+
+    def test_snapshot_carries_batches_and_ratio(self):
+        rep = ProgressReporter(2, stream=io.StringIO())
+        rep.note_batch()
+        rep.update(cached=True)
+        snap = rep.snapshot()
+        assert snap["batches"] == 1
+        assert snap["cache_ratio"] == 1.0
+
+    def test_render_shows_ratio_and_batch_rate(self):
+        out = io.StringIO()
+        rep = ProgressReporter(2, stream=out, label="t")
+        rep.note_batch()
+        rep.update(cached=True)
+        rep.update()
+        line = rep._render()
+        assert "cache 1 (50%)" in line
+        assert "batch/s" in line
+
+    def test_render_omits_batch_rate_without_batches(self):
+        rep = ProgressReporter(1, stream=io.StringIO())
+        rep.update()
+        assert "batch/s" not in rep._render()
+
+    def test_non_tty_throttling_unchanged_with_batches(self):
+        """The PR 4 flush contract survives the new line content: throttled
+        updates still write and flush nothing, whatever note_batch does."""
+        out = CountingStream()
+        rep = ProgressReporter(100, stream=out)
+        for i in range(100):
+            if i % 3 == 0:
+                rep.note_batch()
+            rep.update()
+        assert out.writes == 10
+        assert out.flushes == out.writes

@@ -85,7 +85,7 @@ class TestBatching:
     def test_evaluate_batch_matches_per_point_and_isolates_failures(self):
         ok_params = {"period": 3.0, "budget": 1.0, "pieces": 2}
         bad_params = {"period": 3.0, "budget": 1.0, "pieces": 0}
-        outcomes, kernel_delta = evaluate_batch(
+        outcomes, kernel_delta, telemetry_delta = evaluate_batch(
             (
                 (
                     ("ablate-slot-split", ok_params),
@@ -100,6 +100,19 @@ class TestBatching:
         assert outcomes[0][1] == outcomes[2][1]
         assert set(kernel_delta) == {"fast", "fallback"}
         assert all(v >= 0 for v in kernel_delta.values())
+        # without the opt-in payload flag no collector is ever created
+        assert telemetry_delta is None
+
+    def test_evaluate_batch_ships_telemetry_when_asked(self):
+        ok_params = {"period": 3.0, "budget": 1.0, "pieces": 2}
+        outcomes, _kernel_delta, delta = evaluate_batch(
+            ((("ablate-slot-split", ok_params),), 0, True)
+        )
+        assert [ok for ok, _, _ in outcomes] == [True]
+        assert delta is not None
+        assert delta["counters"].get("sim.events.pushed", 0) >= 0
+        assert "point" in delta["phases"]
+        assert delta["phases"]["point"][0] == 1
 
     @pytest.mark.parametrize("workers,batch", [(1, 3), (2, 3), (2, 64)])
     def test_batch_layout_covers_every_point_once(self, workers, batch):

@@ -328,3 +328,105 @@ class TestUploadedSnapshots:
         assert status == 400 and b"config digest mismatch" in body
         status, _h, body = _request(port, "/snapshots/feed/report")
         assert status == 404 and b"no such snapshot" in body
+
+
+# -- telemetry + observability -------------------------------------------
+
+
+class TestTelemetryEndpoints:
+    def test_job_telemetry_is_a_run_manifest(self, server, done_job):
+        status, _h, manifest = _get_json(
+            server["port"], f"/jobs/{done_job['id']}/telemetry"
+        )
+        assert status == 200
+        assert manifest["state"] == "done"
+        assert manifest["config"]["job"] == done_job["id"]
+        assert manifest["config"]["preset"] == "sched"
+        assert manifest["stats"]["folded"] == 4
+        # the engine phases recorded on the job thread show up
+        assert "campaign" in manifest["phases"]
+        assert manifest["counters"]["engine.points"] >= 4
+        assert manifest["wall_seconds"] > 0.0
+
+    def test_metrics_aggregates_jobs_and_requests(self, server, done_job):
+        port = server["port"]
+        status, _h, metrics = _get_json(port, "/metrics")
+        assert status == 200
+        assert metrics["uptime_seconds"] > 0.0
+        assert metrics["jobs"]["by_state"].get("done", 0) >= 1
+        assert metrics["telemetry"]["jobs"] >= 1
+        assert metrics["telemetry"]["counters"]["engine.points"] >= 4
+        requests = metrics["requests"]
+        assert requests["total"] >= 1
+        assert requests["by_route"].get("/jobs", 0) >= 1
+        # this very request is counted on the next read
+        _s, _h, again = _get_json(port, "/metrics")
+        assert again["requests"]["total"] > requests["total"]
+        assert again["requests"]["by_status"].get("200", 0) > 0
+
+    def test_metrics_rejects_non_get(self, server):
+        status, _h, _b = _request(
+            server["port"], "/metrics", method="POST", body={}
+        )
+        assert status == 405
+
+
+class TestAccessLog:
+    def test_requests_land_as_ndjson_records(self):
+        import io
+
+        log = io.StringIO()
+        srv = ReproServer(workers=1, access_log=log)
+        _host, port, stop = srv.start_in_thread()
+        try:
+            _request(port, "/presets")
+            _request(port, "/nope")
+            status, _h, body = _request(port, "/jobs", method="POST",
+                                        body=SCHED_JOB)
+            job_id = json.loads(body)["job"]
+            _request(port, f"/jobs/{job_id}")
+        finally:
+            stop()
+        records = [json.loads(l) for l in log.getvalue().splitlines()]
+        assert len(records) == 4
+        by_path = {r["path"]: r for r in records}
+        assert by_path["/presets"]["status"] == 200
+        assert by_path["/presets"]["method"] == "GET"
+        assert by_path["/nope"]["status"] == 404
+        assert by_path["/jobs"]["method"] == "POST"
+        assert all(r["duration_ms"] >= 0.0 for r in records)
+        # job-scoped requests carry the job digest; others don't
+        assert by_path[f"/jobs/{job_id}"]["job"] == job_id
+        assert "job" not in by_path["/presets"]
+
+    def test_no_access_log_by_default(self, server, done_job):
+        # the module fixture's server has none; just assert the attribute
+        assert server["server"]._access_log is None
+
+
+class TestJobFailureRecorded:
+    def test_failed_job_lands_in_record_not_just_process_log(self, server):
+        """A campaign that raises must yield state=failed + the error in
+        the job record (and the event log), never a stuck 'running'."""
+        port = server["port"]
+        # ci_width without the adaptive strategy is rejected at submit;
+        # to fail *during* run, use a preset point that raises: sched with
+        # an axis value outside the validated domain.
+        bad = {
+            "preset": "sched",
+            "axes": {"u_total": [0.5], "n": [0], "rep": [0]},
+            "workers": 1,
+        }
+        status, _h, body = _request(port, "/jobs", method="POST", body=bad)
+        if status != 202:
+            pytest.skip("submit-time validation caught it first")
+        job_id = json.loads(body)["job"]
+        events = _stream_events(port, job_id)
+        assert events[-1]["type"] == "failed"
+        _s, _h, record = _get_json(port, f"/jobs/{job_id}")
+        assert record["state"] == "failed"
+        assert record["error"]
+        # a failed job still serves its telemetry manifest, error included
+        _s, _h, manifest = _get_json(port, f"/jobs/{job_id}/telemetry")
+        assert manifest["state"] == "failed"
+        assert manifest["error"] == record["error"]

@@ -76,3 +76,42 @@ class TestGantt:
     def test_gantt_processor_filter(self, trace):
         g = trace.gantt(width=10, processors=["P0"])
         assert "P1" not in g
+
+
+class TestEmptyTrace:
+    """A freshly constructed trace answers every query without slices."""
+
+    def test_queries_on_empty_trace(self):
+        empty = SimTrace(horizon=10.0)
+        assert empty.busy_time() == 0.0
+        assert empty.busy_time("P0") == 0.0
+        assert empty.task_execution("a") == 0.0
+        assert empty.slices_on("P0") == []
+        assert empty.misses() == []
+        assert empty.events_of(SimEventKind.RELEASE) == []
+
+    def test_gantt_of_empty_trace_is_all_idle(self):
+        empty = SimTrace(horizon=4.0)
+        g = empty.gantt(width=8, processors=["P0"])
+        row = [l for l in g.splitlines() if l.startswith("P0")][0]
+        assert row.count(".") == 8
+
+    def test_gantt_without_processors_renders_header_only(self):
+        # No slices -> no processor set to infer rows from.
+        g = SimTrace(horizon=4.0).gantt(width=8)
+        assert len(g.splitlines()) == 1
+
+    def test_zero_horizon_gantt_rejected(self):
+        with pytest.raises(ValueError, match="empty gantt range"):
+            SimTrace(horizon=0.0).gantt(width=8)
+
+    def test_merge_of_two_empty_traces(self):
+        a = SimTrace(horizon=5.0)
+        a.merge(SimTrace(horizon=5.0))
+        assert a.slices == [] and a.events == []
+
+    def test_merge_into_empty_adopts_other(self, trace):
+        empty = SimTrace(horizon=10.0)
+        empty.merge(trace)
+        assert len(empty.slices) == len(trace.slices)
+        assert [e.who for e in empty.misses()] == ["b#0"]

@@ -1,0 +1,169 @@
+"""Unit tests for the telemetry recorder: spans, counters, absorption."""
+
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import NULL_SPAN, Telemetry, TraceSink
+
+
+@pytest.fixture(autouse=True)
+def deactivated():
+    """Every test starts and ends with no recorder on this thread."""
+    previous = telemetry.activate(None)
+    yield
+    telemetry.activate(previous)
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert telemetry.active() is None
+        assert not telemetry.enabled()
+
+    def test_activate_returns_previous(self):
+        first = Telemetry()
+        assert telemetry.activate(first) is None
+        second = Telemetry()
+        assert telemetry.activate(second) is first
+        assert telemetry.active() is second
+
+    def test_activated_context_restores(self):
+        outer = Telemetry()
+        telemetry.activate(outer)
+        with telemetry.activated(Telemetry()) as inner:
+            assert telemetry.active() is inner
+        assert telemetry.active() is outer
+
+    def test_thread_local_isolation(self):
+        telemetry.activate(Telemetry())
+        seen = {}
+
+        def probe():
+            seen["other"] = telemetry.active()
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+        assert seen["other"] is None
+
+    def test_disabled_span_is_shared_noop(self):
+        assert telemetry.span("anything") is NULL_SPAN
+        with telemetry.span("anything") as s:
+            assert s is NULL_SPAN
+
+    def test_disabled_count_and_gauge_are_noops(self):
+        telemetry.count("x")  # must not raise with no recorder
+        telemetry.gauge("y", 1.0)
+
+
+class TestRecorder:
+    def test_counters_accumulate_exactly(self):
+        t = Telemetry()
+        telemetry.activate(t)
+        telemetry.count("a")
+        telemetry.count("a", 4)
+        telemetry.count("b", 0)
+        assert t.counters == {"a": 5, "b": 0}
+
+    def test_gauge_keeps_last_value(self):
+        t = Telemetry()
+        t.gauge("bins", 7)
+        t.gauge("bins", 3)
+        assert t.gauges == {"bins": 3.0}
+
+    def test_span_paths_join_nested_stack(self):
+        t = Telemetry()
+        telemetry.activate(t)
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+            with telemetry.span("inner"):
+                pass
+        assert set(t.phases) == {"outer", "outer/inner"}
+        assert t.phases["outer/inner"][0] == 2
+        assert t.phases["outer"][0] == 1
+        # children are fully contained in the parent's wall time
+        assert t.phases["outer"][1] >= t.phases["outer/inner"][1]
+
+    def test_span_records_duration_on_exception(self):
+        t = Telemetry()
+        telemetry.activate(t)
+        with pytest.raises(RuntimeError):
+            with telemetry.span("boom"):
+                raise RuntimeError("x")
+        assert t.phases["boom"][0] == 1
+        assert t._stack == []  # the stack unwinds cleanly
+
+    def test_export_is_json_safe_snapshot(self):
+        t = Telemetry()
+        t.count("a", 2)
+        t.gauge("g", 1.5)
+        with t.span("s"):
+            pass
+        export = t.export()
+        json.dumps(export)  # round-trippable
+        assert export["counters"] == {"a": 2}
+        assert export["phases"]["s"][0] == 1
+        assert export["wall_seconds"] >= 0.0
+        assert export["cpu_seconds"] >= 0.0
+        # the export is a copy: mutating it leaves the recorder alone
+        export["counters"]["a"] = 99
+        assert t.counters["a"] == 2
+
+    def test_absorb_prefixes_phases_not_counters(self):
+        parent = Telemetry()
+        worker = Telemetry()
+        worker.count("kernels.fast", 3)
+        with worker.span("point"):
+            pass
+        delta = worker.export()
+        delta["cpu_seconds"] = 0.25
+        parent.absorb(delta)
+        assert parent.counters == {"kernels.fast": 3}
+        assert "worker/point" in parent.phases
+        assert parent.worker_cpu == pytest.approx(0.25)
+        assert parent.cpu_seconds >= 0.25
+
+    def test_absorb_twice_accumulates(self):
+        parent = Telemetry()
+        worker = Telemetry()
+        worker.count("n", 1)
+        with worker.span("p"):
+            pass
+        delta = worker.export()
+        parent.absorb(delta)
+        parent.absorb(delta)
+        assert parent.counters["n"] == 2
+        assert parent.phases["worker/p"][0] == 2
+
+    def test_phase_wall_of_unknown_path(self):
+        assert Telemetry().phase_wall("nope") == 0.0
+
+
+class TestTraceSink:
+    def test_trace_ndjson_layout(self, tmp_path):
+        path = tmp_path / "nested" / "trace.ndjson"
+        sink = TraceSink(path, preset="weighted", seed=3)
+        t = Telemetry(sink)
+        telemetry.activate(t)
+        with telemetry.span("campaign"):
+            with telemetry.span("execute", batch=4):
+                pass
+        sink.close(t)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["preset"] == "weighted"
+        assert lines[0]["schema"] == telemetry.TRACE_SCHEMA
+        spans = [l for l in lines if l["type"] == "span"]
+        # inner span finishes (and is written) before the outer one
+        assert [s["path"] for s in spans] == ["campaign/execute", "campaign"]
+        assert spans[0]["attrs"] == {"batch": 4}
+        assert lines[-1]["type"] == "summary"
+        assert "campaign" in lines[-1]["phases"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = TraceSink(tmp_path / "trace.ndjson")
+        sink.close()
+        sink.close()  # second close must not raise

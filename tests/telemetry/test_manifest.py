@@ -1,0 +1,84 @@
+"""Unit tests for run-manifest assembly and writing."""
+
+import hashlib
+import json
+
+from repro.telemetry import (
+    MANIFEST_SCHEMA,
+    Telemetry,
+    build_manifest,
+    write_manifest,
+)
+
+
+def recorder_with_activity() -> Telemetry:
+    t = Telemetry()
+    t.count("cache.hit", 3)
+    t.count("cache.miss", 1)
+    t.count("kernels.fast", 9)
+    t.count("kernels.fallback", 1)
+    t.gauge("adaptive.open_bins", 0)
+    with t.span("campaign"):
+        pass
+    return t
+
+
+class TestBuildManifest:
+    def test_ratios_and_phase_table(self):
+        manifest = build_manifest(recorder_with_activity())
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["cache"] == {
+            "hits": 3, "misses": 1, "hit_ratio": 0.75,
+        }
+        assert manifest["kernels"]["fast_share"] == 0.9
+        assert manifest["phases"]["campaign"]["count"] == 1
+        assert manifest["phases"]["campaign"]["wall_seconds"] >= 0.0
+        assert manifest["gauges"] == {"adaptive.open_bins": 0.0}
+
+    def test_empty_recorder_ratios_are_none(self):
+        manifest = build_manifest(Telemetry())
+        assert manifest["cache"]["hit_ratio"] is None
+        assert manifest["kernels"]["fast_share"] is None
+        assert manifest["phases"] == {}
+
+    def test_optional_fields_only_when_given(self):
+        bare = build_manifest(Telemetry())
+        assert "stats" not in bare
+        assert "aggregate_digest" not in bare
+        assert "error" not in bare
+        full = build_manifest(
+            Telemetry(),
+            stats={"total": 4},
+            config={"preset": "weighted", "seed": 3},
+            aggregate_json='{"a": 1}',
+            error="boom",
+        )
+        assert full["stats"] == {"total": 4}
+        assert full["config"]["preset"] == "weighted"
+        assert full["error"] == "boom"
+        assert full["aggregate_digest"] == hashlib.sha256(
+            b'{"a": 1}'
+        ).hexdigest()
+
+    def test_manifest_is_json_serializable(self):
+        json.dumps(build_manifest(recorder_with_activity()))
+
+
+class TestWriteManifest:
+    def test_write_creates_parents_and_trailing_newline(self, tmp_path):
+        target = tmp_path / "runs" / "a" / "run-manifest.json"
+        manifest = build_manifest(Telemetry(), config={"seed": 1})
+        written = write_manifest(target, manifest)
+        assert written == target
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text)["config"] == {"seed": 1}
+
+    def test_write_is_stable_for_equal_manifests(self, tmp_path):
+        manifest = {"schema": MANIFEST_SCHEMA, "b": 1, "a": 2}
+        write_manifest(tmp_path / "one.json", manifest)
+        write_manifest(tmp_path / "two.json", dict(reversed(manifest.items())))
+        assert (
+            (tmp_path / "one.json").read_bytes()
+            == (tmp_path / "two.json").read_bytes()
+        )

@@ -705,3 +705,66 @@ class TestCampaignMergeByteIdentity:
         ) in out
         # a refused merge must not leave a merged snapshot behind
         assert not out_file.exists()
+
+
+class TestTelemetryAndProfile:
+    """--telemetry traces + run manifests, and the profile command."""
+
+    AXES = ["--axis", "u_total=0.5,1.0", "--axis", "n=4", "--axis", "rep=0,1"]
+
+    def _run(self, tmp_path, name, *extra):
+        out = tmp_path / f"{name}.json"
+        rc = main([
+            "campaign", "sched", *self.AXES, "--workers", "1",
+            "--no-progress", "--out", str(out), *extra,
+        ])
+        assert rc == 0
+        return out
+
+    def test_telemetry_writes_trace_and_manifest(self, tmp_path, capsys):
+        tel = tmp_path / "tel"
+        self._run(tmp_path, "traced", "--telemetry", str(tel))
+        capsys.readouterr()
+        trace = tel / "trace.ndjson"
+        manifest_path = tel / "run-manifest.json"
+        assert trace.exists() and manifest_path.exists()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["config"]["preset"] == "sched"
+        assert manifest["stats"]["folded"] == 4
+        assert manifest["counters"]["engine.points"] == 4
+        assert "campaign" in manifest["phases"]
+        assert len(manifest["aggregate_digest"]) == 64
+
+    def test_output_byte_identical_with_telemetry_on_and_off(
+        self, tmp_path, capsys
+    ):
+        plain = self._run(tmp_path, "plain")
+        traced = self._run(
+            tmp_path, "traced", "--telemetry", str(tmp_path / "tel")
+        )
+        capsys.readouterr()
+        assert plain.read_bytes() == traced.read_bytes()
+
+    def test_profile_renders_phase_breakdown(self, tmp_path, capsys):
+        tel = tmp_path / "tel"
+        self._run(tmp_path, "traced", "--telemetry", str(tel))
+        capsys.readouterr()
+        assert main(["profile", str(tel)]) == 0
+        out = capsys.readouterr().out
+        assert "root span: campaign" in out
+        assert "coverage:" in out
+        assert "execute" in out
+        assert "manifest:" in out  # the sibling run-manifest one-liner
+
+    def test_profile_min_coverage_gate(self, tmp_path, capsys):
+        tel = tmp_path / "tel"
+        self._run(tmp_path, "traced", "--telemetry", str(tel))
+        capsys.readouterr()
+        assert main(["profile", str(tel), "--min-coverage", "0.95"]) == 0
+        # an impossible bar fails with a diagnostic on stderr
+        assert main(["profile", str(tel), "--min-coverage", "1.01"]) == 1
+        assert "coverage" in capsys.readouterr().err
+
+    def test_profile_missing_trace_fails_cleanly(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "absent")]) == 1
+        assert "profile failed" in capsys.readouterr().err
